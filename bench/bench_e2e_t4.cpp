@@ -1,0 +1,4 @@
+// Experiment T2: headline end-to-end comparison on the T4 device model.
+#include "bench/e2e_common.h"
+
+int main() { return disc::bench::RunE2E(disc::DeviceSpec::T4()); }

@@ -1,0 +1,172 @@
+// Experiment F2: fusion ablation — none -> kLoop -> +kInput -> +kStitch,
+// plus the shape-knowledge ablation (fusion restricted to statically-known
+// shapes, i.e. what a shape-value-based compiler can prove on a dynamic
+// graph).
+//
+// Workloads: the memory-bound subgraphs the paper's fusion section targets
+// (softmax, layernorm, GELU-MLP glue) and the full BERT model.
+#include "bench/bench_util.h"
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<Graph> graph;
+  std::vector<std::vector<std::string>> labels;
+  ShapeSet shapes;
+};
+
+Workload MakeSoftmax() {
+  Workload w;
+  w.name = "softmax";
+  w.graph = std::make_unique<Graph>("softmax");
+  GraphBuilder b(w.graph.get());
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  w.labels = {{"B", "S"}};
+  w.shapes = {{256, 512}};
+  return w;
+}
+
+Workload MakeLayerNorm() {
+  Workload w;
+  w.name = "layernorm";
+  w.graph = std::make_unique<Graph>("layernorm");
+  GraphBuilder b(w.graph.get());
+  const int64_t kHidden = 512;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kHidden});
+  Value* scale = b.Constant(Tensor::F32({kHidden},
+                                        std::vector<float>(kHidden, 1.0f)));
+  Value* bias = b.Constant(Tensor::F32({kHidden},
+                                       std::vector<float>(kHidden, 0.0f)));
+  b.Output({b.LayerNorm(x, scale, bias)});
+  w.labels = {{"B", ""}};
+  w.shapes = {{2048, kHidden}};
+  return w;
+}
+
+Workload MakeGeluGlue() {
+  Workload w;
+  w.name = "gelu-glue";
+  w.graph = std::make_unique<Graph>("gelu_glue");
+  GraphBuilder b(w.graph.get());
+  Rng rng(1);
+  const int64_t kHidden = 512;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kHidden});
+  Tensor bias_t(DType::kF32, {kHidden});
+  for (int64_t i = 0; i < kHidden; ++i) bias_t.f32_data()[i] = rng.Normal();
+  Value* h = b.Gelu(b.Add(x, b.Constant(bias_t)));
+  b.Output({b.Mul(h, b.ScalarF32(1.1f))});
+  w.labels = {{"B", ""}};
+  w.shapes = {{4096, kHidden}};
+  return w;
+}
+
+struct Config {
+  std::string name;
+  CompileOptions options;
+};
+
+std::vector<Config> Configs() {
+  std::vector<Config> configs;
+  {
+    Config c{"no-fusion", CompileOptions::NoFusion()};
+    configs.push_back(std::move(c));
+  }
+  {
+    Config c;
+    c.name = "kLoop";
+    c.options.fusion.enable_input_fusion = false;
+    c.options.fusion.enable_stitch = false;
+    configs.push_back(std::move(c));
+  }
+  {
+    Config c;
+    c.name = "+kInput";
+    c.options.fusion.enable_stitch = false;
+    configs.push_back(std::move(c));
+  }
+  {
+    Config c;
+    c.name = "+kStitch";
+    configs.push_back(std::move(c));
+  }
+  {
+    Config c{"static-only shapes", CompileOptions::NoSymbolicShapes()};
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+void RunWorkload(const Workload& w) {
+  std::printf("-- %s, input %s --\n", w.name.c_str(),
+              [&] {
+                std::string s;
+                for (const auto& dims : w.shapes) {
+                  s += "[" + Join(dims, "x") + "]";
+                }
+                return s;
+              }()
+                  .c_str());
+  bench::Table table(
+      {"config", "kernels launched", "bytes moved", "sim time", "speedup"});
+  double base_time = 0;
+  for (const Config& config : Configs()) {
+    auto exe = DiscCompiler::Compile(*w.graph, w.labels, config.options);
+    DISC_CHECK_OK(exe.status());
+    auto r = (*exe)->RunWithShapes(w.shapes);
+    DISC_CHECK_OK(r.status());
+    double t = r->profile.device_time_us;
+    if (config.name == "no-fusion") base_time = t;
+    table.AddRow({config.name,
+                  std::to_string(r->profile.kernel_launches +
+                                 r->profile.library_calls),
+                  bench::Fmt("%.2fMB", (r->profile.bytes_read +
+                                        r->profile.bytes_written) /
+                                           1e6),
+                  bench::FmtUs(t), bench::Fmt("%.2fx", base_time / t)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace disc
+
+int main() {
+  std::printf("== F2: fusion ablation (dynamic shapes throughout) ==\n\n");
+  disc::RunWorkload(disc::MakeSoftmax());
+  disc::RunWorkload(disc::MakeLayerNorm());
+  disc::RunWorkload(disc::MakeGeluGlue());
+
+  // Full model: BERT.
+  disc::ModelConfig config;
+  disc::Model bert = disc::BuildBert(config);
+  std::printf("-- full bert, trace mean over %zu queries --\n",
+              bert.trace.size());
+  disc::bench::Table table({"config", "mean sim time", "speedup"});
+  double base_time = 0;
+  for (const auto& cfg : disc::Configs()) {
+    auto exe =
+        disc::DiscCompiler::Compile(*bert.graph, bert.input_dim_labels,
+                                    cfg.options);
+    DISC_CHECK_OK(exe.status());
+    double total = 0;
+    for (const auto& shapes : bert.trace) {
+      auto r = (*exe)->RunWithShapes(shapes);
+      DISC_CHECK_OK(r.status());
+      total += r->profile.device_time_us;
+    }
+    double mean = total / static_cast<double>(bert.trace.size());
+    if (cfg.name == "no-fusion") base_time = mean;
+    table.AddRow({cfg.name, disc::bench::FmtUs(mean),
+                  disc::bench::Fmt("%.2fx", base_time / mean)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Extension experiment F7: kernel-launch overhead and CUDA-Graph replay.
+//
+// CUDA graphs are the classic remedy for launch-bound inference — but they
+// are shape-static: a captured graph replays only for the exact shape
+// signature it was captured with. This bench runs a launch-heavy decode
+// model under two traces:
+//   * repeat-heavy — one hot shape (graphs shine),
+//   * fully dynamic — every query a new KV length (graphs never replay).
+// Systems: DISC, DISC+graph (capture per signature), and XLA+graph
+// (per-shape engines with replay on cache hits; compile stalls included).
+// The punchline matches the paper's framing: launch batching is orthogonal
+// to — and no substitute for — dynamic-shape compilation; fusion already
+// removed most launches.
+#include "baselines/dynamic_engine.h"
+#include "baselines/static_engine.h"
+#include "bench/bench_util.h"
+
+namespace disc {
+namespace {
+
+std::vector<ShapeSet> RepeatHeavyTrace(int64_t n, int64_t hidden) {
+  std::vector<ShapeSet> trace;
+  for (int64_t i = 0; i < n; ++i) {
+    // 7/8 of traffic on one hot shape, rest on a few others.
+    int64_t t = (i % 8 == 7) ? 8 + (i % 3) * 8 : 32;
+    trace.push_back({{1, 1, hidden}, {1, t, hidden}, {1, t, hidden}});
+  }
+  return trace;
+}
+
+std::vector<ShapeSet> FullyDynamicTrace(int64_t n, int64_t hidden) {
+  std::vector<ShapeSet> trace;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t t = 1 + i;  // decode: every step a fresh length
+    trace.push_back({{1, 1, hidden}, {1, t, hidden}, {1, t, hidden}});
+  }
+  return trace;
+}
+
+std::unique_ptr<Engine> MakeSystem(const std::string& name) {
+  if (name == "DISC") {
+    return std::make_unique<DynamicCompilerEngine>(DynamicProfile::Disc());
+  }
+  if (name == "DISC+graph") {
+    DynamicProfile profile = DynamicProfile::Disc();
+    profile.name = "DISC+graph";
+    profile.use_cuda_graph = true;
+    return std::make_unique<DynamicCompilerEngine>(profile);
+  }
+  StaticProfile profile = StaticProfile::Xla();
+  profile.name = "XLA+graph";
+  profile.use_cuda_graph = true;
+  return std::make_unique<StaticCompilerEngine>(profile);
+}
+
+}  // namespace
+}  // namespace disc
+
+int main() {
+  using namespace disc;
+  std::printf("== F7 (extension): launch overhead & CUDA-Graph replay ==\n\n");
+  ModelConfig config;
+  Model model = BuildSeq2SeqStep(config);
+  const DeviceSpec device = DeviceSpec::T4();
+  const int64_t kQueries = 64;
+
+  for (bool repeat_heavy : {true, false}) {
+    auto trace = repeat_heavy ? RepeatHeavyTrace(kQueries, config.hidden)
+                              : FullyDynamicTrace(kQueries, config.hidden);
+    std::printf("-- %s trace (%lld queries) --\n",
+                repeat_heavy ? "repeat-heavy" : "fully dynamic",
+                static_cast<long long>(kQueries));
+    bench::Table table({"system", "mean/query", "p99", "graph replays"});
+    for (const char* name : {"DISC", "DISC+graph", "XLA+graph"}) {
+      auto engine = MakeSystem(name);
+      DISC_CHECK_OK(engine->Prepare(*model.graph, model.input_dim_labels));
+      std::vector<double> latencies;
+      int64_t replays = 0;
+      double prev = -1;
+      for (const ShapeSet& shapes : trace) {
+        auto timing = engine->Query(shapes, device);
+        DISC_CHECK_OK(timing.status());
+        latencies.push_back(timing->total_us);
+        // Heuristic replay counter: identical shape, lower device time.
+        if (timing->compile_us == 0 && prev >= 0 &&
+            timing->device_us < prev - 1.0) {
+          ++replays;
+        }
+        prev = timing->device_us;
+      }
+      table.AddRow({name, bench::FmtUs(bench::Mean(latencies)),
+                    bench::FmtUs(bench::Percentile(latencies, 99)),
+                    std::string(name == std::string("DISC") ? "n/a" : "~") +
+                        (name == std::string("DISC") ? "" :
+                         std::to_string(replays))});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  // Device character: the same launch-bound decode runs on the CPU target
+  // (the paper's system also ships CPU backends) — near-zero dispatch
+  // latency beats the GPU on tiny launch-bound steps.
+  std::printf("-- device comparison on the fully dynamic decode trace --\n");
+  bench::Table dev_table({"device", "mean/query", "launch overhead/call"});
+  for (const DeviceSpec& spec :
+       {DeviceSpec::T4(), DeviceSpec::A10(), DeviceSpec::XeonCpu()}) {
+    auto engine = MakeSystem("DISC");
+    DISC_CHECK_OK(engine->Prepare(*model.graph, model.input_dim_labels));
+    auto trace = FullyDynamicTrace(kQueries, config.hidden);
+    std::vector<double> latencies;
+    for (const ShapeSet& shapes : trace) {
+      auto timing = engine->Query(shapes, spec);
+      DISC_CHECK_OK(timing.status());
+      latencies.push_back(timing->total_us);
+    }
+    dev_table.AddRow({spec.name, bench::FmtUs(bench::Mean(latencies)),
+                      bench::Fmt("%.1fus", spec.kernel_launch_us)});
+  }
+  dev_table.Print();
+  std::printf(
+      "\nReading: graph replay helps only when signatures repeat; on the\n"
+      "decode trace every step is a new shape, so DISC+graph == DISC while\n"
+      "XLA+graph still recompiles per step. The CPU target's near-zero\n"
+      "dispatch latency makes it competitive on tiny launch-bound steps.\n");
+  return 0;
+}

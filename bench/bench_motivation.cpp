@@ -1,0 +1,100 @@
+// Experiment F1 (motivation figure): what dynamism costs an interpreter.
+//
+// A memory-bound transformer glue block (bias + GELU + layernorm + softmax)
+// swept over sequence length, eager vs DISC. Shows the two mechanisms the
+// paper's introduction motivates: per-op kernel launches and intermediate
+// global-memory traffic, both eliminated by fusion.
+//
+// Uses google-benchmark to additionally measure the *real* host-side cost
+// of this repo's dispatch path (shape binding + guard evaluation + launch
+// planning) — the part of the runtime that is not simulated.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+std::unique_ptr<Graph> GlueBlock() {
+  auto g = std::make_unique<Graph>("glue");
+  GraphBuilder b(g.get());
+  Rng rng(3);
+  const int64_t kHidden = 256;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, kHidden});
+  Tensor bias_t(DType::kF32, {kHidden});
+  for (int64_t i = 0; i < kHidden; ++i) bias_t.f32_data()[i] = rng.Normal();
+  Value* bias = b.Constant(bias_t);
+  Value* scale = b.Constant(Tensor::F32({kHidden},
+                                        std::vector<float>(kHidden, 1.0f)));
+  Value* zero = b.Constant(Tensor::F32({kHidden},
+                                       std::vector<float>(kHidden, 0.0f)));
+  Value* h = b.Gelu(b.Add(x, bias));
+  Value* ln = b.LayerNorm(h, scale, zero);
+  b.Output({b.Softmax(ln)});
+  return g;
+}
+
+void PrintSweep() {
+  auto graph = GlueBlock();
+  std::vector<std::vector<std::string>> labels = {{"B", "S", ""}};
+
+  auto eager = MakeBaseline("PyTorch");
+  auto disc_engine = MakeBaseline("DISC");
+  DISC_CHECK_OK(eager.status());
+  DISC_CHECK_OK(disc_engine.status());
+  DISC_CHECK_OK((*eager)->Prepare(*graph, labels));
+  DISC_CHECK_OK((*disc_engine)->Prepare(*graph, labels));
+
+  std::printf("== F1: interpreter vs DISC on a memory-bound glue block ==\n");
+  bench::Table table({"seq", "eager us", "eager launches", "eager MB",
+                      "DISC us", "DISC launches", "DISC MB", "speedup"});
+  DeviceSpec device = DeviceSpec::T4();
+  for (int64_t seq : {32, 64, 128, 256, 512, 1024}) {
+    auto te = (*eager)->Query({{4, seq, 256}}, device);
+    auto td = (*disc_engine)->Query({{4, seq, 256}}, device);
+    DISC_CHECK_OK(te.status());
+    DISC_CHECK_OK(td.status());
+    table.AddRow({std::to_string(seq), bench::Fmt("%.1f", te->total_us),
+                  std::to_string(te->kernel_launches),
+                  bench::Fmt("%.2f", te->bytes_moved / 1e6),
+                  bench::Fmt("%.1f", td->total_us),
+                  std::to_string(td->kernel_launches),
+                  bench::Fmt("%.2f", td->bytes_moved / 1e6),
+                  bench::Fmt("%.2fx", te->total_us / td->total_us)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+// Real wall-clock cost of the runtime's per-query host path.
+void BM_HostDispatchPath(benchmark::State& state) {
+  static auto graph = GlueBlock();
+  static auto engine = [] {
+    auto e = MakeBaseline("DISC");
+    DISC_CHECK_OK(e.status());
+    DISC_CHECK_OK((*e)->Prepare(*graph, {{"B", "S", ""}}));
+    return std::move(*e);
+  }();
+  int64_t seq = state.range(0);
+  double sim_us = 0;
+  for (auto _ : state) {
+    auto timing = engine->Query({{4, seq, 256}}, DeviceSpec::T4());
+    DISC_CHECK_OK(timing.status());
+    sim_us = timing->total_us;
+    benchmark::DoNotOptimize(timing->total_us);
+  }
+  state.counters["sim_us"] = sim_us;
+}
+BENCHMARK(BM_HostDispatchPath)->Arg(32)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  disc::PrintSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

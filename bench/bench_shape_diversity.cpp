@@ -1,0 +1,78 @@
+// Experiment F4: cost vs shape diversity.
+//
+// A BERT trace with N distinct (batch, seq) shapes, N swept 1..256.
+// DISC compiles once; XLA-style compilers compile per exact shape; bucketed
+// engines (TensorRT-style) compile per bucket but pay padding on every
+// query. The crossover the paper describes: static compilation wins at 1-2
+// distinct shapes and loses progressively as diversity grows.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+// N distinct shapes, replayed round-robin for `queries` queries.
+std::vector<ShapeSet> DiverseTrace(int64_t n_distinct, int64_t queries,
+                                   int64_t hidden) {
+  Rng rng(17);
+  std::vector<ShapeSet> distinct;
+  for (int64_t i = 0; i < n_distinct; ++i) {
+    int64_t batch = rng.UniformInt(1, 8);
+    int64_t seq = rng.UniformInt(16, 144);
+    distinct.push_back({{batch, seq, hidden}});
+  }
+  std::vector<ShapeSet> trace;
+  for (int64_t q = 0; q < queries; ++q) {
+    trace.push_back(distinct[q % n_distinct]);
+  }
+  return trace;
+}
+
+}  // namespace
+}  // namespace disc
+
+int main() {
+  using namespace disc;
+  std::printf("== F4: cumulative cost vs number of distinct shapes ==\n");
+  std::printf("(BERT, 512-query trace; includes compile stalls)\n\n");
+
+  ModelConfig config;
+  Model bert = BuildBert(config);
+  const int64_t kQueries = 512;
+  const DeviceSpec device = DeviceSpec::T4();
+
+  bench::Table table({"distinct shapes", "system", "compilations",
+                      "compile stall", "exec total", "grand total",
+                      "mean/query"});
+  for (int64_t n : {1, 2, 8, 32, 128, 256}) {
+    auto trace = DiverseTrace(n, kQueries, config.hidden);
+    for (const char* system : {"DISC", "XLA", "TensorRT"}) {
+      auto engine = MakeBaseline(system);
+      DISC_CHECK_OK(engine.status());
+      DISC_CHECK_OK((*engine)->Prepare(*bert.graph, bert.input_dim_labels));
+      double compile_us = 0;
+      double exec_us = 0;
+      for (const ShapeSet& shapes : trace) {
+        auto timing = (*engine)->Query(shapes, device);
+        DISC_CHECK_OK(timing.status());
+        compile_us += timing->compile_us;
+        exec_us += timing->total_us - timing->compile_us;
+      }
+      double total = compile_us + exec_us;
+      table.AddRow({std::to_string(n), system,
+                    std::to_string((*engine)->stats().compilations),
+                    bench::FmtUs(compile_us), bench::FmtUs(exec_us),
+                    bench::FmtUs(total),
+                    bench::FmtUs(total / static_cast<double>(kQueries))});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: DISC compiles exactly once (AOT); XLA's "
+      "grows\nlinearly with distinct shapes; TensorRT caps compilations via "
+      "bucketing\nbut pays padding on every query.\n");
+  return 0;
+}

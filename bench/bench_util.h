@@ -1,0 +1,106 @@
+// Shared helpers for the experiment harnesses (table printing, trace
+// replay, percentile math). Each bench binary regenerates one table/figure
+// from DESIGN.md §4 and prints it in a paper-style layout.
+#ifndef DISC_BENCH_BENCH_UTIL_H_
+#define DISC_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "models/models.h"
+#include "support/logging.h"
+
+namespace disc {
+namespace bench {
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtUs(double us) {
+  if (us >= 1e6) return Fmt("%.2fs", us / 1e6);
+  if (us >= 1e3) return Fmt("%.2fms", us / 1e3);
+  return Fmt("%.1fus", us);
+}
+
+/// Replays a model's trace on one engine; returns per-query total latency.
+/// `skip_warmup` drops the first `warmup` queries from the returned vector
+/// (but they are still issued — caches warm up).
+inline Result<std::vector<double>> ReplayTrace(Engine* engine,
+                                               const Model& model,
+                                               const DeviceSpec& device,
+                                               size_t warmup = 0) {
+  DISC_RETURN_IF_ERROR(engine->Prepare(*model.graph, model.input_dim_labels));
+  std::vector<double> latencies;
+  for (size_t q = 0; q < model.trace.size(); ++q) {
+    DISC_ASSIGN_OR_RETURN(EngineTiming timing,
+                          engine->Query(model.trace[q], device));
+    if (q >= warmup) latencies.push_back(timing.total_us);
+  }
+  return latencies;
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace bench
+}  // namespace disc
+
+#endif  // DISC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,113 @@
+// Shared driver for the headline end-to-end comparison (experiments T1/T2):
+// the 6-model suite against all 8 systems on one device, reporting
+// per-model mean latency and speedup over PyTorch — the layout of the
+// paper's main table.
+//
+// Two latency views are printed:
+//   * steady-state — caches warm (half the trace replayed first); the view
+//     the paper reports, favourable to the static compilers;
+//   * cold-trace   — every compile stall counted; what a serving system
+//     actually pays on a fresh shape mix.
+#ifndef DISC_BENCH_E2E_COMMON_H_
+#define DISC_BENCH_E2E_COMMON_H_
+
+#include <cmath>
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace disc {
+namespace bench {
+
+inline int RunE2E(const DeviceSpec& device) {
+  ModelConfig config;
+  config.trace_length = 64;
+  std::vector<Model> suite = BuildModelSuite(config);
+  const auto& systems = AllBaselineNames();
+
+  std::printf("== End-to-end inference on %s (experiment %s) ==\n",
+              device.name.c_str(), device.name == "A10" ? "T1" : "T2");
+  std::printf("%zu models x %zu systems, %lld queries per trace\n\n",
+              suite.size(), systems.size(),
+              static_cast<long long>(config.trace_length));
+
+  // model -> system -> mean latency.
+  std::map<std::string, std::map<std::string, double>> steady;
+  std::map<std::string, std::map<std::string, double>> cold;
+
+  for (const Model& model : suite) {
+    for (const std::string& system : systems) {
+      auto engine = MakeBaseline(system);
+      DISC_CHECK_OK(engine.status());
+      // Cold pass: fresh engine, all stalls counted.
+      auto cold_lat = ReplayTrace(engine->get(), model, device);
+      DISC_CHECK_OK(cold_lat.status());
+      cold[model.name][system] = Mean(*cold_lat);
+      // Steady pass: replay again on the now-warm engine.
+      std::vector<double> warm_lat;
+      for (const ShapeSet& shapes : model.trace) {
+        auto timing = (*engine)->Query(shapes, device);
+        DISC_CHECK_OK(timing.status());
+        warm_lat.push_back(timing->total_us);
+      }
+      steady[model.name][system] = Mean(warm_lat);
+    }
+  }
+
+  for (bool is_steady : {true, false}) {
+    const auto& data = is_steady ? steady : cold;
+    std::printf("-- %s latency (mean us) --\n",
+                is_steady ? "steady-state (shape caches warm)"
+                          : "cold trace (compile stalls included)");
+    std::vector<std::string> header = {"model"};
+    for (const auto& s : systems) header.push_back(s);
+    Table lat_table(header);
+    for (const Model& model : suite) {
+      std::vector<std::string> row = {model.name};
+      for (const auto& s : systems) row.push_back(FmtUs(data.at(model.name).at(s)));
+      lat_table.AddRow(std::move(row));
+    }
+    lat_table.Print();
+
+    std::printf("\n-- DISC speedup over each system (%s) --\n",
+                is_steady ? "steady-state" : "cold");
+    Table sp_table(header);
+    std::map<std::string, double> geo_acc;
+    std::map<std::string, double> max_sp;
+    for (const Model& model : suite) {
+      std::vector<std::string> row = {model.name};
+      double disc_lat = data.at(model.name).at("DISC");
+      for (const auto& s : systems) {
+        double speedup = data.at(model.name).at(s) / disc_lat;
+        row.push_back(Fmt("%.2fx", speedup));
+        geo_acc[s] += std::log(speedup);
+        max_sp[s] = std::max(max_sp[s], speedup);
+      }
+      sp_table.AddRow(std::move(row));
+    }
+    std::vector<std::string> geo_row = {"geomean"};
+    std::vector<std::string> max_row = {"max"};
+    for (const auto& s : systems) {
+      geo_row.push_back(
+          Fmt("%.2fx", std::exp(geo_acc[s] / static_cast<double>(suite.size()))));
+      max_row.push_back(Fmt("%.2fx", max_sp[s]));
+    }
+    sp_table.AddRow(std::move(geo_row));
+    sp_table.AddRow(std::move(max_row));
+    sp_table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference (%s, avg speedup vs PyTorch/TorchScript/TVM/ONNXRT/"
+      "XLA/Inductor/TensorRT):\n  %s\n",
+      device.name.c_str(),
+      device.name == "A10"
+          ? "3.54x / 3.12x / 1.95x / 1.47x / 1.24x / 2.93x / 1.46x"
+          : "up to 6.95x / 6.25x / 4.08x / 2.04x / 2.06x / 7.92x / 4.16x");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace disc
+
+#endif  // DISC_BENCH_E2E_COMMON_H_

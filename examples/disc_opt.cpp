@@ -1,0 +1,97 @@
+// disc_opt: a small mlir-opt-style driver over the textual IR.
+//
+// Reads a graph in the printer's format from a file (or stdin with "-"),
+// runs the requested stage, and prints the result:
+//
+//   disc_opt FILE                 # optimize and print the graph
+//   disc_opt FILE --plan          # also print the fusion plan
+//   disc_opt FILE --kernels       # full compile; print kernels + variants
+//   echo "graph g (%0: f32[?]) { ... }" | disc_opt -
+//
+// Dynamic input dims are labelled positionally d0, d1, ... per input so
+// same-labelled dims across inputs stay distinct symbols (use the API for
+// richer labelling).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "compiler/compiler.h"
+#include "fusion/fusion.h"
+#include "ir/parser.h"
+#include "opt/pass.h"
+#include "shape/shape_analysis.h"
+
+using namespace disc;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE|- [--plan] [--kernels]\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  bool want_plan = false;
+  bool want_kernels = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0) want_plan = true;
+    if (std::strcmp(argv[i], "--kernels") == 0) want_kernels = true;
+  }
+
+  auto graph = ParseGraph(text);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  PassManager pm;
+  AddStandardPasses(&pm);
+  PassContext ctx;
+  if (auto s = pm.RunToFixpoint(graph->get(), ctx); !s.ok()) {
+    std::fprintf(stderr, "optimization failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", (*graph)->ToString().c_str());
+
+  if (want_plan || want_kernels) {
+    ShapeAnalysis analysis(graph->get());
+    if (auto s = analysis.Run(); !s.ok()) {
+      std::fprintf(stderr, "shape analysis failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    FusionPlanner planner(graph->get(), &analysis);
+    auto plan = planner.Plan();
+    if (!plan.ok()) {
+      std::fprintf(stderr, "fusion failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n// fusion plan\n%s", plan->ToString().c_str());
+  }
+  if (want_kernels) {
+    auto exe = DiscCompiler::Compile(**graph);
+    if (!exe.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   exe.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n// compiled module\n%s", (*exe)->ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Autoregressive decoding: the KV-cache length grows by one every step, so
+// every step has a brand-new shape — the worst case for compile-per-shape
+// systems and the motivating scenario for dynamic-shape compilation.
+//
+// This example actually decodes (data mode): it runs the compiled
+// executable step by step, appends the new K/V to the cache, and verifies
+// the step outputs stay numerically identical to the reference evaluator.
+//
+//   $ ./build/examples/seq2seq_decode
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "ir/eval.h"
+#include "models/models.h"
+#include "support/rng.h"
+
+using namespace disc;
+
+int main() {
+  ModelConfig config;
+  Model model = BuildSeq2SeqStep(config);
+
+  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+  if (!exe.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 exe.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("decoder step compiled once: %s\n\n",
+              (*exe)->report().ToString().c_str());
+
+  const int64_t kSteps = 10;
+  const int64_t kHidden = config.hidden;
+  Rng rng(99);
+
+  // Grow the KV cache one step at a time.
+  std::vector<float> k_data;
+  std::vector<float> v_data;
+  double total_sim_us = 0;
+  for (int64_t t = 1; t <= kSteps; ++t) {
+    for (int64_t i = 0; i < kHidden; ++i) {
+      k_data.push_back(rng.Normal());
+      v_data.push_back(rng.Normal());
+    }
+    Tensor query(DType::kF32, {1, 1, kHidden});
+    for (int64_t i = 0; i < kHidden; ++i) query.f32_data()[i] = rng.Normal();
+    Tensor k = Tensor::F32({1, t, kHidden}, k_data);
+    Tensor v = Tensor::F32({1, t, kHidden}, v_data);
+
+    auto result = (*exe)->Run({query, k, v});
+    if (!result.ok()) {
+      std::fprintf(stderr, "step %lld failed: %s\n",
+                   static_cast<long long>(t),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    // Cross-check against the reference evaluator.
+    auto want = EvaluateGraph(*model.graph, {query, k, v});
+    bool match = want.ok() &&
+                 Tensor::AllClose(result->outputs[0], (*want)[0], 1e-3, 1e-4);
+    total_sim_us += result->profile.device_time_us;
+    std::printf("step %2lld  kv-len %2lld  sim %6.1fus  launches %lld  %s\n",
+                static_cast<long long>(t), static_cast<long long>(t),
+                result->profile.device_time_us,
+                static_cast<long long>(result->profile.kernel_launches +
+                                       result->profile.library_calls),
+                match ? "numerics OK" : "NUMERICS MISMATCH");
+    if (!match) return 1;
+  }
+  std::printf("\n%lld steps, %lld distinct shapes, 1 compilation, "
+              "%.1fus simulated device time total\n",
+              static_cast<long long>(kSteps), static_cast<long long>(kSteps),
+              total_sim_us);
+  return 0;
+}

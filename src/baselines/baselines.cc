@@ -1,0 +1,45 @@
+#include "baselines/baselines.h"
+
+#include "baselines/dynamic_engine.h"
+#include "baselines/interpreter_engine.h"
+#include "baselines/static_engine.h"
+
+namespace disc {
+
+Result<std::unique_ptr<Engine>> MakeBaseline(const std::string& name) {
+  if (name == "DISC") {
+    return std::unique_ptr<Engine>(
+        new DynamicCompilerEngine(DynamicProfile::Disc()));
+  }
+  if (name == "PyTorch") {
+    return std::unique_ptr<Engine>(
+        new InterpreterEngine(InterpreterProfile::PyTorch()));
+  }
+  if (name == "TorchScript") {
+    return std::unique_ptr<Engine>(
+        new InterpreterEngine(InterpreterProfile::TorchScript()));
+  }
+  if (name == "ONNXRuntime") {
+    return std::unique_ptr<Engine>(
+        new InterpreterEngine(InterpreterProfile::OnnxRuntime()));
+  }
+  if (name == "XLA") {
+    return std::unique_ptr<Engine>(
+        new StaticCompilerEngine(StaticProfile::Xla()));
+  }
+  if (name == "TVM") {
+    return std::unique_ptr<Engine>(
+        new StaticCompilerEngine(StaticProfile::Tvm()));
+  }
+  if (name == "TensorRT") {
+    return std::unique_ptr<Engine>(
+        new StaticCompilerEngine(StaticProfile::TensorRt()));
+  }
+  if (name == "TorchInductor") {
+    return std::unique_ptr<Engine>(
+        new DynamicCompilerEngine(DynamicProfile::TorchInductorDynamic()));
+  }
+  return Status::NotFound("unknown baseline: " + name);
+}
+
+}  // namespace disc

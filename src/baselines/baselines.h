@@ -1,0 +1,27 @@
+// Factory for the 7 baseline systems + DISC, by paper name.
+#ifndef DISC_BASELINES_BASELINES_H_
+#define DISC_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+
+namespace disc {
+
+/// The systems in the paper's headline comparison, in its column order.
+inline const std::vector<std::string>& AllBaselineNames() {
+  static const std::vector<std::string> names = {
+      "DISC",       "PyTorch",       "TorchScript", "TVM",
+      "ONNXRuntime", "XLA",          "TorchInductor", "TensorRT"};
+  return names;
+}
+
+/// \brief Creates an engine by name (see AllBaselineNames). Returns
+/// NotFound for unknown names.
+Result<std::unique_ptr<Engine>> MakeBaseline(const std::string& name);
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_BASELINES_H_

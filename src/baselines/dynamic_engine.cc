@@ -1,0 +1,132 @@
+#include "baselines/dynamic_engine.h"
+
+#include <algorithm>
+
+#include "support/string_util.h"
+
+namespace disc {
+
+DynamicProfile DynamicProfile::Disc() {
+  DynamicProfile profile;
+  profile.name = "DISC";
+  profile.compile_options = CompileOptions::Default();
+  profile.per_query_host_us = 1.0;   // host-side shape program (int math)
+  profile.per_launch_host_us = 0.0;
+  return profile;
+}
+
+DynamicProfile DynamicProfile::DiscWithSpeculation() {
+  DynamicProfile profile = Disc();
+  profile.name = "DISC+spec";
+  profile.feedback_after = 8;
+  return profile;
+}
+
+DynamicProfile DynamicProfile::TorchInductorDynamic() {
+  DynamicProfile profile;
+  profile.name = "TorchInductor";
+  CompileOptions options;
+  options.fusion.enable_stitch = false;  // Triton fusion without stitching
+  options.specialize.enable_specialization = false;  // one kernel per graph
+  profile.compile_options = options;
+  profile.per_query_host_us = 40.0;  // Python guard re-evaluation per call
+  profile.per_launch_host_us = 1.5;  // Python-side launcher per kernel
+  return profile;
+}
+
+Status DynamicCompilerEngine::Prepare(
+    const Graph& graph, std::vector<std::vector<std::string>> labels) {
+  DISC_RETURN_IF_ERROR(PrepareCommon(graph, labels));
+  DISC_ASSIGN_OR_RETURN(
+      executable_,
+      DiscCompiler::Compile(graph, std::move(labels),
+                            profile_.compile_options));
+  ++stats_.compilations;
+  stats_.total_compile_ms += executable_->report().compile_ms;
+  return Status::OK();
+}
+
+Result<EngineTiming> DynamicCompilerEngine::Query(
+    const std::vector<std::vector<int64_t>>& input_dims,
+    const DeviceSpec& device) {
+  if (executable_ == nullptr) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  ++stats_.queries;
+
+  // Shape-speculation feedback: record observed dynamic dims per label and
+  // recompile once with the hot values as hints (modeled as background
+  // compilation — the recompile does not stall this query; our measured
+  // compile times are single-digit ms).
+  if (profile_.feedback_after > 0 && !feedback_applied_) {
+    for (size_t i = 0; i < input_dims.size() && i < labels_.size(); ++i) {
+      for (size_t d = 0; d < input_dims[i].size() && d < labels_[i].size();
+           ++d) {
+        if (!labels_[i][d].empty()) {
+          observed_[labels_[i][d]][input_dims[i][d]] += 1;
+        }
+      }
+    }
+    if (stats_.queries >= profile_.feedback_after) {
+      DISC_RETURN_IF_ERROR(RecompileWithFeedback());
+      feedback_applied_ = true;
+    }
+  }
+
+  RunOptions options;
+  options.device = device;
+  if (profile_.use_cuda_graph) {
+    std::string signature;
+    for (const auto& dims : input_dims) {
+      signature += Join(dims, "x") + ";";
+    }
+    // Replay only an already-captured signature; capture this one for next
+    // time (capture itself runs at normal launch cost).
+    options.batch_launches = !captured_signatures_.insert(signature).second;
+  }
+  DISC_ASSIGN_OR_RETURN(RunResult result,
+                        executable_->RunWithShapes(input_dims, options));
+  EngineTiming timing;
+  timing.device_us = result.profile.device_time_us;
+  timing.kernel_launches =
+      result.profile.kernel_launches + result.profile.library_calls;
+  timing.bytes_moved =
+      result.profile.bytes_read + result.profile.bytes_written;
+  timing.peak_memory_bytes = result.profile.peak_memory_bytes;
+  timing.host_us = profile_.per_query_host_us +
+                   profile_.per_launch_host_us *
+                       static_cast<double>(timing.kernel_launches);
+  timing.total_us = timing.device_us + timing.host_us;
+  return timing;
+}
+
+Status DynamicCompilerEngine::RecompileWithFeedback() {
+  CompileOptions options = profile_.compile_options;
+  for (const auto& [label, counts] : observed_) {
+    // Most frequent values last (AddLikelyValue keeps most-recent last and
+    // speculation takes values from the back).
+    std::vector<std::pair<int64_t, int64_t>> by_count(counts.begin(),
+                                                      counts.end());
+    std::sort(by_count.begin(), by_count.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::vector<int64_t> values;
+    for (const auto& [value, count] : by_count) values.push_back(value);
+    options.likely_dim_values.emplace_back(label, std::move(values));
+  }
+  DISC_ASSIGN_OR_RETURN(executable_,
+                        DiscCompiler::Compile(*graph_, labels_, options));
+  ++stats_.compilations;
+  stats_.total_compile_ms += executable_->report().compile_ms;
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> DynamicCompilerEngine::Execute(
+    const std::vector<Tensor>& inputs) {
+  if (executable_ == nullptr) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  DISC_ASSIGN_OR_RETURN(RunResult result, executable_->Run(inputs));
+  return result.outputs;
+}
+
+}  // namespace disc

@@ -1,0 +1,81 @@
+// Dynamic-shape compiler engines: DISC (the paper's system) and a Torch
+// Inductor (dynamic-shapes mode) archetype.
+//
+// Both compile once ahead of time and serve any shape. They differ in the
+// compiler configuration and the per-query host cost:
+//   * DISC: full pipeline (symbolic fusion incl. kStitch, multi-version
+//     specialization), negligible host cost — launch-dim computation is a
+//     handful of integer expressions.
+//   * Inductor-dynamic: fusion without stitching, single generic variant
+//     per kernel, plus a per-query guard-evaluation overhead (Python-side
+//     guards re-checked on every call) — the overheads the paper measures
+//     on Inductor's dynamic mode.
+#ifndef DISC_BASELINES_DYNAMIC_ENGINE_H_
+#define DISC_BASELINES_DYNAMIC_ENGINE_H_
+
+#include <map>
+#include <set>
+
+#include "baselines/engine.h"
+#include "compiler/compiler.h"
+
+namespace disc {
+
+struct DynamicProfile {
+  std::string name = "DISC";
+  CompileOptions compile_options;
+  /// Host cost per query (guard re-evaluation etc.).
+  double per_query_host_us = 1.0;
+  /// Additional host cost per kernel launch.
+  double per_launch_host_us = 0.0;
+  /// When > 0: after this many queries, feed the observed dim-value
+  /// frequencies back into a background recompilation so hot shapes get
+  /// exact-shape speculative kernels (BladeDISC's shape speculation).
+  int64_t feedback_after = 0;
+  /// CUDA-Graph capture: repeated shape signatures replay a captured graph,
+  /// paying the driver launch latency once per query. Shape-static by
+  /// nature — a fresh signature always takes the normal launch path.
+  bool use_cuda_graph = false;
+
+  static DynamicProfile Disc();
+  /// DISC with runtime shape-speculation feedback enabled.
+  static DynamicProfile DiscWithSpeculation();
+  static DynamicProfile TorchInductorDynamic();
+};
+
+class DynamicCompilerEngine : public Engine {
+ public:
+  explicit DynamicCompilerEngine(DynamicProfile profile)
+      : profile_(std::move(profile)) {}
+
+  const std::string& name() const override { return profile_.name; }
+
+  Status Prepare(const Graph& graph,
+                 std::vector<std::vector<std::string>> labels) override;
+
+  Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>& input_dims,
+                             const DeviceSpec& device) override;
+
+  /// \brief Numeric execution through the compiled executable (not the
+  /// reference evaluator) — exercises the real kernels.
+  Result<std::vector<Tensor>> Execute(
+      const std::vector<Tensor>& inputs) override;
+
+  const Executable* executable() const { return executable_.get(); }
+
+ private:
+  // Aggregates observed dims and recompiles with likely-value hints.
+  Status RecompileWithFeedback();
+
+  DynamicProfile profile_;
+  std::unique_ptr<Executable> executable_;
+  // label -> value -> observation count.
+  std::map<std::string, std::map<int64_t, int64_t>> observed_;
+  bool feedback_applied_ = false;
+  // Shape signatures with a captured CUDA graph.
+  std::set<std::string> captured_signatures_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_DYNAMIC_ENGINE_H_

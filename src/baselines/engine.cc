@@ -1,0 +1,21 @@
+#include "baselines/engine.h"
+
+#include "ir/eval.h"
+
+namespace disc {
+
+Status Engine::PrepareCommon(const Graph& graph,
+                             std::vector<std::vector<std::string>> labels) {
+  graph_ = graph.Clone();
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Result<std::vector<Tensor>> Engine::Execute(const std::vector<Tensor>& inputs) {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition("Engine::Prepare was not called");
+  }
+  return EvaluateGraph(*graph_, inputs);
+}
+
+}  // namespace disc

@@ -1,0 +1,81 @@
+// The common inference-engine interface the evaluation harness drives.
+//
+// Every system in the paper's comparison — BladeDISC itself, PyTorch eager,
+// TorchScript, ONNX Runtime, XLA, TVM, Torch Inductor (dynamic) and
+// TensorRT — is represented by an Engine. The engines are not hard-coded
+// speedup ratios: each one implements its real mechanism (per-op dispatch,
+// partial fusers, per-shape compilation caches, bucket padding, guard
+// re-checks) on top of the shared device model, so who-wins-where emerges
+// from the mechanisms, exactly what the paper's evaluation studies.
+#ifndef DISC_BASELINES_ENGINE_H_
+#define DISC_BASELINES_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/tensor.h"
+#include "sim/device.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// Cost breakdown of answering one inference query.
+struct EngineTiming {
+  double total_us = 0.0;    // what a client would measure
+  double device_us = 0.0;   // simulated GPU time
+  double host_us = 0.0;     // framework dispatch / guard / shape overhead
+  double compile_us = 0.0;  // compilation stall triggered by this query
+  int64_t kernel_launches = 0;
+  int64_t bytes_moved = 0;
+  /// Extra traffic+compute caused by padding to a bucketed shape.
+  int64_t padded_waste_bytes = 0;
+  int64_t peak_memory_bytes = 0;
+};
+
+/// Cumulative engine-lifetime counters.
+struct EngineStats {
+  int64_t queries = 0;
+  int64_t compilations = 0;
+  double total_compile_ms = 0.0;
+  int64_t shape_cache_entries = 0;
+};
+
+/// \brief An inference system under test.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// \brief One-time setup with the model. For AOT systems (DISC) this is
+  /// where compilation happens; JIT systems defer to the first Query.
+  virtual Status Prepare(
+      const Graph& graph,
+      std::vector<std::vector<std::string>> input_dim_labels) = 0;
+
+  /// \brief Timing-only inference for one set of input shapes.
+  virtual Result<EngineTiming> Query(
+      const std::vector<std::vector<int64_t>>& input_dims,
+      const DeviceSpec& device) = 0;
+
+  /// \brief Numeric execution (for correctness tests). All engines compute
+  /// identical math; the default runs the reference evaluator.
+  virtual Result<std::vector<Tensor>> Execute(
+      const std::vector<Tensor>& inputs);
+
+  virtual const EngineStats& stats() const { return stats_; }
+
+ protected:
+  Status PrepareCommon(const Graph& graph,
+                       std::vector<std::vector<std::string>> labels);
+
+  std::unique_ptr<Graph> graph_;
+  std::vector<std::vector<std::string>> labels_;
+  EngineStats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_ENGINE_H_

@@ -1,0 +1,86 @@
+// Interpreter-style engines: PyTorch eager, TorchScript, ONNX Runtime.
+//
+// Mechanisms modelled for real:
+//   * per-op host dispatch cost (the eager tax — dominates small-shape
+//     dynamic workloads),
+//   * full intermediate tensors in global memory between ops,
+//   * TorchScript's pointwise-chain fuser (elementwise-only, no reduce
+//     crossing),
+//   * ONNX Runtime's vendor composite kernels (softmax / layer-norm / GELU
+//     matched structurally and executed as one library-quality kernel).
+// Interpreters handle any dynamic shape natively (their strength); they
+// lose on launches and traffic (their weakness) — both emerge from the
+// shared device model.
+#ifndef DISC_BASELINES_INTERPRETER_ENGINE_H_
+#define DISC_BASELINES_INTERPRETER_ENGINE_H_
+
+#include "baselines/engine.h"
+#include "shape/shape_analysis.h"
+
+namespace disc {
+
+struct InterpreterProfile {
+  std::string name = "PyTorch";
+  /// Host-side cost per dispatched kernel/op (framework overhead).
+  double per_op_host_us = 8.0;
+  /// TorchScript-style pointwise fusion.
+  bool fuse_pointwise_chains = false;
+  /// Single-kernel vendor composites for softmax/layernorm/GELU.
+  bool vendor_composites = false;
+  double gemm_efficiency = 0.85;
+
+  static InterpreterProfile PyTorch();
+  static InterpreterProfile TorchScript();
+  static InterpreterProfile OnnxRuntime();
+};
+
+class InterpreterEngine : public Engine {
+ public:
+  explicit InterpreterEngine(InterpreterProfile profile)
+      : profile_(std::move(profile)) {}
+
+  const std::string& name() const override { return profile_.name; }
+
+  Status Prepare(const Graph& graph,
+                 std::vector<std::vector<std::string>> labels) override;
+
+  Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>& input_dims,
+                             const DeviceSpec& device) override;
+
+  /// Number of device-dispatch units after fusers/composites (test hook).
+  int64_t num_device_units() const;
+
+ private:
+  struct Unit {
+    enum class Kind {
+      kDevice,     // one kernel launch
+      kLibrary,    // vendor GEMM/Conv call
+      kComposite,  // vendor fused composite (softmax/LN/GELU)
+      kHost,       // shape computation, no launch
+      kConstant,   // resident weight
+    };
+    Kind kind;
+    std::vector<const Node*> nodes;  // >=1; >1 only for chains/composites
+    std::vector<const Value*> inputs;
+    std::vector<const Value*> outputs;
+    bool has_reduce = false;
+  };
+
+  void BuildUnits();
+  void ComputeUnitBoundaries(Unit* unit) const;
+
+  InterpreterProfile profile_;
+  std::unique_ptr<ShapeAnalysis> analysis_;
+  std::vector<Unit> units_;
+};
+
+/// \brief Structural matchers for the composite subgraphs emitted by
+/// GraphBuilder::Softmax / LayerNorm / Gelu. Exposed for tests. On a match,
+/// returns the member nodes (root last).
+std::vector<const Node*> MatchSoftmax(const Node* div_root);
+std::vector<const Node*> MatchLayerNorm(const Node* add_root);
+std::vector<const Node*> MatchGelu(const Node* mul_root);
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_INTERPRETER_ENGINE_H_

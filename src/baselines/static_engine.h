@@ -1,0 +1,81 @@
+// Static-shape compiler engines: XLA, TVM, TensorRT archetypes.
+//
+// Mechanisms modelled for real:
+//   * a shape-signature -> executable cache; a miss triggers an actual
+//     compilation (this repo's own compiler, run on a clone whose inputs
+//     are pinned static) and charges the profile's compile-time stall;
+//   * optional bucketed padding (TensorRT optimization-profile style):
+//     dynamic dims round up to the next power of two, queries execute on
+//     the padded shape (wasted flops/bytes are real, computed from the
+//     padded sizes) — fewer compilations, slower queries;
+//   * per-profile kernel quality (a TVM-tuned or TensorRT-selected GEMM
+//     beats a generic one) via the library-efficiency knob.
+// Static compilation maximizes specialization (every dim is a constant, so
+// every guard is provable), which is exactly the advantage the paper says
+// static compilers enjoy at the cost of shape generality.
+#ifndef DISC_BASELINES_STATIC_ENGINE_H_
+#define DISC_BASELINES_STATIC_ENGINE_H_
+
+#include <map>
+
+#include "baselines/engine.h"
+#include "compiler/compiler.h"
+
+namespace disc {
+
+struct StaticProfile {
+  std::string name = "XLA";
+  /// Compile stall = base + per_node * graph-size, charged to the
+  /// cache-missing query.
+  double compile_base_ms = 150.0;
+  double compile_per_node_ms = 2.0;
+  /// Pad dynamic dims up to the next power of two and cache per bucket.
+  bool bucketing = false;
+  /// When > 0, buckets are multiples of this instead of powers of two —
+  /// models systems whose tuned engines exist only on a coarse shape grid
+  /// (each tuned shape is expensive, so there are few of them).
+  int64_t bucket_multiple = 0;
+  double gemm_efficiency = 0.85;
+  /// Compiler configuration of the archetype. None of the static baselines
+  /// has AStitch-style shared-memory stitching, so their per-shape
+  /// executables fuse with kLoop/kInput only — the codegen gap the paper
+  /// keeps even against warm static caches.
+  CompileOptions compile_options;
+  /// Replay cache hits as captured CUDA graphs (one driver launch per
+  /// query). Off by default — matches the evaluated versions of these
+  /// systems; flip on for the launch-overhead ablation.
+  bool use_cuda_graph = false;
+
+  static StaticProfile Xla();
+  static StaticProfile Tvm();
+  static StaticProfile TensorRt();
+};
+
+class StaticCompilerEngine : public Engine {
+ public:
+  explicit StaticCompilerEngine(StaticProfile profile)
+      : profile_(std::move(profile)) {}
+
+  const std::string& name() const override { return profile_.name; }
+
+  Status Prepare(const Graph& graph,
+                 std::vector<std::vector<std::string>> labels) override;
+
+  Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>& input_dims,
+                             const DeviceSpec& device) override;
+
+  /// Test hook: the shape signatures currently cached.
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
+ private:
+  // Rounds each dynamic dim up to its bucket; static dims pass through.
+  std::vector<std::vector<int64_t>> BucketDims(
+      const std::vector<std::vector<int64_t>>& dims) const;
+
+  StaticProfile profile_;
+  std::map<std::string, std::unique_ptr<Executable>> cache_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_STATIC_ENGINE_H_

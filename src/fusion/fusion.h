@@ -1,0 +1,143 @@
+// Dynamic-shape operator fusion.
+//
+// The planner never sees a concrete dimension; every legality and
+// profitability decision is made through SymbolicDimManager queries
+// (IsShapeEqual / IsSameNumElements / IsDimEqual / UpperBound) — the paper's
+// central claim that fusion needs shape *relationships*, not shape *values*.
+//
+// Three fusion kinds, mirroring the paper (and XLA/AStitch terminology):
+//   * kLoop   — a single parallel loop over the root output; members are
+//               elementwise/injective/creation ops (multi-output allowed
+//               when the extra outputs are shape-equal to the root).
+//   * kInput  — a reduce-rooted kernel: the reduction plus its fused
+//               producer expressions ("input fusion" in XLA terms).
+//   * kStitch — several row-synchronized sub-kernels stitched through
+//               on-chip (shared) memory: e.g. softmax's
+//               reduce→sub→exp→reduce→div in ONE kernel. Legal when all
+//               reductions cover the same trailing row dims and every
+//               intermediate is row- or full-shaped.
+#ifndef DISC_FUSION_FUSION_H_
+#define DISC_FUSION_FUSION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.h"
+#include "shape/shape_analysis.h"
+
+namespace disc {
+
+enum class FusionKind : uint8_t {
+  kLoop,
+  kInput,
+  kStitch,
+};
+
+const char* FusionKindName(FusionKind kind);
+
+/// One fused kernel-to-be.
+struct FusionGroup {
+  int id = -1;
+  FusionKind kind = FusionKind::kLoop;
+  /// Members in topological order.
+  std::vector<Node*> nodes;
+  /// The node defining the primary output (drives the iteration space).
+  Node* root = nullptr;
+  /// Values read from outside the group (kernel parameters).
+  std::vector<Value*> inputs;
+  /// Values produced in the group and visible outside (kernel results).
+  std::vector<Value*> outputs;
+
+  int64_t size() const { return static_cast<int64_t>(nodes.size()); }
+  bool Contains(const Node* node) const;
+  std::string ToString() const;
+};
+
+/// Result of planning: a partition of the graph's fusable compute nodes.
+/// Library ops (matmul/conv), constants and host shape ops are NOT in any
+/// group — they are handled per-node by the compiler.
+struct FusionPlan {
+  std::vector<FusionGroup> groups;
+  std::unordered_map<const Node*, int> group_of;  // node -> group id
+
+  struct Stats {
+    int64_t num_groups = 0;
+    int64_t num_fused_nodes = 0;     // nodes in groups of size >= 2
+    int64_t num_singleton_groups = 0;
+    int64_t num_loop_groups = 0;
+    int64_t num_input_groups = 0;
+    int64_t num_stitch_groups = 0;
+    /// Internal edges removed from memory traffic (count of intermediate
+    /// tensors that no longer hit global memory).
+    int64_t num_internalized_values = 0;
+  };
+  Stats GetStats() const;
+  std::string ToString() const;
+};
+
+struct FusionOptions {
+  /// Master switch; false = every fusable node is its own kernel.
+  bool enable_fusion = true;
+  /// Allow reduce-rooted (kInput) fusion.
+  bool enable_input_fusion = true;
+  /// Allow shared-memory stitching across reduce boundaries.
+  bool enable_stitch = true;
+  /// Use symbolic shape relations for legality. When false the planner only
+  /// fuses edges whose shapes are *statically* known equal — modelling how a
+  /// shape-value-based compiler degrades on dynamic graphs (ablation F2).
+  bool use_symbolic_shapes = true;
+  /// Upper bound on nodes per group.
+  int64_t max_group_size = 64;
+  /// Shared-memory budget per stitch kernel (bytes); rows whose proven
+  /// upper bound exceeds this are not stitched.
+  int64_t stitch_shared_memory_bytes = 48 * 1024;
+};
+
+/// \brief Plans fusion groups for a graph. `analysis` must have Run().
+class FusionPlanner {
+ public:
+  FusionPlanner(const Graph* graph, ShapeAnalysis* analysis,
+                FusionOptions options = {});
+
+  Result<FusionPlan> Plan();
+
+ private:
+  // True for nodes that can live inside a loop nest.
+  bool IsFusableCompute(const Node* node) const;
+  bool IsReduce(const Node* node) const { return IsReduction(node->kind()); }
+
+  // Legality of fusing across the producer->consumer edge, by shape
+  // relations (or static equality when use_symbolic_shapes is off).
+  bool ShapesAllowLoopFusion(const Value* producer_out,
+                             const Node* consumer) const;
+  bool ShapeEqual(const Value* a, const Value* b) const;
+
+  // Group bookkeeping over a mutable union-find.
+  int GroupOf(const Node* node);
+  bool TryMergeGroups(int ga, int gb);
+  bool MergeWouldCreateCycle(int ga, int gb);
+
+  // Phases.
+  void RunLoopFusion();
+  void RunInputFusion();
+  void RunStitchFusion();
+  bool StitchCompatible(int ga, int gb);
+
+  Result<FusionPlan> Finalize();
+
+  const Graph* graph_;
+  ShapeAnalysis* analysis_;
+  FusionOptions options_;
+
+  std::vector<Node*> topo_;
+  std::unordered_map<const Node*, int> node_index_;
+  // Union-find over node indices.
+  std::vector<int> parent_;
+  int Find(int x);
+  std::vector<std::vector<Node*>> members_;  // root index -> nodes
+};
+
+}  // namespace disc
+
+#endif  // DISC_FUSION_FUSION_H_

@@ -1,0 +1,46 @@
+#include "ir/attribute.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace disc {
+
+std::string Attribute::ToString() const {
+  std::ostringstream out;
+  if (IsInt()) {
+    out << AsInt();
+  } else if (IsFloat()) {
+    out << AsFloat();
+  } else if (IsString()) {
+    out << '"' << AsString() << '"';
+  } else if (IsIntList()) {
+    out << "[" << Join(AsIntList(), ", ") << "]";
+  } else if (IsDType()) {
+    out << DTypeName(AsDType());
+  } else if (IsTensor()) {
+    out << AsTensor().ToString(64);
+  }
+  return out.str();
+}
+
+bool Attribute::operator==(const Attribute& other) const {
+  if (value_.index() != other.value_.index()) return false;
+  if (IsInt()) return AsInt() == other.AsInt();
+  if (IsFloat()) return AsFloat() == other.AsFloat();
+  if (IsString()) return AsString() == other.AsString();
+  if (IsIntList()) return AsIntList() == other.AsIntList();
+  if (IsDType()) return AsDType() == other.AsDType();
+  if (IsTensor()) {
+    const Tensor& a = AsTensor();
+    const Tensor& b = other.AsTensor();
+    if (a.dtype() != b.dtype() || a.dims() != b.dims()) return false;
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      if (a.ElementAsDouble(i) != b.ElementAsDouble(i)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace disc

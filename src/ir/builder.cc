@@ -1,0 +1,69 @@
+#include "ir/builder.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace disc {
+
+Value* GraphBuilder::Create(OpKind kind, std::vector<Value*> operands,
+                            AttrMap attrs) {
+  std::vector<TensorType> operand_types;
+  std::vector<const Tensor*> operand_constants;
+  operand_types.reserve(operands.size());
+  operand_constants.reserve(operands.size());
+  for (Value* operand : operands) {
+    operand_types.push_back(operand->type());
+    const Tensor* constant = nullptr;
+    if (Node* producer = operand->producer();
+        producer != nullptr && producer->kind() == OpKind::kConstant) {
+      constant = &producer->GetTensorAttr("value");
+    }
+    operand_constants.push_back(constant);
+  }
+  auto inferred = InferOutputTypes(kind, operand_types, attrs,
+                                   operand_constants);
+  DISC_CHECK(inferred.ok()) << "type inference failed for " << OpName(kind)
+                            << ": " << inferred.status().ToString();
+  Node* node = graph_->CreateNode(kind, std::move(operands), std::move(attrs),
+                                  std::move(inferred).value());
+  return node->output(0);
+}
+
+Value* GraphBuilder::Constant(Tensor value) {
+  return Create(OpKind::kConstant, {}, {{"value", std::move(value)}});
+}
+
+Value* GraphBuilder::Softmax(Value* x) {
+  int64_t last = x->rank() - 1;
+  DISC_CHECK_GE(last, 0);
+  Value* max = ReduceMax(x, {last}, /*keep=*/true);
+  Value* shifted = Sub(x, max);
+  Value* exp = Exp(shifted);
+  Value* sum = ReduceSum(exp, {last}, /*keep=*/true);
+  return Div(exp, sum);
+}
+
+Value* GraphBuilder::LayerNorm(Value* x, Value* scale, Value* bias,
+                               float epsilon) {
+  int64_t last = x->rank() - 1;
+  DISC_CHECK_GE(last, 0);
+  Value* mean = ReduceMean(x, {last}, /*keep=*/true);
+  Value* centered = Sub(x, mean);
+  Value* var = ReduceMean(Mul(centered, centered), {last}, /*keep=*/true);
+  Value* inv_std = Rsqrt(Add(var, ScalarF32(epsilon)));
+  Value* normalized = Mul(centered, inv_std);
+  return Add(Mul(normalized, scale), bias);
+}
+
+Value* GraphBuilder::Gelu(Value* x) {
+  // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+  const float kSqrt2OverPi = 0.7978845608028654f;
+  Value* x3 = Mul(Mul(x, x), x);
+  Value* inner =
+      Mul(ScalarF32(kSqrt2OverPi), Add(x, Mul(ScalarF32(0.044715f), x3)));
+  Value* t = Tanh(inner);
+  return Mul(Mul(ScalarF32(0.5f), x), Add(ScalarF32(1.0f), t));
+}
+
+}  // namespace disc

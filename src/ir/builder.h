@@ -1,0 +1,171 @@
+// Convenience API for constructing graphs with automatic type inference.
+#ifndef DISC_IR_BUILDER_H_
+#define DISC_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/type_inference.h"
+
+namespace disc {
+
+/// \brief Builds nodes into a Graph, inferring output types eagerly.
+///
+/// Inference failures are programming errors in model-building code, so the
+/// builder aborts on them (DISC_CHECK) rather than returning Status — this
+/// keeps model definitions readable. Use Graph::CreateNode +
+/// InferOutputTypes directly if you need recoverable errors.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Graph* graph) : graph_(graph) {}
+
+  Graph* graph() const { return graph_; }
+
+  /// \brief Declares a graph input.
+  Value* Input(const std::string& name, DType dtype,
+               std::vector<int64_t> dims) {
+    return graph_->AddInput(name, TensorType(dtype, std::move(dims)));
+  }
+
+  /// \brief Generic node creation with inference.
+  Value* Create(OpKind kind, std::vector<Value*> operands, AttrMap attrs = {});
+
+  // --- creation ---------------------------------------------------------
+  Value* Constant(Tensor value);
+  Value* ScalarF32(float v) { return Constant(Tensor::ScalarF32(v)); }
+  Value* ScalarI64(int64_t v) { return Constant(Tensor::ScalarI64(v)); }
+
+  // --- elementwise -------------------------------------------------------
+  Value* Unary(OpKind kind, Value* x) { return Create(kind, {x}); }
+  Value* Abs(Value* x) { return Unary(OpKind::kAbs, x); }
+  Value* Neg(Value* x) { return Unary(OpKind::kNeg, x); }
+  Value* Exp(Value* x) { return Unary(OpKind::kExp, x); }
+  Value* Log(Value* x) { return Unary(OpKind::kLog, x); }
+  Value* Sqrt(Value* x) { return Unary(OpKind::kSqrt, x); }
+  Value* Rsqrt(Value* x) { return Unary(OpKind::kRsqrt, x); }
+  Value* Tanh(Value* x) { return Unary(OpKind::kTanh, x); }
+  Value* Erf(Value* x) { return Unary(OpKind::kErf, x); }
+  Value* Sigmoid(Value* x) { return Unary(OpKind::kSigmoid, x); }
+  Value* Relu(Value* x) { return Unary(OpKind::kRelu, x); }
+  Value* Reciprocal(Value* x) { return Unary(OpKind::kReciprocal, x); }
+  Value* Cast(Value* x, DType to) {
+    return Create(OpKind::kCast, {x}, {{"to", to}});
+  }
+
+  Value* Binary(OpKind kind, Value* a, Value* b) { return Create(kind, {a, b}); }
+  Value* Add(Value* a, Value* b) { return Binary(OpKind::kAdd, a, b); }
+  Value* Sub(Value* a, Value* b) { return Binary(OpKind::kSub, a, b); }
+  Value* Mul(Value* a, Value* b) { return Binary(OpKind::kMul, a, b); }
+  Value* Div(Value* a, Value* b) { return Binary(OpKind::kDiv, a, b); }
+  Value* Pow(Value* a, Value* b) { return Binary(OpKind::kPow, a, b); }
+  Value* Maximum(Value* a, Value* b) { return Binary(OpKind::kMaximum, a, b); }
+  Value* Minimum(Value* a, Value* b) { return Binary(OpKind::kMinimum, a, b); }
+  Value* Less(Value* a, Value* b) { return Binary(OpKind::kLess, a, b); }
+  Value* Greater(Value* a, Value* b) { return Binary(OpKind::kGreater, a, b); }
+  Value* Equal(Value* a, Value* b) { return Binary(OpKind::kEqual, a, b); }
+  Value* Select(Value* pred, Value* t, Value* f) {
+    return Create(OpKind::kSelect, {pred, t, f});
+  }
+
+  // --- reductions --------------------------------------------------------
+  Value* Reduce(OpKind kind, Value* x, std::vector<int64_t> dims,
+                bool keep_dims = false) {
+    return Create(kind, {x},
+                  {{"dims", std::move(dims)},
+                   {"keep_dims", static_cast<int64_t>(keep_dims)}});
+  }
+  Value* ReduceSum(Value* x, std::vector<int64_t> dims, bool keep = false) {
+    return Reduce(OpKind::kReduceSum, x, std::move(dims), keep);
+  }
+  Value* ReduceMax(Value* x, std::vector<int64_t> dims, bool keep = false) {
+    return Reduce(OpKind::kReduceMax, x, std::move(dims), keep);
+  }
+  Value* ReduceMean(Value* x, std::vector<int64_t> dims, bool keep = false) {
+    return Reduce(OpKind::kReduceMean, x, std::move(dims), keep);
+  }
+
+  // --- library ops -------------------------------------------------------
+  Value* MatMul(Value* a, Value* b, bool transpose_a = false,
+                bool transpose_b = false) {
+    return Create(OpKind::kMatMul, {a, b},
+                  {{"transpose_a", static_cast<int64_t>(transpose_a)},
+                   {"transpose_b", static_cast<int64_t>(transpose_b)}});
+  }
+  Value* Conv2D(Value* input, Value* filter, std::vector<int64_t> strides,
+                std::vector<int64_t> padding) {
+    return Create(OpKind::kConv2D, {input, filter},
+                  {{"strides", std::move(strides)},
+                   {"padding", std::move(padding)}});
+  }
+
+  // --- data movement -----------------------------------------------------
+  Value* Transpose(Value* x, std::vector<int64_t> perm) {
+    return Create(OpKind::kTranspose, {x}, {{"perm", std::move(perm)}});
+  }
+  /// \brief Static reshape (one -1 wildcard allowed).
+  Value* Reshape(Value* x, std::vector<int64_t> new_shape) {
+    return Create(OpKind::kReshape, {x}, {{"new_shape", std::move(new_shape)}});
+  }
+  /// \brief Dynamic reshape: target shape is a runtime 1-D i64 tensor.
+  Value* ReshapeDynamic(Value* x, Value* shape) {
+    return Create(OpKind::kReshape, {x, shape});
+  }
+  Value* BroadcastTo(Value* x, std::vector<int64_t> new_shape) {
+    return Create(OpKind::kBroadcastTo, {x},
+                  {{"new_shape", std::move(new_shape)}});
+  }
+  Value* BroadcastToDynamic(Value* x, Value* shape) {
+    return Create(OpKind::kBroadcastTo, {x, shape});
+  }
+  Value* Concat(std::vector<Value*> parts, int64_t axis) {
+    return Create(OpKind::kConcat, std::move(parts), {{"axis", axis}});
+  }
+  Value* Slice(Value* x, std::vector<int64_t> starts, std::vector<int64_t> ends,
+               std::vector<int64_t> steps) {
+    return Create(OpKind::kSlice, {x},
+                  {{"starts", std::move(starts)},
+                   {"ends", std::move(ends)},
+                   {"steps", std::move(steps)}});
+  }
+  Value* Gather(Value* data, Value* indices, int64_t axis = 0) {
+    return Create(OpKind::kGather, {data, indices}, {{"axis", axis}});
+  }
+  Value* Pad(Value* x, std::vector<int64_t> low, std::vector<int64_t> high,
+             double value = 0.0) {
+    return Create(OpKind::kPad, {x},
+                  {{"pads_low", std::move(low)},
+                   {"pads_high", std::move(high)},
+                   {"pad_value", value}});
+  }
+
+  // --- shape computation ---------------------------------------------------
+  Value* ShapeOf(Value* x) { return Create(OpKind::kShapeOf, {x}); }
+  Value* Dim(Value* x, int64_t index) {
+    return Create(OpKind::kDim, {x}, {{"index", index}});
+  }
+  Value* Iota(std::vector<int64_t> dims, int64_t axis,
+              DType dtype = DType::kI64) {
+    return Create(OpKind::kIota, {},
+                  {{"dims", std::move(dims)}, {"axis", axis}, {"dtype", dtype}});
+  }
+
+  // --- composite helpers (emit primitive subgraphs) -----------------------
+  /// \brief softmax over the last axis, numerically stabilized.
+  Value* Softmax(Value* x);
+  /// \brief layer norm over the last axis with learned scale/bias.
+  Value* LayerNorm(Value* x, Value* scale, Value* bias, float epsilon = 1e-5f);
+  /// \brief tanh-approximated GELU.
+  Value* Gelu(Value* x);
+
+  void Output(std::vector<Value*> outputs) {
+    graph_->SetOutputs(std::move(outputs));
+  }
+
+ private:
+  Graph* graph_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_IR_BUILDER_H_

@@ -1,0 +1,17 @@
+#include "ir/dtype.h"
+
+namespace disc {
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kI64:
+      return "i64";
+    case DType::kI1:
+      return "i1";
+  }
+  return "invalid";
+}
+
+}  // namespace disc

@@ -1,0 +1,41 @@
+// Reference evaluator: executes single ops / whole graphs on concrete
+// tensors, one op at a time.
+//
+// This is the semantic ground truth of the repo. It is used by
+//   * constant folding (disc::opt),
+//   * the eager-interpreter baselines (PyTorch-style engines), and
+//   * every correctness test that compares compiled kernels against a
+//     reference.
+// It favours clarity over speed.
+#ifndef DISC_IR_EVAL_H_
+#define DISC_IR_EVAL_H_
+
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/tensor.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// \brief Evaluates one node given concrete operand tensors.
+Result<std::vector<Tensor>> EvaluateNode(const Node& node,
+                                         const std::vector<Tensor>& inputs);
+
+/// \brief Evaluates the whole graph; `inputs` parallel to graph.inputs().
+/// Input dims must be consistent with the declared (possibly dynamic)
+/// types. Returns tensors parallel to graph.outputs().
+Result<std::vector<Tensor>> EvaluateGraph(const Graph& graph,
+                                          const std::vector<Tensor>& inputs);
+
+/// \brief Scalar semantics of a unary elementwise op (dtype-aware via
+/// double carrier; exact for the integral range used in shapes).
+double ApplyUnaryScalar(OpKind kind, double x);
+
+/// \brief Scalar semantics of a binary elementwise op. Integral ops
+/// (div/mod on i64) truncate like C++.
+double ApplyBinaryScalar(OpKind kind, double a, double b, DType dtype);
+
+}  // namespace disc
+
+#endif  // DISC_IR_EVAL_H_

@@ -1,0 +1,207 @@
+// Graph IR: a DAG of operator nodes over multi-dimensional tensor values.
+//
+// Dimensions may be unknown at compile time: `TensorType` stores -1 for a
+// dynamic dimension. The richer symbolic relationships between dynamic
+// dimensions (the paper's core abstraction) live in `disc::shape` and are
+// attached to a Graph externally via ShapeAnalysis.
+#ifndef DISC_IR_GRAPH_H_
+#define DISC_IR_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/attribute.h"
+#include "ir/dtype.h"
+#include "ir/op_kind.h"
+#include "support/status.h"
+
+namespace disc {
+
+class Node;
+class Graph;
+
+/// Sentinel for a dynamic (unknown at compile time) dimension.
+inline constexpr int64_t kDynamicDim = -1;
+
+/// \brief Compile-time type of a tensor value: dtype + dims (-1 = dynamic).
+struct TensorType {
+  DType dtype = DType::kF32;
+  std::vector<int64_t> dims;
+
+  TensorType() = default;
+  TensorType(DType d, std::vector<int64_t> dm)
+      : dtype(d), dims(std::move(dm)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims.size()); }
+  bool IsStaticDim(int64_t i) const { return dims[i] != kDynamicDim; }
+  /// \brief True when every dimension is known.
+  bool IsFullyStatic() const;
+  /// \brief Number of elements; requires IsFullyStatic().
+  int64_t NumElements() const;
+  /// \brief e.g. "f32[?x128]".
+  std::string ToString() const;
+
+  bool operator==(const TensorType& other) const {
+    return dtype == other.dtype && dims == other.dims;
+  }
+};
+
+/// \brief An SSA value: a graph input or one output of a Node.
+class Value {
+ public:
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const TensorType& type() const { return type_; }
+  DType dtype() const { return type_.dtype; }
+  int64_t rank() const { return type_.rank(); }
+
+  /// \brief Producing node, or nullptr for graph inputs.
+  Node* producer() const { return producer_; }
+  /// \brief Which output of the producer this value is.
+  int producer_index() const { return producer_index_; }
+  bool IsGraphInput() const { return producer_ == nullptr; }
+
+  /// \brief Nodes consuming this value (duplicates if used twice by a node).
+  const std::vector<Node*>& users() const { return users_; }
+
+  Graph* graph() const { return graph_; }
+
+ private:
+  friend class Graph;
+  int id_ = -1;
+  std::string name_;
+  TensorType type_;
+  Node* producer_ = nullptr;
+  int producer_index_ = 0;
+  std::vector<Node*> users_;
+  Graph* graph_ = nullptr;
+};
+
+/// \brief An operator application.
+class Node {
+ public:
+  int id() const { return id_; }
+  OpKind kind() const { return kind_; }
+  const std::vector<Value*>& operands() const { return operands_; }
+  Value* operand(int i) const { return operands_.at(i); }
+  int num_operands() const { return static_cast<int>(operands_.size()); }
+  const std::vector<Value*>& outputs() const { return outputs_; }
+  Value* output(int i = 0) const { return outputs_.at(i); }
+
+  const AttrMap& attrs() const { return attrs_; }
+  bool HasAttr(const std::string& key) const { return attrs_.count(key) > 0; }
+  /// \brief Integer attribute or `fallback` when absent.
+  int64_t GetIntAttr(const std::string& key, int64_t fallback = 0) const;
+  double GetFloatAttr(const std::string& key, double fallback = 0.0) const;
+  const std::vector<int64_t>& GetIntListAttr(const std::string& key) const;
+  DType GetDTypeAttr(const std::string& key) const;
+  const Tensor& GetTensorAttr(const std::string& key) const;
+  void SetAttr(const std::string& key, Attribute value) {
+    attrs_[key] = std::move(value);
+  }
+
+  OpClass op_class() const { return GetOpInfo(kind_).op_class; }
+
+  /// \brief One-line rendering, e.g. "%5 = add(%1, %2) : f32[?x4]".
+  std::string ToString() const;
+
+ private:
+  friend class Graph;
+  int id_ = -1;
+  OpKind kind_ = OpKind::kNumOps;
+  std::vector<Value*> operands_;
+  AttrMap attrs_;
+  std::vector<Value*> outputs_;
+};
+
+/// \brief A computation graph: owns nodes and values; tracks inputs/outputs
+/// and maintains def-use chains under mutation.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// \brief Declares a graph input value.
+  Value* AddInput(const std::string& name, TensorType type);
+
+  /// \brief Appends a node; output types must be supplied (use GraphBuilder
+  /// for automatic inference). Returns the node.
+  Node* CreateNode(OpKind kind, std::vector<Value*> operands, AttrMap attrs,
+                   std::vector<TensorType> output_types);
+
+  /// \brief Marks graph outputs (replaces previous set).
+  void SetOutputs(std::vector<Value*> outputs);
+
+  const std::vector<Value*>& inputs() const { return inputs_; }
+  const std::vector<Value*>& outputs() const { return outputs_; }
+  /// \brief Nodes in creation order (a valid topological order as long as
+  /// only CreateNode/ReplaceAllUsesWith/EraseNode are used).
+  std::vector<Node*> nodes() const;
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  /// \brief Redirects every use of `from` (including graph outputs) to `to`.
+  void ReplaceAllUsesWith(Value* from, Value* to);
+
+  /// \brief Swaps operand `index` of `node` to `value`, updating use lists.
+  void SetOperand(Node* node, int index, Value* value);
+
+  /// \brief Removes a node whose outputs have no users and are not graph
+  /// outputs. Returns InvalidArgument otherwise.
+  Status EraseNode(Node* node);
+
+  /// \brief Erases all nodes not reachable from the outputs. Returns the
+  /// number of nodes removed.
+  int64_t RemoveDeadNodes();
+
+  /// \brief Nodes in dependency order (operands before users).
+  std::vector<Node*> TopologicalOrder() const;
+
+  /// \brief Deep copy. `value_map`, if non-null, receives old->new value
+  /// pointers.
+  std::unique_ptr<Graph> Clone(
+      std::unordered_map<const Value*, Value*>* value_map = nullptr) const;
+
+  /// \brief Structural well-formedness check (operand counts, dtypes of
+  /// shape operands, attr presence, acyclicity). Stored output types may be
+  /// less precise than inferable (a dynamic dim where inference proves a
+  /// static one) — use RefineStaticTypes() to tighten them.
+  Status Verify() const;
+
+  /// \brief Re-runs static inference over every node and tightens output
+  /// dims that are stored as dynamic but inferable as static (e.g. after a
+  /// rewrite replaced an operand with a more precisely typed value).
+  /// Returns the number of dims tightened.
+  int64_t RefineStaticTypes();
+
+  /// \brief Pins every graph input to the given static dims (used by the
+  /// static-shape baseline compilers, which clone + specialize per shape)
+  /// and propagates via RefineStaticTypes(). Dims must be consistent with
+  /// the declared types.
+  Status SpecializeInputs(const std::vector<std::vector<int64_t>>& dims);
+
+  /// \brief Multi-line textual form of the whole graph.
+  std::string ToString() const;
+
+ private:
+  Value* NewValue(const std::string& name, TensorType type);
+
+  std::string name_;
+  std::vector<std::unique_ptr<Value>> values_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Value*> inputs_;
+  std::vector<Value*> outputs_;
+  int next_value_id_ = 0;
+  int next_node_id_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_IR_GRAPH_H_

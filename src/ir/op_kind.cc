@@ -1,0 +1,140 @@
+#include "ir/op_kind.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace disc {
+
+namespace {
+
+constexpr int kN = static_cast<int>(OpKind::kNumOps);
+
+const std::array<OpInfo, kN>& InfoTable() {
+  static const std::array<OpInfo, kN> table = [] {
+    std::array<OpInfo, kN> t{};
+    auto set = [&t](OpKind k, const char* name, int min_ops, int max_ops,
+                    OpClass c) {
+      t[static_cast<int>(k)] = OpInfo{name, min_ops, max_ops, c};
+    };
+    set(OpKind::kConstant, "constant", 0, 0, OpClass::kCreation);
+    set(OpKind::kIota, "iota", 0, 1, OpClass::kCreation);
+
+    set(OpKind::kAbs, "abs", 1, 1, OpClass::kElementwise);
+    set(OpKind::kNeg, "neg", 1, 1, OpClass::kElementwise);
+    set(OpKind::kExp, "exp", 1, 1, OpClass::kElementwise);
+    set(OpKind::kLog, "log", 1, 1, OpClass::kElementwise);
+    set(OpKind::kSqrt, "sqrt", 1, 1, OpClass::kElementwise);
+    set(OpKind::kRsqrt, "rsqrt", 1, 1, OpClass::kElementwise);
+    set(OpKind::kTanh, "tanh", 1, 1, OpClass::kElementwise);
+    set(OpKind::kErf, "erf", 1, 1, OpClass::kElementwise);
+    set(OpKind::kSigmoid, "sigmoid", 1, 1, OpClass::kElementwise);
+    set(OpKind::kRelu, "relu", 1, 1, OpClass::kElementwise);
+    set(OpKind::kFloor, "floor", 1, 1, OpClass::kElementwise);
+    set(OpKind::kCeil, "ceil", 1, 1, OpClass::kElementwise);
+    set(OpKind::kSign, "sign", 1, 1, OpClass::kElementwise);
+    set(OpKind::kReciprocal, "reciprocal", 1, 1, OpClass::kElementwise);
+    set(OpKind::kLogicalNot, "logical_not", 1, 1, OpClass::kElementwise);
+    set(OpKind::kCast, "cast", 1, 1, OpClass::kElementwise);
+
+    set(OpKind::kAdd, "add", 2, 2, OpClass::kElementwise);
+    set(OpKind::kSub, "sub", 2, 2, OpClass::kElementwise);
+    set(OpKind::kMul, "mul", 2, 2, OpClass::kElementwise);
+    set(OpKind::kDiv, "div", 2, 2, OpClass::kElementwise);
+    set(OpKind::kPow, "pow", 2, 2, OpClass::kElementwise);
+    set(OpKind::kMaximum, "maximum", 2, 2, OpClass::kElementwise);
+    set(OpKind::kMinimum, "minimum", 2, 2, OpClass::kElementwise);
+    set(OpKind::kMod, "mod", 2, 2, OpClass::kElementwise);
+    set(OpKind::kLess, "less", 2, 2, OpClass::kElementwise);
+    set(OpKind::kLessEqual, "less_equal", 2, 2, OpClass::kElementwise);
+    set(OpKind::kGreater, "greater", 2, 2, OpClass::kElementwise);
+    set(OpKind::kGreaterEqual, "greater_equal", 2, 2, OpClass::kElementwise);
+    set(OpKind::kEqual, "equal", 2, 2, OpClass::kElementwise);
+    set(OpKind::kNotEqual, "not_equal", 2, 2, OpClass::kElementwise);
+    set(OpKind::kAnd, "and", 2, 2, OpClass::kElementwise);
+    set(OpKind::kOr, "or", 2, 2, OpClass::kElementwise);
+
+    set(OpKind::kSelect, "select", 3, 3, OpClass::kElementwise);
+
+    set(OpKind::kReduceSum, "reduce_sum", 1, 1, OpClass::kReduction);
+    set(OpKind::kReduceMax, "reduce_max", 1, 1, OpClass::kReduction);
+    set(OpKind::kReduceMin, "reduce_min", 1, 1, OpClass::kReduction);
+    set(OpKind::kReduceMean, "reduce_mean", 1, 1, OpClass::kReduction);
+
+    set(OpKind::kMatMul, "matmul", 2, 2, OpClass::kLibrary);
+    set(OpKind::kConv2D, "conv2d", 2, 2, OpClass::kLibrary);
+
+    set(OpKind::kTranspose, "transpose", 1, 1, OpClass::kInjective);
+    set(OpKind::kReshape, "reshape", 1, 2, OpClass::kInjective);
+    set(OpKind::kBroadcastTo, "broadcast_to", 1, 2, OpClass::kInjective);
+    set(OpKind::kConcat, "concat", 1, -1, OpClass::kInjective);
+    set(OpKind::kSlice, "slice", 1, 1, OpClass::kInjective);
+    set(OpKind::kGather, "gather", 2, 2, OpClass::kInjective);
+    set(OpKind::kPad, "pad", 1, 1, OpClass::kInjective);
+
+    set(OpKind::kShapeOf, "shape_of", 1, 1, OpClass::kShape);
+    set(OpKind::kDim, "dim", 1, 1, OpClass::kShape);
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const OpInfo& GetOpInfo(OpKind kind) {
+  int idx = static_cast<int>(kind);
+  DISC_CHECK_GE(idx, 0);
+  DISC_CHECK_LT(idx, kN);
+  const OpInfo& info = InfoTable()[idx];
+  DISC_CHECK(info.name != nullptr) << "op kind " << idx << " not registered";
+  return info;
+}
+
+OpKind OpKindFromName(const std::string& name) {
+  static const std::unordered_map<std::string, OpKind> map = [] {
+    std::unordered_map<std::string, OpKind> m;
+    for (int i = 0; i < kN; ++i) {
+      OpKind k = static_cast<OpKind>(i);
+      m.emplace(GetOpInfo(k).name, k);
+    }
+    return m;
+  }();
+  auto it = map.find(name);
+  return it == map.end() ? OpKind::kNumOps : it->second;
+}
+
+bool IsFusableElementwise(OpKind kind) {
+  OpClass c = GetOpInfo(kind).op_class;
+  return c == OpClass::kElementwise || c == OpClass::kInjective ||
+         c == OpClass::kCreation;
+}
+
+bool IsBinaryElementwise(OpKind kind) {
+  return GetOpInfo(kind).op_class == OpClass::kElementwise &&
+         GetOpInfo(kind).min_operands == 2;
+}
+
+bool IsUnaryElementwise(OpKind kind) {
+  return GetOpInfo(kind).op_class == OpClass::kElementwise &&
+         GetOpInfo(kind).min_operands == 1;
+}
+
+bool IsPredicateOp(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLess:
+    case OpKind::kLessEqual:
+    case OpKind::kGreater:
+    case OpKind::kGreaterEqual:
+    case OpKind::kEqual:
+    case OpKind::kNotEqual:
+    case OpKind::kAnd:
+    case OpKind::kOr:
+    case OpKind::kLogicalNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace disc

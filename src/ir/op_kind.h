@@ -1,0 +1,132 @@
+// Operator vocabulary of the graph IR.
+//
+// The set mirrors the HLO/mhlo-level ops the paper's compiler consumes:
+// elementwise compute ops, reductions, library-backed contractions
+// (MatMul/Conv2D), data-movement ops, and shape-manipulation ops that feed
+// the host-side shape computation.
+#ifndef DISC_IR_OP_KIND_H_
+#define DISC_IR_OP_KIND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace disc {
+
+enum class OpKind : uint16_t {
+  // --- creation -------------------------------------------------------
+  kConstant = 0,  // attr "value": Tensor
+  kIota,          // attr "axis"; output shape from attr "dims" or operand
+
+  // --- elementwise unary ----------------------------------------------
+  kAbs,
+  kNeg,
+  kExp,
+  kLog,
+  kSqrt,
+  kRsqrt,
+  kTanh,
+  kErf,
+  kSigmoid,
+  kRelu,
+  kFloor,
+  kCeil,
+  kSign,
+  kReciprocal,
+  kLogicalNot,
+  kCast,  // attr "to": DType
+
+  // --- elementwise binary (numpy-style implicit broadcast) -------------
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kPow,
+  kMaximum,
+  kMinimum,
+  kMod,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqual,
+  kNotEqual,
+  kAnd,
+  kOr,
+
+  // --- elementwise ternary ---------------------------------------------
+  kSelect,  // (pred, on_true, on_false)
+
+  // --- reductions -------------------------------------------------------
+  kReduceSum,   // attrs "dims": [i64], "keep_dims": i64
+  kReduceMax,
+  kReduceMin,
+  kReduceMean,
+
+  // --- library-backed contractions --------------------------------------
+  kMatMul,  // attrs "transpose_a", "transpose_b"; batched on leading dims
+  kConv2D,  // NHWC, attrs "strides": [2], "padding": [2] (symmetric h, w)
+
+  // --- data movement ----------------------------------------------------
+  kTranspose,    // attr "perm": [i64]
+  kReshape,      // attr "new_shape" ([-1] wildcard allowed) or shape operand
+  kBroadcastTo,  // attr "new_shape" or shape operand; numpy broadcast rules
+  kConcat,       // attr "axis"; n-ary
+  kSlice,        // attrs "starts", "ends" (end==-1 means dim end), "steps"
+  kGather,       // attr "axis"; (data, indices)
+  kPad,          // attrs "pads_low", "pads_high", "pad_value": f64
+
+  // --- shape computation (host-side) -------------------------------------
+  kShapeOf,  // tensor -> 1-D i64 tensor of length rank
+  kDim,      // attr "index"; tensor -> i64 scalar
+
+  kNumOps,
+};
+
+/// Coarse classification used by fusion planning and the engines.
+enum class OpClass : uint8_t {
+  kCreation,     // constants, iota
+  kElementwise,  // unary/binary/ternary map ops (with implicit broadcast)
+  kReduction,    // reduce ops
+  kLibrary,      // MatMul / Conv2D — backed by vendor-style library kernels
+  kInjective,    // pure data movement: transpose/reshape/broadcast/... —
+                 // fusable like elementwise (each output reads <=1 input elem)
+  kShape,        // host-side shape computation
+};
+
+/// Static metadata for an op kind.
+struct OpInfo {
+  const char* name;       // e.g. "add"
+  int min_operands;       // -1: variadic (kConcat)
+  int max_operands;       // inclusive; -1: unbounded
+  OpClass op_class;
+};
+
+/// \brief Metadata lookup; aborts on invalid kind.
+const OpInfo& GetOpInfo(OpKind kind);
+
+/// \brief Lower-case op name (e.g. "reduce_sum").
+inline const char* OpName(OpKind kind) { return GetOpInfo(kind).name; }
+
+/// \brief Reverse lookup by name; returns kNumOps when unknown.
+OpKind OpKindFromName(const std::string& name);
+
+/// \brief True for elementwise/injective/creation ops (fusable into loops).
+bool IsFusableElementwise(OpKind kind);
+
+/// \brief True for kReduce* ops.
+inline bool IsReduction(OpKind kind) {
+  return GetOpInfo(kind).op_class == OpClass::kReduction;
+}
+
+/// \brief True for elementwise binary ops with implicit broadcast.
+bool IsBinaryElementwise(OpKind kind);
+
+/// \brief True for elementwise unary ops.
+bool IsUnaryElementwise(OpKind kind);
+
+/// \brief True when the op's output dtype is i1 (comparisons, logic).
+bool IsPredicateOp(OpKind kind);
+
+}  // namespace disc
+
+#endif  // DISC_IR_OP_KIND_H_

@@ -1,0 +1,342 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+// Minimal recursive-descent tokenizer/cursor over the graph text.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool TryConsume(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Consume(const std::string& token) {
+    if (!TryConsume(token)) {
+      return Status::InvalidArgument("expected '" + token + "' at: " +
+                                     Context());
+    }
+    return Status::OK();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Identifier: [A-Za-z_][A-Za-z0-9_.]*
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at: " + Context());
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<int64_t> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected integer at: " + Context());
+    }
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  /// Number: integer or floating point; `is_float` reports which.
+  Result<double> ParseNumber(bool* is_float) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    *is_float = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        *is_float = true;
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else if (c == 'n' && text_.compare(pos_, 3, "nan") == 0) {
+        *is_float = true;
+        pos_ += 3;
+        return std::nan("");
+      } else if (c == 'i' && text_.compare(pos_, 3, "inf") == 0) {
+        *is_float = true;
+        pos_ += 3;
+        bool neg = text_[start] == '-';
+        return neg ? -std::numeric_limits<double>::infinity()
+                   : std::numeric_limits<double>::infinity();
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected number at: " + Context());
+    }
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  std::string Context() const {
+    return "'" + text_.substr(pos_, std::min<size_t>(24, text_.size() - pos_)) +
+           "'";
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<DType> ParseDType(const std::string& name) {
+  if (name == "f32") return DType::kF32;
+  if (name == "i64") return DType::kI64;
+  if (name == "i1") return DType::kI1;
+  return Status::InvalidArgument("unknown dtype: " + name);
+}
+
+// f32[?x128] etc.
+Result<TensorType> ParseType(Cursor* cursor) {
+  DISC_ASSIGN_OR_RETURN(std::string dtype_name, cursor->ParseIdent());
+  DISC_ASSIGN_OR_RETURN(DType dtype, ParseDType(dtype_name));
+  DISC_RETURN_IF_ERROR(cursor->Consume("["));
+  std::vector<int64_t> dims;
+  if (!cursor->TryConsume("]")) {
+    while (true) {
+      if (cursor->TryConsume("?")) {
+        dims.push_back(kDynamicDim);
+      } else {
+        DISC_ASSIGN_OR_RETURN(int64_t d, cursor->ParseInt());
+        dims.push_back(d);
+      }
+      if (cursor->TryConsume("]")) break;
+      DISC_RETURN_IF_ERROR(cursor->Consume("x"));
+    }
+  }
+  return TensorType(dtype, std::move(dims));
+}
+
+Result<Attribute> ParseAttrValue(Cursor* cursor) {
+  char c = cursor->Peek();
+  if (c == '"') {
+    DISC_RETURN_IF_ERROR(cursor->Consume("\""));
+    std::string s;
+    while (cursor->Peek() != '"') {
+      bool is_float;
+      (void)is_float;
+      // Strings in our attrs contain no escapes; read raw until quote.
+      // Peek skips spaces, so rebuild character by character.
+      // (Strings are rare — op names only — keep it simple.)
+      DISC_ASSIGN_OR_RETURN(std::string part, cursor->ParseIdent());
+      if (!s.empty()) s += " ";
+      s += part;
+    }
+    DISC_RETURN_IF_ERROR(cursor->Consume("\""));
+    return Attribute(std::move(s));
+  }
+  if (c == '[') {
+    DISC_RETURN_IF_ERROR(cursor->Consume("["));
+    std::vector<int64_t> list;
+    if (!cursor->TryConsume("]")) {
+      while (true) {
+        DISC_ASSIGN_OR_RETURN(int64_t v, cursor->ParseInt());
+        list.push_back(v);
+        if (cursor->TryConsume("]")) break;
+        DISC_RETURN_IF_ERROR(cursor->Consume(","));
+      }
+    }
+    return Attribute(std::move(list));
+  }
+  if (std::isalpha(static_cast<unsigned char>(c))) {
+    // dtype name or tensor literal (dtype followed by '[').
+    DISC_ASSIGN_OR_RETURN(std::string ident, cursor->ParseIdent());
+    if (cursor->Peek() == '[') {
+      // Rewind is awkward; parse the remainder of a tensor literal here.
+      DISC_ASSIGN_OR_RETURN(DType dtype, ParseDType(ident));
+      DISC_RETURN_IF_ERROR(cursor->Consume("["));
+      std::vector<int64_t> dims;
+      if (!cursor->TryConsume("]")) {
+        while (true) {
+          DISC_ASSIGN_OR_RETURN(int64_t d, cursor->ParseInt());
+          dims.push_back(d);
+          if (cursor->TryConsume("]")) break;
+          DISC_RETURN_IF_ERROR(cursor->Consume("x"));
+        }
+      }
+      DISC_RETURN_IF_ERROR(cursor->Consume("{"));
+      Tensor t(dtype, dims);
+      for (int64_t i = 0; i < t.num_elements(); ++i) {
+        if (cursor->Peek() == '.') {
+          return Status::InvalidArgument("truncated tensor literal");
+        }
+        bool is_float = false;
+        DISC_ASSIGN_OR_RETURN(double v, cursor->ParseNumber(&is_float));
+        t.SetElementFromDouble(i, v);
+        if (i + 1 < t.num_elements()) DISC_RETURN_IF_ERROR(cursor->Consume(","));
+      }
+      DISC_RETURN_IF_ERROR(cursor->Consume("}"));
+      return Attribute(std::move(t));
+    }
+    DISC_ASSIGN_OR_RETURN(DType dtype, ParseDType(ident));
+    return Attribute(dtype);
+  }
+  bool is_float = false;
+  DISC_ASSIGN_OR_RETURN(double v, cursor->ParseNumber(&is_float));
+  if (is_float) return Attribute(v);
+  return Attribute(static_cast<int64_t>(v));
+}
+
+Result<AttrMap> ParseAttrs(Cursor* cursor) {
+  AttrMap attrs;
+  if (!cursor->TryConsume("{")) return attrs;
+  if (cursor->TryConsume("}")) return attrs;
+  while (true) {
+    DISC_ASSIGN_OR_RETURN(std::string key, cursor->ParseIdent());
+    DISC_RETURN_IF_ERROR(cursor->Consume("="));
+    DISC_ASSIGN_OR_RETURN(Attribute value, ParseAttrValue(cursor));
+    attrs.emplace(std::move(key), std::move(value));
+    if (cursor->TryConsume("}")) break;
+    DISC_RETURN_IF_ERROR(cursor->Consume(","));
+  }
+  return attrs;
+}
+
+Result<int64_t> ParseValueRef(Cursor* cursor) {
+  DISC_RETURN_IF_ERROR(cursor->Consume("%"));
+  return cursor->ParseInt();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Graph>> ParseGraph(const std::string& text) {
+  Cursor cursor(text);
+  DISC_RETURN_IF_ERROR(cursor.Consume("graph"));
+  std::string name;
+  if (!cursor.TryConsume("<anon>")) {
+    DISC_ASSIGN_OR_RETURN(name, cursor.ParseIdent());
+  }
+  auto graph = std::make_unique<Graph>(name);
+
+  std::unordered_map<int64_t, Value*> values;
+
+  // Inputs.
+  DISC_RETURN_IF_ERROR(cursor.Consume("("));
+  if (!cursor.TryConsume(")")) {
+    while (true) {
+      DISC_ASSIGN_OR_RETURN(int64_t id, ParseValueRef(&cursor));
+      DISC_RETURN_IF_ERROR(cursor.Consume(":"));
+      DISC_ASSIGN_OR_RETURN(TensorType type, ParseType(&cursor));
+      values[id] = graph->AddInput("in" + std::to_string(id), type);
+      if (cursor.TryConsume(")")) break;
+      DISC_RETURN_IF_ERROR(cursor.Consume(","));
+    }
+  }
+  DISC_RETURN_IF_ERROR(cursor.Consume("{"));
+
+  // Nodes until 'return'.
+  while (!cursor.TryConsume("return")) {
+    // %a, %b = op(%x, %y) {attrs} : type, type
+    std::vector<int64_t> out_ids;
+    while (true) {
+      DISC_ASSIGN_OR_RETURN(int64_t id, ParseValueRef(&cursor));
+      out_ids.push_back(id);
+      if (!cursor.TryConsume(",")) break;
+    }
+    DISC_RETURN_IF_ERROR(cursor.Consume("="));
+    DISC_ASSIGN_OR_RETURN(std::string op_name, cursor.ParseIdent());
+    OpKind kind = OpKindFromName(op_name);
+    if (kind == OpKind::kNumOps) {
+      return Status::InvalidArgument("unknown op: " + op_name);
+    }
+    DISC_RETURN_IF_ERROR(cursor.Consume("("));
+    std::vector<Value*> operands;
+    if (!cursor.TryConsume(")")) {
+      while (true) {
+        DISC_ASSIGN_OR_RETURN(int64_t id, ParseValueRef(&cursor));
+        auto it = values.find(id);
+        if (it == values.end()) {
+          return Status::InvalidArgument("use of undefined value %" +
+                                         std::to_string(id));
+        }
+        operands.push_back(it->second);
+        if (cursor.TryConsume(")")) break;
+        DISC_RETURN_IF_ERROR(cursor.Consume(","));
+      }
+    }
+    DISC_ASSIGN_OR_RETURN(AttrMap attrs, ParseAttrs(&cursor));
+    DISC_RETURN_IF_ERROR(cursor.Consume(":"));
+    std::vector<TensorType> out_types;
+    for (size_t i = 0; i < out_ids.size(); ++i) {
+      DISC_ASSIGN_OR_RETURN(TensorType type, ParseType(&cursor));
+      out_types.push_back(std::move(type));
+      if (i + 1 < out_ids.size()) DISC_RETURN_IF_ERROR(cursor.Consume(","));
+    }
+    Node* node = graph->CreateNode(kind, std::move(operands),
+                                   std::move(attrs), std::move(out_types));
+    for (size_t i = 0; i < out_ids.size(); ++i) {
+      values[out_ids[i]] = node->output(static_cast<int>(i));
+    }
+  }
+
+  // Outputs.
+  std::vector<Value*> outputs;
+  while (true) {
+    DISC_ASSIGN_OR_RETURN(int64_t id, ParseValueRef(&cursor));
+    auto it = values.find(id);
+    if (it == values.end()) {
+      return Status::InvalidArgument("return of undefined value %" +
+                                     std::to_string(id));
+    }
+    outputs.push_back(it->second);
+    if (!cursor.TryConsume(",")) break;
+  }
+  graph->SetOutputs(std::move(outputs));
+  DISC_RETURN_IF_ERROR(cursor.Consume("}"));
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing text after graph");
+  }
+  DISC_RETURN_IF_ERROR(graph->Verify());
+  return graph;
+}
+
+}  // namespace disc

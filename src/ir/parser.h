@@ -1,0 +1,31 @@
+// Parser for the textual graph form produced by Graph::ToString().
+//
+// Grammar (one node per line):
+//
+//   graph NAME (%0: f32[?x128], %1: i64[4]) {
+//     %2 = constant() {value = f32[2] {1, 2}} : f32[2]
+//     %3, %4 = some_op(%0, %2) {axis = 1, perm = [1, 0]} : f32[4], f32[4]
+//     return %3
+//   }
+//
+// Intended for tests, debugging dumps and small hand-written fixtures.
+// Tensor attributes parse only when fully printed (the printer truncates
+// large constants with "...", which this parser rejects).
+#ifndef DISC_IR_PARSER_H_
+#define DISC_IR_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "ir/graph.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// \brief Parses the textual graph form. Output types are re-inferred and
+/// verified against the declared ones.
+Result<std::unique_ptr<Graph>> ParseGraph(const std::string& text);
+
+}  // namespace disc
+
+#endif  // DISC_IR_PARSER_H_

@@ -1,0 +1,34 @@
+// Compile-time (static, -1-aware) output type inference.
+//
+// This is the coarse shape layer: each dim is either a known constant or
+// kDynamicDim. The paper's contribution — *relationships* among the unknown
+// dims — is layered on top in disc::shape; the property test
+// shape_consistency_test verifies the two layers agree.
+#ifndef DISC_IR_TYPE_INFERENCE_H_
+#define DISC_IR_TYPE_INFERENCE_H_
+
+#include <vector>
+
+#include "ir/graph.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// \brief Infers output types of an op from operand types and attributes.
+///
+/// `operand_constants[i]` may supply the concrete tensor value of operand i
+/// when it is a compile-time constant (used to resolve shape operands of
+/// reshape/broadcast); entries may be nullptr.
+Result<std::vector<TensorType>> InferOutputTypes(
+    OpKind kind, const std::vector<TensorType>& operand_types,
+    const AttrMap& attrs,
+    const std::vector<const Tensor*>& operand_constants);
+
+/// \brief numpy-style broadcast of two shapes (-1 aware). Dims must be
+/// compatible where both are known.
+Result<std::vector<int64_t>> BroadcastDims(const std::vector<int64_t>& a,
+                                           const std::vector<int64_t>& b);
+
+}  // namespace disc
+
+#endif  // DISC_IR_TYPE_INFERENCE_H_

@@ -1,0 +1,172 @@
+#include "ir/graph.h"
+#include "ir/type_inference.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+// Structural verification: operand counts, dtype constraints, output types
+// consistent with re-running inference, DAG property.
+Status Graph::Verify() const {
+  // Acyclicity (TopologicalOrder aborts on a cycle, so pre-check here with a
+  // non-fatal coloring walk).
+  {
+    enum Color { kWhite, kGray, kBlack };
+    std::unordered_map<const Node*, Color> color;
+    // Iterative DFS.
+    for (const auto& owned : nodes_) {
+      Node* start = owned.get();
+      if (color[start] != kWhite) continue;
+      std::vector<std::pair<Node*, size_t>> stack = {{start, 0}};
+      color[start] = kGray;
+      while (!stack.empty()) {
+        auto& [node, idx] = stack.back();
+        if (idx >= node->operands().size()) {
+          color[node] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        Value* operand = node->operands()[idx++];
+        Node* producer = operand->producer();
+        if (producer == nullptr) continue;
+        if (color[producer] == kGray) {
+          return Status::Internal("graph contains a cycle through node " +
+                                  std::to_string(producer->id()));
+        }
+        if (color[producer] == kWhite) {
+          color[producer] = kGray;
+          stack.emplace_back(producer, 0);
+        }
+      }
+    }
+  }
+
+  for (const auto& owned : nodes_) {
+    const Node* node = owned.get();
+    const OpInfo& info = GetOpInfo(node->kind());
+    int n = node->num_operands();
+    if (n < info.min_operands ||
+        (info.max_operands >= 0 && n > info.max_operands)) {
+      return Status::InvalidArgument(
+          StrFormat("node %%%d (%s): bad operand count %d", node->id(),
+                    info.name, n));
+    }
+    // Re-run inference and require consistency (a dim may be *more* static
+    // in the stored type only if inference returned dynamic there).
+    std::vector<TensorType> operand_types;
+    std::vector<const Tensor*> operand_constants;
+    for (Value* operand : node->operands()) {
+      operand_types.push_back(operand->type());
+      const Tensor* constant = nullptr;
+      if (Node* producer = operand->producer();
+          producer != nullptr && producer->kind() == OpKind::kConstant) {
+        constant = &producer->GetTensorAttr("value");
+      }
+      operand_constants.push_back(constant);
+    }
+    auto inferred = InferOutputTypes(node->kind(), operand_types,
+                                     node->attrs(), operand_constants);
+    if (!inferred.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("node %%%d (%s): %s", node->id(), info.name,
+                    inferred.status().message().c_str()));
+    }
+    if (inferred->size() != node->outputs().size()) {
+      return Status::InvalidArgument(
+          StrFormat("node %%%d (%s): output count mismatch", node->id(),
+                    info.name));
+    }
+    for (size_t i = 0; i < inferred->size(); ++i) {
+      const TensorType& stored = node->output(static_cast<int>(i))->type();
+      const TensorType& computed = (*inferred)[i];
+      if (stored.dtype != computed.dtype ||
+          stored.rank() != computed.rank()) {
+        return Status::InvalidArgument(StrFormat(
+            "node %%%d (%s): stored type %s vs inferred %s", node->id(),
+            info.name, stored.ToString().c_str(),
+            computed.ToString().c_str()));
+      }
+      for (int64_t d = 0; d < stored.rank(); ++d) {
+        // A stored static dim must match inference exactly; a stored
+        // dynamic dim is sound imprecision (tightened by
+        // RefineStaticTypes) and is accepted.
+        if (stored.dims[d] != kDynamicDim &&
+            computed.dims[d] != kDynamicDim &&
+            stored.dims[d] != computed.dims[d]) {
+          return Status::InvalidArgument(StrFormat(
+              "node %%%d (%s): dim %lld mismatch (%s vs %s)", node->id(),
+              info.name, static_cast<long long>(d),
+              stored.ToString().c_str(), computed.ToString().c_str()));
+        }
+      }
+    }
+  }
+  for (const Value* out : outputs_) {
+    if (out == nullptr) return Status::InvalidArgument("null graph output");
+  }
+  return Status::OK();
+}
+
+Status Graph::SpecializeInputs(
+    const std::vector<std::vector<int64_t>>& dims) {
+  if (dims.size() != inputs_.size()) {
+    return Status::InvalidArgument("SpecializeInputs: input count mismatch");
+  }
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    Value* input = inputs_[i];
+    if (static_cast<int64_t>(dims[i].size()) != input->rank()) {
+      return Status::InvalidArgument(
+          StrFormat("SpecializeInputs: input %zu rank mismatch", i));
+    }
+    for (int64_t d = 0; d < input->rank(); ++d) {
+      int64_t declared = input->type_.dims[d];
+      if (declared != kDynamicDim && declared != dims[i][d]) {
+        return Status::InvalidArgument(
+            StrFormat("SpecializeInputs: input %zu dim %lld is %lld, cannot "
+                      "pin to %lld",
+                      i, static_cast<long long>(d),
+                      static_cast<long long>(declared),
+                      static_cast<long long>(dims[i][d])));
+      }
+      input->type_.dims[d] = dims[i][d];
+    }
+  }
+  RefineStaticTypes();
+  return Status::OK();
+}
+
+int64_t Graph::RefineStaticTypes() {
+  int64_t tightened = 0;
+  for (Node* node : TopologicalOrder()) {
+    std::vector<TensorType> operand_types;
+    std::vector<const Tensor*> operand_constants;
+    for (Value* operand : node->operands()) {
+      operand_types.push_back(operand->type());
+      const Tensor* constant = nullptr;
+      if (Node* producer = operand->producer();
+          producer != nullptr && producer->kind() == OpKind::kConstant) {
+        constant = &producer->GetTensorAttr("value");
+      }
+      operand_constants.push_back(constant);
+    }
+    auto inferred = InferOutputTypes(node->kind(), operand_types,
+                                     node->attrs(), operand_constants);
+    if (!inferred.ok()) continue;
+    for (size_t i = 0;
+         i < inferred->size() && i < node->outputs().size(); ++i) {
+      Value* out = node->output(static_cast<int>(i));
+      TensorType& stored = out->type_;
+      const TensorType& computed = (*inferred)[i];
+      if (stored.rank() != computed.rank()) continue;
+      for (int64_t d = 0; d < stored.rank(); ++d) {
+        if (stored.dims[d] == kDynamicDim &&
+            computed.dims[d] != kDynamicDim) {
+          stored.dims[d] = computed.dims[d];
+          ++tightened;
+        }
+      }
+    }
+  }
+  return tightened;
+}
+
+}  // namespace disc

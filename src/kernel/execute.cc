@@ -1,0 +1,325 @@
+// CPU execution of fused kernels: a recursive per-element evaluator over
+// the fused subgraph.
+//
+// For every output element the evaluator walks the expression DAG back to
+// the group inputs, applying each injective op's index pullback (transpose
+// permutes, reshape passes the linear index through, broadcast clamps
+// size-1 dims, slice/pad/concat/gather remap) and each elementwise op's
+// scalar function. Reduction members are evaluated once per output cell and
+// memoized — the same reuse a GPU kStitch kernel gets from staging rows in
+// shared memory.
+#include <unordered_set>
+
+#include "ir/eval.h"
+#include "kernel/kernel.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+std::vector<int64_t> FlatToMulti(int64_t flat,
+                                 const std::vector<int64_t>& dims) {
+  std::vector<int64_t> idx(dims.size());
+  for (int64_t i = static_cast<int64_t>(dims.size()) - 1; i >= 0; --i) {
+    idx[i] = flat % dims[i];
+    flat /= dims[i];
+  }
+  return idx;
+}
+
+int64_t MultiToFlat(const std::vector<int64_t>& idx,
+                    const std::vector<int64_t>& dims) {
+  int64_t flat = 0;
+  for (size_t i = 0; i < dims.size(); ++i) flat = flat * dims[i] + idx[i];
+  return flat;
+}
+
+class GroupEvaluator {
+ public:
+  GroupEvaluator(const FusionGroup& group, const ShapeAnalysis* analysis,
+                 const SymbolBindings& bindings,
+                 std::unordered_map<const Value*, Tensor>* env)
+      : group_(group), analysis_(analysis), bindings_(bindings), env_(env) {
+    for (const Node* node : group_.nodes) inside_.insert(node);
+  }
+
+  Status Run() {
+    for (const Value* output : group_.outputs) {
+      const std::vector<int64_t>& dims = DimsOf(output);
+      Tensor result(output->dtype(), dims);
+      int64_t n = result.num_elements();
+      for (int64_t i = 0; i < n; ++i) {
+        DISC_ASSIGN_OR_RETURN(double v, ElementAt(output, i));
+        result.SetElementFromDouble(i, v);
+      }
+      env_->emplace(output, std::move(result));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Concrete dims of a value under the current bindings. Binding
+  // completeness was validated when the runtime solved the symbols, so a
+  // failure here is a compiler bug.
+  const std::vector<int64_t>& DimsOf(const Value* v) {
+    auto it = dims_cache_.find(v);
+    if (it == dims_cache_.end()) {
+      auto dims = analysis_->EvaluateShape(v, bindings_);
+      DISC_CHECK(dims.ok()) << "shape evaluation failed for %" << v->id()
+                            << ": " << dims.status().ToString();
+      it = dims_cache_.emplace(v, std::move(dims).value()).first;
+    }
+    return it->second;
+  }
+
+  Result<double> ElementAt(const Value* v, int64_t flat) {
+    // Group inputs (and pre-materialized values) come from the environment.
+    if (auto it = env_->find(v); it != env_->end()) {
+      return it->second.ElementAsDouble(flat);
+    }
+    const Node* node = v->producer();
+    DISC_CHECK(node != nullptr && inside_.count(node))
+        << "value %" << v->id() << " not reachable inside the fused group";
+
+    switch (node->kind()) {
+      case OpKind::kIota: {
+        const std::vector<int64_t>& dims = DimsOf(v);
+        auto idx = FlatToMulti(flat, dims);
+        return static_cast<double>(idx[node->GetIntAttr("axis", 0)]);
+      }
+      case OpKind::kTranspose: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        const std::vector<int64_t>& in_dims = DimsOf(node->operand(0));
+        const auto& perm = node->GetIntListAttr("perm");
+        auto out_idx = FlatToMulti(flat, out_dims);
+        std::vector<int64_t> in_idx(in_dims.size());
+        for (size_t i = 0; i < perm.size(); ++i) {
+          in_idx[perm[i]] = out_idx[i];
+        }
+        return ElementAt(node->operand(0), MultiToFlat(in_idx, in_dims));
+      }
+      case OpKind::kReshape:
+        return ElementAt(node->operand(0), flat);  // linear passthrough
+      case OpKind::kBroadcastTo: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        const std::vector<int64_t>& in_dims = DimsOf(node->operand(0));
+        auto out_idx = FlatToMulti(flat, out_dims);
+        int64_t offset = static_cast<int64_t>(out_dims.size()) -
+                         static_cast<int64_t>(in_dims.size());
+        std::vector<int64_t> in_idx(in_dims.size());
+        for (size_t i = 0; i < in_dims.size(); ++i) {
+          in_idx[i] = in_dims[i] == 1 ? 0 : out_idx[offset + i];
+        }
+        return ElementAt(node->operand(0), MultiToFlat(in_idx, in_dims));
+      }
+      case OpKind::kSlice: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        const std::vector<int64_t>& in_dims = DimsOf(node->operand(0));
+        const auto& starts = node->GetIntListAttr("starts");
+        const auto& steps = node->GetIntListAttr("steps");
+        auto out_idx = FlatToMulti(flat, out_dims);
+        std::vector<int64_t> in_idx(in_dims.size());
+        for (size_t i = 0; i < in_dims.size(); ++i) {
+          in_idx[i] = starts[i] + out_idx[i] * steps[i];
+        }
+        return ElementAt(node->operand(0), MultiToFlat(in_idx, in_dims));
+      }
+      case OpKind::kPad: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        const std::vector<int64_t>& in_dims = DimsOf(node->operand(0));
+        const auto& low = node->GetIntListAttr("pads_low");
+        auto out_idx = FlatToMulti(flat, out_dims);
+        std::vector<int64_t> in_idx(in_dims.size());
+        for (size_t i = 0; i < in_dims.size(); ++i) {
+          in_idx[i] = out_idx[i] - low[i];
+          if (in_idx[i] < 0 || in_idx[i] >= in_dims[i]) {
+            return node->GetFloatAttr("pad_value", 0.0);
+          }
+        }
+        return ElementAt(node->operand(0), MultiToFlat(in_idx, in_dims));
+      }
+      case OpKind::kConcat: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        int64_t axis = node->GetIntAttr("axis", 0);
+        auto out_idx = FlatToMulti(flat, out_dims);
+        int64_t pos = out_idx[axis];
+        for (const Value* part : node->operands()) {
+          const std::vector<int64_t>& part_dims = DimsOf(part);
+          if (pos < part_dims[axis]) {
+            auto in_idx = out_idx;
+            in_idx[axis] = pos;
+            return ElementAt(part, MultiToFlat(in_idx, part_dims));
+          }
+          pos -= part_dims[axis];
+        }
+        return Status::Internal("concat index out of range");
+      }
+      case OpKind::kGather: {
+        const std::vector<int64_t>& out_dims = DimsOf(v);
+        const std::vector<int64_t>& data_dims = DimsOf(node->operand(0));
+        const std::vector<int64_t>& index_dims = DimsOf(node->operand(1));
+        int64_t axis = node->GetIntAttr("axis", 0);
+        auto out_idx = FlatToMulti(flat, out_dims);
+        std::vector<int64_t> gather_idx(
+            out_idx.begin() + axis,
+            out_idx.begin() + axis + index_dims.size());
+        DISC_ASSIGN_OR_RETURN(
+            double picked,
+            ElementAt(node->operand(1), MultiToFlat(gather_idx, index_dims)));
+        int64_t row = static_cast<int64_t>(picked);
+        if (row < 0 || row >= data_dims[axis]) {
+          return Status::InvalidArgument("gather index out of bounds");
+        }
+        std::vector<int64_t> data_idx(data_dims.size());
+        for (int64_t i = 0; i < axis; ++i) data_idx[i] = out_idx[i];
+        data_idx[axis] = row;
+        for (size_t i = axis + 1; i < data_dims.size(); ++i) {
+          data_idx[i] = out_idx[index_dims.size() + i - 1];
+        }
+        return ElementAt(node->operand(0), MultiToFlat(data_idx, data_dims));
+      }
+
+      case OpKind::kReduceSum:
+      case OpKind::kReduceMax:
+      case OpKind::kReduceMin:
+      case OpKind::kReduceMean:
+        return ReduceAt(node, flat);
+
+      case OpKind::kSelect: {
+        DISC_ASSIGN_OR_RETURN(double pred, OperandAt(node, 0, v, flat));
+        return OperandAt(node, pred != 0.0 ? 1 : 2, v, flat);
+      }
+
+      default:
+        break;
+    }
+    // Elementwise unary/binary with implicit broadcast.
+    const OpInfo& info = GetOpInfo(node->kind());
+    DISC_CHECK(info.op_class == OpClass::kElementwise)
+        << "unsupported op inside fused group: " << info.name;
+    if (node->num_operands() == 1) {
+      DISC_ASSIGN_OR_RETURN(double x, OperandAt(node, 0, v, flat));
+      return ApplyUnaryScalar(node->kind(), x);
+    }
+    DISC_ASSIGN_OR_RETURN(double a, OperandAt(node, 0, v, flat));
+    DISC_ASSIGN_OR_RETURN(double b, OperandAt(node, 1, v, flat));
+    return ApplyBinaryScalar(node->kind(), a, b,
+                             node->operand(0)->dtype());
+  }
+
+  // Value of operand `i` of an elementwise node at the node's output index
+  // `flat`, applying numpy broadcast alignment.
+  Result<double> OperandAt(const Node* node, int operand_index,
+                           const Value* out, int64_t flat) {
+    const Value* operand = node->operand(operand_index);
+    const std::vector<int64_t>& out_dims = DimsOf(out);
+    const std::vector<int64_t>& in_dims = DimsOf(operand);
+    if (in_dims == out_dims) return ElementAt(operand, flat);
+    auto out_idx = FlatToMulti(flat, out_dims);
+    int64_t offset = static_cast<int64_t>(out_dims.size()) -
+                     static_cast<int64_t>(in_dims.size());
+    std::vector<int64_t> in_idx(in_dims.size());
+    for (size_t i = 0; i < in_dims.size(); ++i) {
+      in_idx[i] = in_dims[i] == 1 ? 0 : out_idx[offset + i];
+    }
+    return ElementAt(operand, MultiToFlat(in_idx, in_dims));
+  }
+
+  // Reduction value at output cell `flat`, memoized ("shared memory").
+  Result<double> ReduceAt(const Node* node, int64_t flat) {
+    auto& memo = reduce_memo_[node];
+    if (auto it = memo.find(flat); it != memo.end()) return it->second;
+
+    const Value* in = node->operand(0);
+    const std::vector<int64_t>& in_dims = DimsOf(in);
+    const std::vector<int64_t>& out_dims = DimsOf(node->output(0));
+    const auto& rdims = node->GetIntListAttr("dims");
+    bool keep = node->GetIntAttr("keep_dims", 0) != 0;
+    std::vector<bool> reduced(in_dims.size(), false);
+    for (int64_t d : rdims) reduced[d] = true;
+
+    // Fixed (non-reduced) coordinates from the output index.
+    auto out_idx = FlatToMulti(flat, out_dims);
+    std::vector<int64_t> base(in_dims.size(), 0);
+    size_t out_pos = 0;
+    for (size_t i = 0; i < in_dims.size(); ++i) {
+      if (reduced[i]) {
+        if (keep) ++out_pos;  // output holds a 1 there
+      } else {
+        base[i] = out_idx[out_pos++];
+      }
+    }
+    // Iterate the reduced subspace.
+    std::vector<int64_t> reduce_dims_sizes;
+    std::vector<size_t> reduce_positions;
+    for (size_t i = 0; i < in_dims.size(); ++i) {
+      if (reduced[i]) {
+        reduce_dims_sizes.push_back(in_dims[i]);
+        reduce_positions.push_back(i);
+      }
+    }
+    int64_t count = Product(reduce_dims_sizes);
+    double acc;
+    switch (node->kind()) {
+      case OpKind::kReduceMax:
+        acc = -std::numeric_limits<double>::infinity();
+        break;
+      case OpKind::kReduceMin:
+        acc = std::numeric_limits<double>::infinity();
+        break;
+      default:
+        acc = 0.0;
+    }
+    std::vector<int64_t> ridx(reduce_dims_sizes.size(), 0);
+    for (int64_t step = 0; step < count; ++step) {
+      auto idx = base;
+      for (size_t i = 0; i < reduce_positions.size(); ++i) {
+        idx[reduce_positions[i]] = ridx[i];
+      }
+      DISC_ASSIGN_OR_RETURN(double v,
+                            ElementAt(in, MultiToFlat(idx, in_dims)));
+      switch (node->kind()) {
+        case OpKind::kReduceMax:
+          acc = std::max(acc, v);
+          break;
+        case OpKind::kReduceMin:
+          acc = std::min(acc, v);
+          break;
+        default:
+          acc += v;
+      }
+      // Advance ridx.
+      for (int64_t i = static_cast<int64_t>(ridx.size()) - 1; i >= 0; --i) {
+        if (++ridx[i] < reduce_dims_sizes[i]) break;
+        ridx[i] = 0;
+      }
+    }
+    if (node->kind() == OpKind::kReduceMean && count > 0) {
+      acc /= static_cast<double>(count);
+    }
+    memo[flat] = acc;
+    return acc;
+  }
+
+  const FusionGroup& group_;
+  const ShapeAnalysis* analysis_;
+  const SymbolBindings& bindings_;
+  std::unordered_map<const Value*, Tensor>* env_;
+  std::unordered_set<const Node*> inside_;
+  std::unordered_map<const Value*, std::vector<int64_t>> dims_cache_;
+  std::unordered_map<const Node*, std::unordered_map<int64_t, double>>
+      reduce_memo_;
+};
+
+}  // namespace
+
+Status FusedKernel::Execute(
+    const SymbolBindings& bindings,
+    std::unordered_map<const Value*, Tensor>* env) const {
+  GroupEvaluator evaluator(group_, analysis_, bindings, env);
+  return evaluator.Run();
+}
+
+}  // namespace disc

@@ -1,0 +1,54 @@
+#include "kernel/guard.h"
+
+#include "support/string_util.h"
+
+namespace disc {
+
+Result<bool> DimPredicate::Evaluate(const SymbolBindings& bindings) const {
+  DISC_ASSIGN_OR_RETURN(int64_t v, expr.Evaluate(bindings));
+  switch (kind) {
+    case Kind::kDivisibleBy:
+      return operand != 0 && v % operand == 0;
+    case Kind::kLessEqual:
+      return v <= operand;
+    case Kind::kGreaterEqual:
+      return v >= operand;
+    case Kind::kEqual:
+      return v == operand;
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+std::string DimPredicate::ToString() const {
+  switch (kind) {
+    case Kind::kDivisibleBy:
+      return StrFormat("%s %% %lld == 0", expr.ToString().c_str(),
+                       static_cast<long long>(operand));
+    case Kind::kLessEqual:
+      return StrFormat("%s <= %lld", expr.ToString().c_str(),
+                       static_cast<long long>(operand));
+    case Kind::kGreaterEqual:
+      return StrFormat("%s >= %lld", expr.ToString().c_str(),
+                       static_cast<long long>(operand));
+    case Kind::kEqual:
+      return StrFormat("%s == %lld", expr.ToString().c_str(),
+                       static_cast<long long>(operand));
+  }
+  return "?";
+}
+
+Result<bool> Guard::Evaluate(const SymbolBindings& bindings) const {
+  for (const DimPredicate& p : predicates) {
+    DISC_ASSIGN_OR_RETURN(bool ok, p.Evaluate(bindings));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string Guard::ToString() const {
+  if (predicates.empty()) return "true";
+  return JoinMapped(predicates, " && ",
+                    [](const DimPredicate& p) { return p.ToString(); });
+}
+
+}  // namespace disc

@@ -1,0 +1,193 @@
+#include "kernel/kernel.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+const char* ReduceScheduleName(ReduceSchedule schedule) {
+  switch (schedule) {
+    case ReduceSchedule::kNone:
+      return "none";
+    case ReduceSchedule::kWarpPerRow:
+      return "warp_per_row";
+    case ReduceSchedule::kBlockPerRow:
+      return "block_per_row";
+  }
+  return "?";
+}
+
+std::string KernelVariant::ToString() const {
+  std::ostringstream out;
+  out << name;
+  out << " [vec=" << vector_width;
+  if (broadcast_free) out << ", bcast-free";
+  if (exact_shape) out << ", exact-shape";
+  if (schedule != ReduceSchedule::kNone) {
+    out << ", " << ReduceScheduleName(schedule);
+  }
+  out << "] guard: " << guard.ToString();
+  return out.str();
+}
+
+int64_t OpFlopCost(OpKind kind) {
+  switch (kind) {
+    case OpKind::kExp:
+    case OpKind::kLog:
+    case OpKind::kSqrt:
+    case OpKind::kRsqrt:
+    case OpKind::kTanh:
+    case OpKind::kErf:
+    case OpKind::kSigmoid:
+    case OpKind::kPow:
+      return 8;  // SFU-heavy transcendental
+    case OpKind::kDiv:
+    case OpKind::kReciprocal:
+      return 4;
+    case OpKind::kTranspose:
+    case OpKind::kReshape:
+    case OpKind::kBroadcastTo:
+    case OpKind::kConcat:
+    case OpKind::kSlice:
+    case OpKind::kPad:
+    case OpKind::kGather:
+    case OpKind::kShapeOf:
+    case OpKind::kDim:
+    case OpKind::kConstant:
+      return 0;  // pure data movement / host
+    default:
+      return 1;
+  }
+}
+
+// Declared in specialize.cc.
+void BuildVariants(FusedKernel* kernel, const SpecializeOptions& options);
+
+FusedKernel::FusedKernel(FusionGroup group, const ShapeAnalysis* analysis,
+                         const SpecializeOptions& options)
+    : group_(std::move(group)), analysis_(analysis) {
+  name_ = StrFormat("%s_fusion_%d", FusionKindName(group_.kind), group_.id);
+  DISC_CHECK(group_.root != nullptr);
+  root_elements_ = analysis_->manager().Canonicalize(
+      SymShapeNumElements(analysis_->GetShape(group_.root->output(0))));
+  // Row extent from the first reduction member, if any.
+  for (const Node* node : group_.nodes) {
+    if (!IsReduction(node->kind())) continue;
+    const SymShape& in = analysis_->GetShape(node->operand(0));
+    const auto& dims = node->GetIntListAttr("dims");
+    std::vector<DimExpr> factors;
+    for (int64_t d : dims) factors.push_back(in[d]);
+    row_extent_ =
+        analysis_->manager().Canonicalize(DimExpr::Mul(std::move(factors)));
+    row_count_ = analysis_->manager().Canonicalize(
+        DimExpr::FloorDiv(SymShapeNumElements(in), row_extent_));
+    break;
+  }
+  BuildVariants(this, options);
+}
+
+Result<const KernelVariant*> FusedKernel::SelectVariant(
+    const SymbolBindings& bindings) const {
+  for (const KernelVariant& variant : variants_) {
+    DISC_ASSIGN_OR_RETURN(bool admitted, variant.guard.Evaluate(bindings));
+    if (admitted) return &variant;
+  }
+  return Status::Internal("no variant admitted (missing generic fallback?)");
+}
+
+Result<KernelStats> FusedKernel::ComputeStats(
+    const SymbolBindings& bindings, const KernelVariant& variant) const {
+  KernelStats stats;
+  auto numel_of = [&](const Value* v) -> Result<int64_t> {
+    DISC_ASSIGN_OR_RETURN(std::vector<int64_t> dims,
+                          analysis_->EvaluateShape(v, bindings));
+    return Product(dims);
+  };
+
+  for (const Value* input : group_.inputs) {
+    DISC_ASSIGN_OR_RETURN(int64_t n, numel_of(input));
+    stats.bytes_read += n * DTypeSize(input->dtype());
+  }
+  for (const Value* output : group_.outputs) {
+    DISC_ASSIGN_OR_RETURN(int64_t n, numel_of(output));
+    stats.bytes_written += n * DTypeSize(output->dtype());
+  }
+  for (const Node* node : group_.nodes) {
+    int64_t cost = OpFlopCost(node->kind());
+    int64_t domain;
+    if (IsReduction(node->kind())) {
+      DISC_ASSIGN_OR_RETURN(domain, numel_of(node->operand(0)));
+      cost = std::max<int64_t>(cost, 1);
+    } else {
+      DISC_ASSIGN_OR_RETURN(domain, numel_of(node->output(0)));
+    }
+    stats.flops += domain * cost;
+    // Index arithmetic: eliminated by the broadcast-free specialization,
+    // otherwise proportional to rank per element.
+    if (!variant.broadcast_free) {
+      stats.index_ops += domain * std::max<int64_t>(
+                                      1, node->output(0)->rank());
+    } else {
+      stats.index_ops += domain;
+    }
+  }
+
+  DISC_ASSIGN_OR_RETURN(int64_t root_elems,
+                        root_elements_.Evaluate(bindings));
+  int64_t row = 0;
+  int64_t rows = 0;
+  if (row_extent_.valid()) {
+    DISC_ASSIGN_OR_RETURN(row, row_extent_.Evaluate(bindings));
+    // Rows are counted over the reduce input space.
+    for (const Node* node : group_.nodes) {
+      if (IsReduction(node->kind())) {
+        DISC_ASSIGN_OR_RETURN(int64_t full, numel_of(node->operand(0)));
+        rows = row > 0 ? full / row : 0;
+        break;
+      }
+    }
+  }
+
+  switch (variant.schedule) {
+    case ReduceSchedule::kNone: {
+      int64_t elems = CeilDiv(root_elems, variant.vector_width);
+      stats.threads_per_block = 256;
+      stats.num_blocks = std::max<int64_t>(1, CeilDiv(elems, 256));
+      break;
+    }
+    case ReduceSchedule::kWarpPerRow: {
+      stats.threads_per_block = 256;  // 8 warps per block
+      stats.num_blocks = std::max<int64_t>(1, CeilDiv(rows, 8));
+      break;
+    }
+    case ReduceSchedule::kBlockPerRow: {
+      stats.threads_per_block =
+          std::min<int64_t>(1024, std::max<int64_t>(32, RoundUp(row, 32)));
+      stats.num_blocks = std::max<int64_t>(1, rows);
+      break;
+    }
+  }
+  if (kind() == FusionKind::kStitch) {
+    // Each stitched stage stages one f32 row in shared memory; charge two
+    // staging buffers (ping-pong).
+    stats.shared_mem_bytes = row * 4 * 2;
+  }
+  return stats;
+}
+
+std::string FusedKernel::ToString() const {
+  std::ostringstream out;
+  out << name_ << " (" << FusionKindName(kind()) << ", " << group_.size()
+      << " ops, domain=" << root_elements_.ToString();
+  if (row_extent_.valid()) out << ", row=" << row_extent_.ToString();
+  out << ")\n";
+  for (const KernelVariant& variant : variants_) {
+    out << "  variant " << variant.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace disc

@@ -1,0 +1,150 @@
+// Fused kernels: the unit of code generation and launch.
+//
+// A FusedKernel is compiled from one FusionGroup. It carries
+//   * the group's symbolic shapes (extents and launch dims stay DimExprs
+//     until the runtime binds them — "codegen supporting arbitrary shapes"),
+//   * several specialization variants with runtime guards
+//     (see specialize.cc), and
+//   * a CPU execution path used for correctness: a per-element expression
+//     evaluator over the fused subgraph. Reduction results are memoized per
+//     row during execution — the in-memory analog of the shared-memory
+//     staging a kStitch kernel performs on a real GPU.
+//
+// Performance is measured by the device model (disc::sim) from the
+// KernelStats this class computes per (bindings, variant): global-memory
+// traffic touches only group inputs/outputs (fusion's raison d'être),
+// arithmetic is counted per member op, and the launch geometry follows the
+// variant's schedule.
+#ifndef DISC_KERNEL_KERNEL_H_
+#define DISC_KERNEL_KERNEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "ir/tensor.h"
+#include "kernel/guard.h"
+#include "shape/shape_analysis.h"
+
+namespace disc {
+
+/// How a reduction-bearing kernel maps rows to hardware.
+enum class ReduceSchedule : uint8_t {
+  kNone,         // no reduction in this kernel
+  kWarpPerRow,   // short rows: one warp per row, warp shuffle reduce
+  kBlockPerRow,  // long rows: one thread block per row, shared-mem tree
+};
+
+const char* ReduceScheduleName(ReduceSchedule schedule);
+
+/// One compiled specialization of a kernel.
+struct KernelVariant {
+  std::string name;
+  /// Runtime admission condition (empty = unconditional). Compile-time
+  /// provable properties produce no predicates — they are baked in.
+  Guard guard;
+  /// SIMD lanes per thread (1 or 4). 4 requires the innermost extent to be
+  /// divisible by 4 (guarded or proven).
+  int vector_width = 1;
+  /// True when per-element broadcast/index arithmetic was eliminated
+  /// because all member shapes are provably identical.
+  bool broadcast_free = false;
+  /// Speculative exact-shape variant: compiled for one concrete binding of
+  /// every symbol this kernel touches (from likely-value feedback). Gets
+  /// static-codegen quality; admitted only when the equality guard holds.
+  bool exact_shape = false;
+  ReduceSchedule schedule = ReduceSchedule::kNone;
+
+  std::string ToString() const;
+};
+
+/// Resource footprint of one launch, consumed by the device model.
+struct KernelStats {
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t flops = 0;
+  /// Address/index arithmetic per element (reduced by specialization).
+  int64_t index_ops = 0;
+  int64_t num_blocks = 0;
+  int64_t threads_per_block = 0;
+  int64_t shared_mem_bytes = 0;
+
+  int64_t total_bytes() const { return bytes_read + bytes_written; }
+};
+
+/// Options controlling variant generation.
+struct SpecializeOptions {
+  bool enable_specialization = true;  // false = only the generic variant
+  bool enable_vectorization = true;
+  bool enable_broadcast_elimination = true;
+  bool enable_reduce_schedules = true;
+  /// Emit exact-shape speculative variants for symbols with likely values
+  /// (runtime feedback / user hints recorded in the SymbolicDimManager).
+  bool enable_shape_speculation = true;
+  /// At most this many speculative variants per kernel.
+  int max_speculative_variants = 2;
+  int vector_width = 4;
+  /// Rows at most this long get the warp-per-row schedule.
+  int64_t warp_row_threshold = 1024;
+  /// Warp-per-row needs at least this many rows to fill the device;
+  /// fewer rows fall back to block-per-row for occupancy.
+  int64_t warp_min_rows = 1024;
+};
+
+/// \brief A fused kernel compiled from one FusionGroup. The group's Nodes
+/// and Values must outlive the kernel (the compiler owns the graph).
+class FusedKernel {
+ public:
+  FusedKernel(FusionGroup group, const ShapeAnalysis* analysis,
+              const SpecializeOptions& options);
+
+  const FusionGroup& group() const { return group_; }
+  FusionKind kind() const { return group_.kind; }
+  const std::string& name() const { return name_; }
+  const std::vector<KernelVariant>& variants() const { return variants_; }
+
+  /// \brief Picks the first variant whose guard admits the bindings. The
+  /// generic variant is last and unconditional, so this always succeeds.
+  Result<const KernelVariant*> SelectVariant(
+      const SymbolBindings& bindings) const;
+
+  /// \brief Executes the kernel on the CPU: reads group inputs from `env`,
+  /// inserts the group outputs. Variant choice never changes numerics.
+  Status Execute(const SymbolBindings& bindings,
+                 std::unordered_map<const Value*, Tensor>* env) const;
+
+  /// \brief Resource footprint under concrete bindings for one variant.
+  Result<KernelStats> ComputeStats(const SymbolBindings& bindings,
+                                   const KernelVariant& variant) const;
+
+  /// \brief Row length (product of reduced trailing dims) for reduce-
+  /// bearing kernels; invalid DimExpr for pure loop kernels.
+  const DimExpr& row_extent() const { return row_extent_; }
+  /// \brief Row count (reduce-input elements / row_extent); invalid for
+  /// pure loop kernels.
+  const DimExpr& row_count() const { return row_count_; }
+  /// \brief Element count of the root output (the launch domain).
+  const DimExpr& root_elements() const { return root_elements_; }
+
+  std::string ToString() const;
+
+ private:
+  friend void BuildVariants(FusedKernel* kernel,
+                            const SpecializeOptions& options);
+
+  FusionGroup group_;
+  const ShapeAnalysis* analysis_;
+  std::string name_;
+  std::vector<KernelVariant> variants_;
+  DimExpr row_extent_;     // valid iff the group contains a reduction
+  DimExpr row_count_;      // valid iff the group contains a reduction
+  DimExpr root_elements_;  // symbolic launch domain size
+};
+
+/// \brief Per-element arithmetic cost of an op (relative to one FMA).
+int64_t OpFlopCost(OpKind kind);
+
+}  // namespace disc
+
+#endif  // DISC_KERNEL_KERNEL_H_

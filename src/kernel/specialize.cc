@@ -1,0 +1,169 @@
+// Compile-time specialization: builds the variant list of a FusedKernel.
+//
+// Properties provable from the symbolic constraint store are baked in with
+// no runtime cost (e.g. "hidden dim 768 is divisible by 4" or "all member
+// shapes are equal"); properties that depend on runtime dims become guarded
+// variants dispatched per launch. The generic variant is always last and
+// unconditional, so any shape executes.
+#include <algorithm>
+
+#include "kernel/kernel.h"
+
+namespace disc {
+
+void BuildVariants(FusedKernel* kernel, const SpecializeOptions& options) {
+  const SymbolicDimManager& m = kernel->analysis_->manager();
+  const FusionGroup& group = kernel->group_;
+  std::vector<KernelVariant>& variants = kernel->variants_;
+  variants.clear();
+
+  const bool has_reduce = kernel->row_extent_.valid();
+
+  // --- broadcast elimination (a property, applied to every variant) -------
+  bool broadcast_free = false;
+  if (options.enable_specialization && options.enable_broadcast_elimination) {
+    broadcast_free = true;
+    const SymShape& root_shape =
+        kernel->analysis_->GetShape(group.root->output(0));
+    DimExpr root_numel = m.Canonicalize(SymShapeNumElements(root_shape));
+    auto covers_root_space = [&](const Value* v) {
+      const SymShape& s = kernel->analysis_->GetShape(v);
+      DimExpr n = m.Canonicalize(SymShapeNumElements(s));
+      return n.Equals(root_numel) || m.IsSameNumElements(s, root_shape);
+    };
+    for (const Node* node : group.nodes) {
+      if (IsReduction(node->kind())) {
+        broadcast_free = false;  // two index spaces by construction
+        break;
+      }
+      if (node->op_class() == OpClass::kInjective &&
+          node->kind() != OpKind::kReshape) {
+        broadcast_free = false;  // real index remapping
+        break;
+      }
+      if (!covers_root_space(node->output(0))) {
+        broadcast_free = false;
+        break;
+      }
+      for (const Value* operand : node->operands()) {
+        DimExpr n = m.Canonicalize(
+            SymShapeNumElements(kernel->analysis_->GetShape(operand)));
+        if (!n.IsConstValue(1) && !covers_root_space(operand)) {
+          broadcast_free = false;
+          break;
+        }
+      }
+      if (!broadcast_free) break;
+    }
+  }
+
+  // --- speculative exact-shape variants (runtime feedback) -----------------
+  // If every symbol this kernel's launch domain depends on carries likely
+  // values, emit fully static variants for the hottest combinations; each
+  // is admitted by an equality guard and costed like static codegen.
+  if (options.enable_specialization && options.enable_shape_speculation) {
+    DimExpr domain = m.Canonicalize(kernel->root_elements_);
+    std::vector<SymbolId> symbols = domain.CollectSymbols();
+    if (has_reduce) {
+      for (SymbolId s :
+           m.Canonicalize(kernel->row_extent_).CollectSymbols()) {
+        if (std::find(symbols.begin(), symbols.end(), s) == symbols.end()) {
+          symbols.push_back(s);
+        }
+      }
+    }
+    if (!symbols.empty()) {
+      // Combination k uses each symbol's k-th most recent likely value.
+      for (int k = 0; k < options.max_speculative_variants; ++k) {
+        SymbolBindings speculation;
+        bool complete = true;
+        for (SymbolId s : symbols) {
+          const auto& likely = m.GetLikelyValues(s);
+          if (static_cast<int>(likely.size()) <= k) {
+            complete = false;
+            break;
+          }
+          speculation[m.Find(s)] = likely[likely.size() - 1 - k];
+        }
+        if (!complete) break;
+        KernelVariant exact;
+        exact.exact_shape = true;
+        exact.broadcast_free = true;  // indexing fully resolved statically
+        auto domain_value = domain.Evaluate(speculation);
+        if (!domain_value.ok()) break;
+        exact.vector_width =
+            (*domain_value % options.vector_width == 0) ? options.vector_width
+                                                        : 1;
+        exact.name = "exact_" + std::to_string(*domain_value);
+        if (has_reduce) {
+          auto row = m.Canonicalize(kernel->row_extent_).Evaluate(speculation);
+          auto rows = m.Canonicalize(kernel->row_count_).Evaluate(speculation);
+          if (!row.ok() || !rows.ok()) break;
+          exact.schedule = (*row <= options.warp_row_threshold &&
+                            *rows >= options.warp_min_rows)
+                               ? ReduceSchedule::kWarpPerRow
+                               : ReduceSchedule::kBlockPerRow;
+        }
+        for (SymbolId s : symbols) {
+          exact.guard.predicates.push_back(
+              {DimPredicate::Kind::kEqual, DimExpr::Symbol(m.Find(s)),
+               speculation.at(m.Find(s))});
+        }
+        variants.push_back(std::move(exact));
+      }
+    }
+  }
+
+  if (!has_reduce) {
+    // --- vectorized loop variant ------------------------------------------
+    if (options.enable_specialization && options.enable_vectorization &&
+        options.vector_width > 1) {
+      KernelVariant vec;
+      vec.name = "vec" + std::to_string(options.vector_width);
+      vec.vector_width = options.vector_width;
+      vec.broadcast_free = broadcast_free;
+      if (!m.IsDivisibleBy(kernel->root_elements_, options.vector_width)) {
+        // Not provable at compile time: admit at runtime when divisible.
+        vec.guard.predicates.push_back(
+            {DimPredicate::Kind::kDivisibleBy, kernel->root_elements_,
+             options.vector_width});
+      }
+      variants.push_back(std::move(vec));
+    }
+    KernelVariant generic;
+    generic.name = "generic";
+    generic.broadcast_free = broadcast_free;
+    variants.push_back(std::move(generic));
+    return;
+  }
+
+  // --- reduce-bearing kernels ---------------------------------------------
+  if (options.enable_specialization && options.enable_reduce_schedules) {
+    KernelVariant warp;
+    warp.name = "warp_per_row";
+    warp.schedule = ReduceSchedule::kWarpPerRow;
+    warp.broadcast_free = broadcast_free;
+    auto row_ub = m.UpperBound(kernel->row_extent_);
+    if (!row_ub.has_value() || *row_ub > options.warp_row_threshold) {
+      warp.guard.predicates.push_back({DimPredicate::Kind::kLessEqual,
+                                       kernel->row_extent_,
+                                       options.warp_row_threshold});
+    }
+    // Few rows cannot fill the device a-warp-at-a-time; insist on enough
+    // parallelism before taking the warp schedule.
+    if (!kernel->row_count_.IsConst() ||
+        kernel->row_count_.const_value() < options.warp_min_rows) {
+      warp.guard.predicates.push_back({DimPredicate::Kind::kGreaterEqual,
+                                       kernel->row_count_,
+                                       options.warp_min_rows});
+    }
+    variants.push_back(std::move(warp));
+  }
+  KernelVariant block;
+  block.name = "block_per_row";
+  block.schedule = ReduceSchedule::kBlockPerRow;
+  block.broadcast_free = broadcast_free;
+  variants.push_back(std::move(block));
+}
+
+}  // namespace disc

@@ -1,0 +1,493 @@
+#include "models/models.h"
+
+#include "ir/builder.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+// Seeded random weight constant.
+Value* Weight(GraphBuilder* b, Rng* rng, std::vector<int64_t> dims,
+              float stddev = 0.1f) {
+  Tensor t(DType::kF32, std::move(dims));
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.f32_data()[i] = rng->Normal(0.0f, stddev);
+  }
+  return b->Constant(std::move(t));
+}
+
+// Default input generator: random normal f32 everywhere.
+std::vector<Tensor> RandomF32Inputs(const ShapeSet& shapes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (const auto& dims : shapes) {
+    Tensor t(DType::kF32, dims);
+    for (int64_t i = 0; i < t.num_elements(); ++i) {
+      t.f32_data()[i] = rng.Normal();
+    }
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+// Zipf-ish sampler over a candidate list: a few hot values, a long tail.
+int64_t SampleDim(Rng* rng, const std::vector<int64_t>& candidates) {
+  std::vector<double> weights(candidates.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  return candidates[rng->Categorical(weights)];
+}
+
+// One transformer encoder layer on h: [B, S, H].
+Value* EncoderLayer(GraphBuilder* b, Rng* rng, Value* h,
+                    const ModelConfig& config) {
+  int64_t hidden = config.hidden;
+  int64_t heads = config.heads;
+  int64_t head_dim = hidden / heads;
+  DISC_CHECK_EQ(heads * head_dim, hidden);
+
+  Value* ln_scale = Weight(b, rng, {hidden}, 1.0f);
+  Value* ln_bias = Weight(b, rng, {hidden});
+  Value* x = b->LayerNorm(h, ln_scale, ln_bias);
+
+  auto project = [&](Value* in) {
+    Value* w = Weight(b, rng, {hidden, hidden});
+    Value* proj = b->MatMul(in, w);  // [B, S, H]
+    // [B, S, nh, hd] -> [B, nh, S, hd]
+    Value* shaped = b->ReshapeDynamic(
+        proj, b->Concat({b->Reshape(b->Dim(proj, 0), {1}),
+                         b->Reshape(b->Dim(proj, 1), {1}),
+                         b->Constant(Tensor::I64({2}, {heads, head_dim}))},
+                        0));
+    return b->Transpose(shaped, {0, 2, 1, 3});
+  };
+  Value* q = project(x);
+  Value* k = project(x);
+  Value* v = project(x);
+
+  Value* scores = b->MatMul(q, k, false, /*transpose_b=*/true);
+  Value* scaled = b->Mul(
+      scores, b->ScalarF32(1.0f / std::sqrt(static_cast<float>(head_dim))));
+  Value* probs = b->Softmax(scaled);
+  Value* ctx = b->MatMul(probs, v);  // [B, nh, S, hd]
+  Value* merged = b->Transpose(ctx, {0, 2, 1, 3});
+  Value* flat = b->ReshapeDynamic(
+      merged, b->Concat({b->Reshape(b->Dim(merged, 0), {1}),
+                         b->Reshape(b->Dim(merged, 1), {1}),
+                         b->Constant(Tensor::I64({1}, {hidden}))},
+                        0));
+  Value* attn_out = b->MatMul(flat, Weight(b, rng, {hidden, hidden}));
+  Value* h1 = b->Add(h, attn_out);  // residual
+
+  Value* ln2 = b->LayerNorm(h1, Weight(b, rng, {hidden}, 1.0f),
+                            Weight(b, rng, {hidden}));
+  Value* ffn1 = b->Gelu(b->Add(b->MatMul(ln2, Weight(b, rng, {hidden, config.ffn})),
+                               Weight(b, rng, {config.ffn})));
+  Value* ffn2 = b->Add(b->MatMul(ffn1, Weight(b, rng, {config.ffn, hidden})),
+                       Weight(b, rng, {hidden}));
+  return b->Add(h1, ffn2);
+}
+
+}  // namespace
+
+Model BuildMlp(const ModelConfig& config) {
+  Model model;
+  model.name = "mlp";
+  model.graph = std::make_unique<Graph>("mlp");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, config.hidden});
+  Value* h1 = b.Relu(b.Add(b.MatMul(x, Weight(&b, &rng, {config.hidden, config.ffn})),
+                           Weight(&b, &rng, {config.ffn})));
+  Value* h2 = b.Add(b.MatMul(h1, Weight(&b, &rng, {config.ffn, 10})),
+                    Weight(&b, &rng, {10}));
+  b.Output({b.Softmax(h2)});
+
+  model.input_dim_labels = {{"B", ""}};
+  model.small_shapes = {{3, config.hidden}};
+  Rng trace_rng(config.seed + 1);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t batch = SampleDim(&trace_rng, {8, 1, 4, 16, 3, 32, 5, 64, 7, 24});
+    model.trace.push_back({{batch, config.hidden}});
+  }
+  model.make_inputs = RandomF32Inputs;
+  return model;
+}
+
+Model BuildBert(const ModelConfig& config) {
+  Model model;
+  model.name = "bert";
+  model.graph = std::make_unique<Graph>("bert");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+
+  Value* h = b.Input("embeddings", DType::kF32,
+                     {kDynamicDim, kDynamicDim, config.hidden});
+  for (int64_t layer = 0; layer < config.layers; ++layer) {
+    h = EncoderLayer(&b, &rng, h, config);
+  }
+  // Pooler: first-token slice + tanh projection.
+  Value* ln = b.LayerNorm(h, Weight(&b, &rng, {config.hidden}, 1.0f),
+                          Weight(&b, &rng, {config.hidden}));
+  b.Output({ln});
+
+  model.input_dim_labels = {{"B", "S", ""}};
+  model.small_shapes = {{2, 5, config.hidden}};
+  Rng trace_rng(config.seed + 2);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t batch = SampleDim(&trace_rng, {1, 2, 4, 8});
+    int64_t seq = SampleDim(&trace_rng,
+                            {64, 32, 128, 48, 96, 24, 112, 80, 17, 57});
+    model.trace.push_back({{batch, seq, config.hidden}});
+  }
+  model.make_inputs = RandomF32Inputs;
+  return model;
+}
+
+Model BuildSeq2SeqStep(const ModelConfig& config) {
+  Model model;
+  model.name = "seq2seq-step";
+  model.graph = std::make_unique<Graph>("seq2seq_step");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  int64_t hidden = config.hidden;
+
+  // One decode step: query for the next token attends over the KV cache.
+  Value* q_in = b.Input("query", DType::kF32, {kDynamicDim, 1, hidden});
+  Value* k_cache = b.Input("k_cache", DType::kF32,
+                           {kDynamicDim, kDynamicDim, hidden});
+  Value* v_cache = b.Input("v_cache", DType::kF32,
+                           {kDynamicDim, kDynamicDim, hidden});
+
+  Value* q = b.MatMul(q_in, Weight(&b, &rng, {hidden, hidden}));
+  Value* scores =
+      b.MatMul(q, k_cache, false, /*transpose_b=*/true);  // [B,1,T]
+  Value* probs = b.Softmax(b.Mul(
+      scores, b.ScalarF32(1.0f / std::sqrt(static_cast<float>(hidden)))));
+  Value* ctx = b.MatMul(probs, v_cache);  // [B,1,H]
+  Value* h1 = b.Add(q_in, b.MatMul(ctx, Weight(&b, &rng, {hidden, hidden})));
+  Value* ln = b.LayerNorm(h1, Weight(&b, &rng, {hidden}, 1.0f),
+                          Weight(&b, &rng, {hidden}));
+  Value* ffn = b.Add(
+      b.MatMul(b.Gelu(b.MatMul(ln, Weight(&b, &rng, {hidden, config.ffn}))),
+               Weight(&b, &rng, {config.ffn, hidden})),
+      h1);
+  // Vocabulary logits for the next token.
+  Value* logits = b.MatMul(ffn, Weight(&b, &rng, {hidden, 128}));
+  b.Output({b.Softmax(logits)});
+
+  model.input_dim_labels = {{"B", "", ""}, {"B", "T", ""}, {"B", "T", ""}};
+  model.small_shapes = {{2, 1, hidden}, {2, 3, hidden}, {2, 3, hidden}};
+  // The trace walks a decode loop: T grows 1..L, repeated for a few
+  // sequences — the worst case for compile-per-shape systems.
+  Rng trace_rng(config.seed + 3);
+  int64_t t = 1;
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t batch = 1 + (i / 32) % 2;
+    model.trace.push_back(
+        {{batch, 1, hidden}, {batch, t, hidden}, {batch, t, hidden}});
+    t = (t % 32) + 1;
+  }
+  model.make_inputs = RandomF32Inputs;
+  return model;
+}
+
+Model BuildCrnn(const ModelConfig& config) {
+  Model model;
+  model.name = "crnn";
+  model.graph = std::make_unique<Graph>("crnn");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+
+  // OCR-style: height fixed at 32, width dynamic.
+  Value* image = b.Input("image", DType::kF32, {1, 32, kDynamicDim, 1});
+  Value* c1 = b.Relu(b.Conv2D(image, Weight(&b, &rng, {3, 3, 1, 16}),
+                              {2, 2}, {1, 1}));  // [1,16,W/2,16]
+  Value* c2 = b.Relu(b.Conv2D(c1, Weight(&b, &rng, {3, 3, 16, 32}),
+                              {2, 2}, {1, 1}));  // [1,8,W/4,32]
+  // Column features: [1,8,W',32] -> [W', 8*32].
+  Value* seq = b.Transpose(c2, {0, 2, 1, 3});  // [1, W', 8, 32]
+  Value* w_dim = b.Reshape(b.Dim(seq, 1), {1});
+  Value* feat_shape =
+      b.Concat({w_dim, b.Constant(Tensor::I64({1}, {8 * 32}))}, 0);
+  Value* feats = b.ReshapeDynamic(seq, feat_shape);  // [W', 256]
+  // Per-column classifier (stand-in for the RNN head: same GEMM shape).
+  Value* fc = b.Relu(b.Add(b.MatMul(feats, Weight(&b, &rng, {8 * 32, config.hidden})),
+                           Weight(&b, &rng, {config.hidden})));
+  Value* logits = b.MatMul(fc, Weight(&b, &rng, {config.hidden, 37}));
+  b.Output({b.Softmax(logits)});
+
+  model.input_dim_labels = {{"", "", "W", ""}};
+  model.small_shapes = {{1, 32, 16, 1}};
+  Rng trace_rng(config.seed + 4);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t width = SampleDim(&trace_rng,
+                              {100, 80, 128, 64, 160, 48, 200, 96, 72, 144});
+    model.trace.push_back({{1, 32, width, 1}});
+  }
+  model.make_inputs = RandomF32Inputs;
+  return model;
+}
+
+Model BuildFastSpeech2(const ModelConfig& config) {
+  Model model;
+  model.name = "fastspeech2";
+  model.graph = std::make_unique<Graph>("fastspeech2");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  int64_t hidden = config.hidden;
+
+  // Phoneme encodings [1, P, H] and the length-regulator expansion map
+  // [E] (frame -> phoneme index), computed by the text frontend.
+  Value* phonemes = b.Input("phonemes", DType::kF32,
+                            {1, kDynamicDim, hidden});
+  Value* expand_ids = b.Input("expand_ids", DType::kI64, {kDynamicDim});
+
+  Value* enc = EncoderLayer(&b, &rng, phonemes, config);
+  // Length regulator: repeat phoneme states per predicted duration —
+  // a gather with a data-dependent output length.
+  Value* enc_flat = b.ReshapeDynamic(
+      enc, b.Concat({b.Reshape(b.Dim(enc, 1), {1}),
+                     b.Constant(Tensor::I64({1}, {hidden}))},
+                    0));  // [P, H]
+  Value* frames = b.Gather(enc_flat, expand_ids, 0);  // [E, H]
+  Value* frames3 = b.ReshapeDynamic(
+      frames, b.Concat({b.Constant(Tensor::I64({1}, {1})),
+                        b.Reshape(b.Dim(frames, 0), {1}),
+                        b.Constant(Tensor::I64({1}, {hidden}))},
+                       0));  // [1, E, H]
+  Value* dec = EncoderLayer(&b, &rng, frames3, config);
+  // Mel projection.
+  Value* mel = b.MatMul(dec, Weight(&b, &rng, {hidden, 80}));
+  b.Output({mel});
+
+  model.input_dim_labels = {{"", "P", ""}, {"E"}};
+  model.small_shapes = {{1, 4, hidden}, {9}};
+  Rng trace_rng(config.seed + 5);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t phoneme_count = SampleDim(&trace_rng, {24, 16, 32, 12, 48, 20});
+    int64_t expansion = phoneme_count * trace_rng.UniformInt(4, 7);
+    model.trace.push_back({{1, phoneme_count, hidden}, {expansion}});
+  }
+  model.make_inputs = [](const ShapeSet& shapes, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Tensor> inputs;
+    Tensor ph(DType::kF32, shapes[0]);
+    for (int64_t i = 0; i < ph.num_elements(); ++i) {
+      ph.f32_data()[i] = rng.Normal();
+    }
+    inputs.push_back(std::move(ph));
+    int64_t phoneme_count = shapes[0][1];
+    Tensor ids(DType::kI64, shapes[1]);
+    for (int64_t i = 0; i < ids.num_elements(); ++i) {
+      // Monotone expansion map, like real durations.
+      ids.i64_data()[i] =
+          std::min<int64_t>(phoneme_count - 1,
+                            i * phoneme_count / std::max<int64_t>(
+                                                    1, ids.num_elements()));
+    }
+    inputs.push_back(std::move(ids));
+    return inputs;
+  };
+  return model;
+}
+
+Model BuildDlrm(const ModelConfig& config) {
+  Model model;
+  model.name = "dlrm";
+  model.graph = std::make_unique<Graph>("dlrm");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  const int64_t kTables = 8;
+  const int64_t kRows = 512;
+  const int64_t kEmb = 32;
+
+  Value* dense = b.Input("dense", DType::kF32, {kDynamicDim, 13});
+  Value* ids = b.Input("ids", DType::kI64, {kDynamicDim, kTables});
+
+  Value* bottom = b.Relu(b.Add(b.MatMul(dense, Weight(&b, &rng, {13, kEmb})),
+                               Weight(&b, &rng, {kEmb})));
+  std::vector<Value*> features = {bottom};
+  for (int64_t t = 0; t < kTables; ++t) {
+    Value* table = Weight(&b, &rng, {kRows, kEmb}, 0.05f);
+    Value* col = b.Slice(ids, {0, t}, {-1, t + 1}, {1, 1});  // [B,1]
+    Value* flat_ids = b.ReshapeDynamic(
+        col, b.Reshape(b.Dim(col, 0), {1}));  // [B]
+    features.push_back(b.Gather(table, flat_ids, 0));  // [B, kEmb]
+  }
+  Value* concat = b.Concat(features, 1);  // [B, kEmb*(kTables+1)]
+  Value* top1 = b.Relu(
+      b.Add(b.MatMul(concat, Weight(&b, &rng, {kEmb * (kTables + 1), 64})),
+            Weight(&b, &rng, {64})));
+  Value* logit = b.Add(b.MatMul(top1, Weight(&b, &rng, {64, 1})),
+                       Weight(&b, &rng, {1}));
+  b.Output({b.Sigmoid(logit)});
+
+  model.input_dim_labels = {{"B", ""}, {"B", ""}};
+  model.small_shapes = {{4, 13}, {4, kTables}};
+  Rng trace_rng(config.seed + 6);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t batch = SampleDim(&trace_rng,
+                              {128, 64, 256, 32, 512, 96, 48, 192, 160, 27});
+    model.trace.push_back({{batch, 13}, {batch, kTables}});
+  }
+  model.make_inputs = [kRows](const ShapeSet& shapes, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Tensor> inputs;
+    Tensor dense(DType::kF32, shapes[0]);
+    for (int64_t i = 0; i < dense.num_elements(); ++i) {
+      dense.f32_data()[i] = rng.Normal();
+    }
+    inputs.push_back(std::move(dense));
+    Tensor ids(DType::kI64, shapes[1]);
+    for (int64_t i = 0; i < ids.num_elements(); ++i) {
+      ids.i64_data()[i] = rng.UniformInt(0, kRows - 1);
+    }
+    inputs.push_back(std::move(ids));
+    return inputs;
+  };
+  return model;
+}
+
+Model BuildBertWithMask(const ModelConfig& config) {
+  Model model;
+  model.name = "bert-masked";
+  model.graph = std::make_unique<Graph>("bert_masked");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  int64_t hidden = config.hidden;
+  int64_t heads = config.heads;
+  int64_t head_dim = hidden / heads;
+
+  Value* h = b.Input("embeddings", DType::kF32,
+                     {kDynamicDim, kDynamicDim, hidden});
+  // 1 = attend, 0 = padding.
+  Value* mask = b.Input("mask", DType::kF32, {kDynamicDim, kDynamicDim});
+
+  // One attention layer with explicit masking.
+  Value* x = b.LayerNorm(h, Weight(&b, &rng, {hidden}, 1.0f),
+                         Weight(&b, &rng, {hidden}));
+  auto project = [&](Value* in) {
+    Value* proj = b.MatMul(in, Weight(&b, &rng, {hidden, hidden}));
+    Value* shaped = b.ReshapeDynamic(
+        proj, b.Concat({b.Reshape(b.Dim(proj, 0), {1}),
+                        b.Reshape(b.Dim(proj, 1), {1}),
+                        b.Constant(Tensor::I64({2}, {heads, head_dim}))},
+                       0));
+    return b.Transpose(shaped, {0, 2, 1, 3});
+  };
+  Value* q = project(x);
+  Value* k = project(x);
+  Value* v = project(x);
+  Value* scores = b.Mul(
+      b.MatMul(q, k, false, true),
+      b.ScalarF32(1.0f / std::sqrt(static_cast<float>(head_dim))));
+  // mask [B, S] -> [B, 1, 1, S]; masked keys get a large negative logit.
+  Value* mask4 = b.ReshapeDynamic(
+      mask, b.Concat({b.Reshape(b.Dim(mask, 0), {1}),
+                      b.Constant(Tensor::I64({2}, {1, 1})),
+                      b.Reshape(b.Dim(mask, 1), {1})},
+                     0));
+  Value* keep = b.Greater(mask4, b.ScalarF32(0.5f));
+  Value* masked =
+      b.Select(keep, scores, b.BroadcastToDynamic(
+                                 b.ScalarF32(-1e9f), b.ShapeOf(scores)));
+  Value* probs = b.Softmax(masked);
+  Value* ctx = b.Transpose(b.MatMul(probs, v), {0, 2, 1, 3});
+  Value* flat = b.ReshapeDynamic(
+      ctx, b.Concat({b.Reshape(b.Dim(ctx, 0), {1}),
+                     b.Reshape(b.Dim(ctx, 1), {1}),
+                     b.Constant(Tensor::I64({1}, {hidden}))},
+                    0));
+  Value* out = b.Add(h, b.MatMul(flat, Weight(&b, &rng, {hidden, hidden})));
+  b.Output({out});
+
+  model.input_dim_labels = {{"B", "S", ""}, {"B", "S"}};
+  model.small_shapes = {{2, 5, hidden}, {2, 5}};
+  Rng trace_rng(config.seed + 7);
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t batch = SampleDim(&trace_rng, {2, 1, 4});
+    int64_t seq = SampleDim(&trace_rng, {48, 32, 64, 24});
+    model.trace.push_back({{batch, seq, hidden}, {batch, seq}});
+  }
+  model.make_inputs = [](const ShapeSet& shapes, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Tensor> inputs;
+    Tensor emb(DType::kF32, shapes[0]);
+    for (int64_t i = 0; i < emb.num_elements(); ++i) {
+      emb.f32_data()[i] = rng.Normal();
+    }
+    inputs.push_back(std::move(emb));
+    // Mask: a random suffix of each sequence is padding.
+    Tensor mask(DType::kF32, shapes[1]);
+    int64_t batch = shapes[1][0];
+    int64_t seq = shapes[1][1];
+    for (int64_t r = 0; r < batch; ++r) {
+      int64_t valid = rng.UniformInt(1, seq);
+      for (int64_t c = 0; c < seq; ++c) {
+        mask.f32_data()[r * seq + c] = c < valid ? 1.0f : 0.0f;
+      }
+    }
+    inputs.push_back(std::move(mask));
+    return inputs;
+  };
+  return model;
+}
+
+Model BuildGptStep(const ModelConfig& config) {
+  Model model;
+  model.name = "gpt-step";
+  model.graph = std::make_unique<Graph>("gpt_step");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  int64_t hidden = config.hidden;
+
+  Value* token = b.Input("token", DType::kF32, {1, 1, hidden});
+  Value* k_cache = b.Input("k_cache", DType::kF32, {1, kDynamicDim, hidden});
+  Value* v_cache = b.Input("v_cache", DType::kF32, {1, kDynamicDim, hidden});
+
+  // New K/V for this token, appended to the caches: the outputs' second
+  // dim is symbolically T+1.
+  Value* k_new = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* v_new = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* k_next = b.Concat({k_cache, k_new}, 1);  // [1, T+1, H]
+  Value* v_next = b.Concat({v_cache, v_new}, 1);
+
+  Value* q = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* scores = b.Mul(
+      b.MatMul(q, k_next, false, true),
+      b.ScalarF32(1.0f / std::sqrt(static_cast<float>(hidden))));
+  Value* probs = b.Softmax(scores);          // [1, 1, T+1]
+  Value* ctx = b.MatMul(probs, v_next);      // [1, 1, H]
+  Value* h1 = b.Add(token, b.MatMul(ctx, Weight(&b, &rng, {hidden, hidden})));
+  Value* ln = b.LayerNorm(h1, Weight(&b, &rng, {hidden}, 1.0f),
+                          Weight(&b, &rng, {hidden}));
+  Value* logits = b.MatMul(ln, Weight(&b, &rng, {hidden, 96}));
+  b.Output({b.Softmax(logits), k_next, v_next});
+
+  model.input_dim_labels = {{"", "", ""}, {"", "T", ""}, {"", "T", ""}};
+  model.small_shapes = {{1, 1, hidden}, {1, 3, hidden}, {1, 3, hidden}};
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    int64_t t = 1 + i % 48;
+    model.trace.push_back(
+        {{1, 1, hidden}, {1, t, hidden}, {1, t, hidden}});
+  }
+  model.make_inputs = RandomF32Inputs;
+  return model;
+}
+
+std::vector<Model> BuildModelSuite(const ModelConfig& config) {
+  std::vector<Model> suite;
+  suite.push_back(BuildBert(config));
+  suite.push_back(BuildSeq2SeqStep(config));
+  suite.push_back(BuildCrnn(config));
+  suite.push_back(BuildFastSpeech2(config));
+  suite.push_back(BuildDlrm(config));
+  suite.push_back(BuildMlp(config));
+  return suite;
+}
+
+}  // namespace disc

@@ -1,0 +1,88 @@
+// The evaluation model suite.
+//
+// Six models mirroring the paper's workload mix — transformer encoders
+// (BERT-style), autoregressive decoding (seq2seq step), convolutional
+// recognition with variable image width (CRNN-style), TTS with a length
+// regulator (FastSpeech2-style), sparse recommendation (DLRM-style) and a
+// plain MLP — each with the dynamism axis that makes it hard for
+// static-shape compilers:
+//
+//   | model        | dynamic dims              | stress                       |
+//   |--------------|---------------------------|------------------------------|
+//   | bert         | batch, seq-len            | fusion across LN/softmax     |
+//   | seq2seq-step | batch, kv-len (grows 1/q) | tiny kernels, launch-bound   |
+//   | crnn         | image width               | conv shape propagation       |
+//   | fastspeech2  | phonemes, expanded frames | data-dependent output length |
+//   | dlrm         | batch                     | gathers + small GEMMs        |
+//   | mlp          | batch                     | the quickstart               |
+//
+// Weights are seeded random constants baked into the graph (inference
+// setting). Each model carries a shape *trace*: the per-query input shapes
+// a serving workload would see, used by every benchmark.
+#ifndef DISC_MODELS_MODELS_H_
+#define DISC_MODELS_MODELS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "ir/tensor.h"
+
+namespace disc {
+
+/// One set of concrete input shapes (parallel to graph inputs).
+using ShapeSet = std::vector<std::vector<int64_t>>;
+
+struct Model {
+  std::string name;
+  std::unique_ptr<Graph> graph;
+  /// Dim labels for ShapeAnalysis (shared dynamic dims across inputs).
+  std::vector<std::vector<std::string>> input_dim_labels;
+  /// The serving trace: per-query input shapes.
+  std::vector<ShapeSet> trace;
+  /// A small shape set for data-mode correctness tests.
+  ShapeSet small_shapes;
+  /// Builds valid concrete inputs (random data; integer inputs in range)
+  /// for a given shape set.
+  std::function<std::vector<Tensor>(const ShapeSet&, uint64_t seed)>
+      make_inputs;
+};
+
+/// Scaled-down sizes keep the single-core simulation fast while preserving
+/// each model's op mix and dynamism (see DESIGN.md §2).
+struct ModelConfig {
+  int64_t hidden = 64;
+  int64_t heads = 4;
+  int64_t ffn = 128;
+  int64_t layers = 2;
+  int64_t trace_length = 64;
+  uint64_t seed = 7;
+};
+
+Model BuildMlp(const ModelConfig& config = {});
+Model BuildBert(const ModelConfig& config = {});
+Model BuildSeq2SeqStep(const ModelConfig& config = {});
+Model BuildCrnn(const ModelConfig& config = {});
+Model BuildFastSpeech2(const ModelConfig& config = {});
+Model BuildDlrm(const ModelConfig& config = {});
+
+// Additional builders (not part of the 6-model headline suite):
+
+/// BERT encoder with an attention mask input ([B, S] of 0/1): masked
+/// positions get -inf-like logits via select before the softmax —
+/// exercises predicate tensors and broadcasts inside stitch kernels.
+Model BuildBertWithMask(const ModelConfig& config = {});
+
+/// GPT-style decode step with concat-based KV-cache update: the step
+/// *returns* the grown caches (k' = concat(k, k_new)), so output dims are
+/// symbolic T+1 expressions — the canonical autoregressive shape pattern.
+Model BuildGptStep(const ModelConfig& config = {});
+
+/// \brief The full 6-model suite with traces (experiments T1/T2/T3/F5/F6).
+std::vector<Model> BuildModelSuite(const ModelConfig& config = {});
+
+}  // namespace disc
+
+#endif  // DISC_MODELS_MODELS_H_

@@ -1,0 +1,232 @@
+#include "opt/pass.h"
+
+#include "support/logging.h"
+
+namespace disc {
+namespace {
+
+// Returns the scalar value if `v` is a rank-0 or single-element constant.
+std::optional<double> ScalarConstant(const Value* v) {
+  const Node* producer = v->producer();
+  if (producer == nullptr || producer->kind() != OpKind::kConstant) {
+    return std::nullopt;
+  }
+  const Tensor& t = producer->GetTensorAttr("value");
+  if (t.num_elements() != 1) return std::nullopt;
+  return t.ElementAsDouble(0);
+}
+
+// `replacement` may only replace `out` if the static types agree (a scalar
+// identity must not change the shape, which broadcast could).
+bool TypesMatch(const Value* out, const Value* replacement) {
+  return out->type() == replacement->type();
+}
+
+class CanonicalizePass : public Pass {
+ public:
+  const char* name() const override { return "canonicalize"; }
+
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    (void)ctx;
+    bool changed = false;
+    // Snapshot; rewrites only replace uses, never invalidate other nodes.
+    for (Node* node : graph->TopologicalOrder()) {
+      Value* replacement = TryRewrite(graph, node);
+      if (replacement != nullptr && replacement != node->output(0)) {
+        graph->ReplaceAllUsesWith(node->output(0), replacement);
+        changed = true;
+      }
+    }
+    if (changed) graph->RemoveDeadNodes();
+    return changed;
+  }
+
+ private:
+  // (op(x, c1), c2) -> op(x, c1 ⊕ c2) for commutative/associative scalar
+  // chains of the same op (kAdd or kMul), with the constant on either side.
+  static Value* TryFoldScalarChain(Graph* graph, Node* node) {
+    OpKind kind = node->kind();
+    auto split = [&](Node* n, Value** tensor_side,
+                     double* scalar) -> bool {
+      if (auto c = ScalarConstant(n->operand(1))) {
+        *tensor_side = n->operand(0);
+        *scalar = *c;
+        return true;
+      }
+      if (auto c = ScalarConstant(n->operand(0))) {
+        *tensor_side = n->operand(1);
+        *scalar = *c;
+        return true;
+      }
+      return false;
+    };
+    Value* outer_tensor = nullptr;
+    double outer_scalar = 0;
+    if (!split(node, &outer_tensor, &outer_scalar)) return nullptr;
+    Node* inner = outer_tensor->producer();
+    if (inner == nullptr || inner->kind() != kind) return nullptr;
+    // The inner value must have no other users (else we duplicate work).
+    if (outer_tensor->users().size() != 1) return nullptr;
+    Value* inner_tensor = nullptr;
+    double inner_scalar = 0;
+    if (!split(inner, &inner_tensor, &inner_scalar)) return nullptr;
+    if (inner_tensor->dtype() != DType::kF32) return nullptr;
+    double combined = kind == OpKind::kMul ? outer_scalar * inner_scalar
+                                           : outer_scalar + inner_scalar;
+    Node* constant = graph->CreateNode(
+        OpKind::kConstant, {},
+        {{"value", Tensor::ScalarF32(static_cast<float>(combined))}},
+        {TensorType(DType::kF32, {})});
+    Node* folded = graph->CreateNode(
+        kind, {inner_tensor, constant->output(0)}, {},
+        {node->output(0)->type()});
+    return folded->output(0);
+  }
+
+  // Returns the value the node's output should be replaced with, or null.
+  Value* TryRewrite(Graph* graph, Node* node) {
+    Value* out = node->output(0);
+    switch (node->kind()) {
+      case OpKind::kAdd:
+      case OpKind::kSub: {
+        Value* x = node->operand(0);
+        Value* y = node->operand(1);
+        if (auto c = ScalarConstant(y); c == 0.0 && TypesMatch(out, x)) {
+          return x;
+        }
+        if (node->kind() == OpKind::kAdd) {
+          if (auto c = ScalarConstant(x); c == 0.0 && TypesMatch(out, y)) {
+            return y;
+          }
+          // (x + c1) + c2 -> x + (c1+c2).
+          return TryFoldScalarChain(graph, node);
+        }
+        return nullptr;
+      }
+      case OpKind::kMul: {
+        Value* x = node->operand(0);
+        Value* y = node->operand(1);
+        if (auto c = ScalarConstant(y); c == 1.0 && TypesMatch(out, x)) {
+          return x;
+        }
+        if (auto c = ScalarConstant(x); c == 1.0 && TypesMatch(out, y)) {
+          return y;
+        }
+        // (x * c1) * c2 -> x * (c1*c2): collapse scalar coefficient chains.
+        return TryFoldScalarChain(graph, node);
+      }
+      case OpKind::kDiv: {
+        Value* x = node->operand(0);
+        if (auto c = ScalarConstant(node->operand(1));
+            c == 1.0 && TypesMatch(out, x)) {
+          return x;
+        }
+        return nullptr;
+      }
+      case OpKind::kPow: {
+        Value* x = node->operand(0);
+        if (auto c = ScalarConstant(node->operand(1));
+            c == 1.0 && TypesMatch(out, x)) {
+          return x;
+        }
+        return nullptr;
+      }
+      case OpKind::kNeg: {
+        // neg(neg(x)) -> x
+        Node* producer = node->operand(0)->producer();
+        if (producer != nullptr && producer->kind() == OpKind::kNeg) {
+          return producer->operand(0);
+        }
+        return nullptr;
+      }
+      case OpKind::kCast: {
+        Value* x = node->operand(0);
+        if (node->GetDTypeAttr("to") == x->dtype()) return x;
+        return nullptr;
+      }
+      case OpKind::kTranspose: {
+        const auto& perm = node->GetIntListAttr("perm");
+        bool identity = true;
+        for (size_t i = 0; i < perm.size(); ++i) {
+          if (perm[i] != static_cast<int64_t>(i)) identity = false;
+        }
+        if (identity) return node->operand(0);
+        // transpose(transpose(x, p1), p2) -> transpose(x, p1 ∘ p2)
+        Node* producer = node->operand(0)->producer();
+        if (producer != nullptr && producer->kind() == OpKind::kTranspose) {
+          const auto& inner = producer->GetIntListAttr("perm");
+          std::vector<int64_t> composed(perm.size());
+          for (size_t i = 0; i < perm.size(); ++i) {
+            composed[i] = inner[perm[i]];
+          }
+          Node* merged = graph->CreateNode(
+              OpKind::kTranspose, {producer->operand(0)},
+              {{"perm", composed}}, {out->type()});
+          return merged->output(0);
+        }
+        return nullptr;
+      }
+      case OpKind::kReshape: {
+        Value* x = node->operand(0);
+        // Static no-op reshape.
+        if (x->type().IsFullyStatic() && out->type() == x->type()) return x;
+        // reshape(reshape(x)) -> reshape(x) when the outer target is static.
+        Node* producer = x->producer();
+        if (producer != nullptr && producer->kind() == OpKind::kReshape &&
+            node->HasAttr("new_shape") && node->num_operands() == 1) {
+          Node* merged = graph->CreateNode(
+              OpKind::kReshape, {producer->operand(0)},
+              {{"new_shape", node->GetIntListAttr("new_shape")}},
+              {out->type()});
+          return merged->output(0);
+        }
+        return nullptr;
+      }
+      case OpKind::kBroadcastTo: {
+        Value* x = node->operand(0);
+        if (x->type().IsFullyStatic() && out->type() == x->type()) return x;
+        return nullptr;
+      }
+      case OpKind::kConcat: {
+        if (node->num_operands() == 1) return node->operand(0);
+        return nullptr;
+      }
+      case OpKind::kSlice: {
+        const auto& starts = node->GetIntListAttr("starts");
+        const auto& ends = node->GetIntListAttr("ends");
+        const auto& steps = node->GetIntListAttr("steps");
+        for (size_t i = 0; i < starts.size(); ++i) {
+          if (starts[i] != 0 || ends[i] != -1 || steps[i] != 1) {
+            return nullptr;
+          }
+        }
+        return node->operand(0);
+      }
+      case OpKind::kPad: {
+        const auto& low = node->GetIntListAttr("pads_low");
+        const auto& high = node->GetIntListAttr("pads_high");
+        for (size_t i = 0; i < low.size(); ++i) {
+          if (low[i] != 0 || high[i] != 0) return nullptr;
+        }
+        return node->operand(0);
+      }
+      case OpKind::kSelect: {
+        if (auto c = ScalarConstant(node->operand(0))) {
+          Value* chosen = *c != 0.0 ? node->operand(1) : node->operand(2);
+          if (TypesMatch(out, chosen)) return chosen;
+        }
+        return nullptr;
+      }
+      default:
+        return nullptr;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateCanonicalizePass() {
+  return std::make_unique<CanonicalizePass>();
+}
+
+}  // namespace disc

@@ -1,0 +1,58 @@
+#include "ir/eval.h"
+#include "opt/pass.h"
+#include "support/logging.h"
+
+namespace disc {
+namespace {
+
+class ConstantFoldPass : public Pass {
+ public:
+  const char* name() const override { return "constant_fold"; }
+
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    bool changed = false;
+    for (Node* node : graph->TopologicalOrder()) {
+      if (node->kind() == OpKind::kConstant) continue;
+      if (node->outputs().size() != 1) continue;
+      // All operands must be constants.
+      std::vector<Tensor> operand_values;
+      bool all_const = true;
+      for (Value* operand : node->operands()) {
+        Node* producer = operand->producer();
+        if (producer == nullptr || producer->kind() != OpKind::kConstant) {
+          all_const = false;
+          break;
+        }
+        operand_values.push_back(producer->GetTensorAttr("value"));
+      }
+      // Creation ops with no operands (iota with static dims) fold too.
+      if (node->num_operands() == 0 && node->kind() != OpKind::kIota) {
+        all_const = false;
+      }
+      if (!all_const) continue;
+      // Don't materialize huge tensors (e.g. a folded broadcast).
+      if (node->output(0)->type().IsFullyStatic() &&
+          node->output(0)->type().NumElements() > ctx.max_fold_elements) {
+        continue;
+      }
+      auto result = EvaluateNode(*node, operand_values);
+      if (!result.ok()) continue;  // leave runtime errors to runtime
+      Node* folded =
+          graph->CreateNode(OpKind::kConstant, {},
+                            {{"value", std::move((*result)[0])}},
+                            {node->output(0)->type()});
+      graph->ReplaceAllUsesWith(node->output(0), folded->output(0));
+      changed = true;
+    }
+    if (changed) graph->RemoveDeadNodes();
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}
+
+}  // namespace disc

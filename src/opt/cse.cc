@@ -1,0 +1,78 @@
+#include <unordered_map>
+
+#include "opt/pass.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+// Structural signature of a node: kind + operand ids + attrs rendering.
+// Constants hash by value contents (via Attribute::ToString of the tensor,
+// which includes a truncated rendering — so large equal-prefix constants
+// are additionally compared field-by-field before merging).
+std::string Signature(const Node* node) {
+  std::string sig = OpName(node->kind());
+  sig += '(';
+  sig += JoinMapped(node->operands(), ",", [](const Value* v) {
+    return std::to_string(v->id());
+  });
+  sig += ')';
+  for (const auto& [key, value] : node->attrs()) {
+    sig += key;
+    sig += '=';
+    sig += value.ToString();
+    sig += ';';
+  }
+  return sig;
+}
+
+bool AttrsEqual(const Node* a, const Node* b) {
+  if (a->attrs().size() != b->attrs().size()) return false;
+  auto it_a = a->attrs().begin();
+  auto it_b = b->attrs().begin();
+  for (; it_a != a->attrs().end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first || !(it_a->second == it_b->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class CsePass : public Pass {
+ public:
+  const char* name() const override { return "cse"; }
+
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    (void)ctx;
+    bool changed = false;
+    std::unordered_map<std::string, std::vector<Node*>> seen;
+    for (Node* node : graph->TopologicalOrder()) {
+      if (node->outputs().size() != 1) continue;
+      std::string sig = Signature(node);
+      auto& candidates = seen[sig];
+      Node* match = nullptr;
+      for (Node* candidate : candidates) {
+        if (candidate->kind() == node->kind() &&
+            candidate->operands() == node->operands() &&
+            AttrsEqual(candidate, node)) {
+          match = candidate;
+          break;
+        }
+      }
+      if (match != nullptr) {
+        graph->ReplaceAllUsesWith(node->output(0), match->output(0));
+        changed = true;
+      } else {
+        candidates.push_back(node);
+      }
+    }
+    if (changed) graph->RemoveDeadNodes();
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateCsePass() { return std::make_unique<CsePass>(); }
+
+}  // namespace disc

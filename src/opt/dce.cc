@@ -1,0 +1,19 @@
+#include "opt/pass.h"
+
+namespace disc {
+namespace {
+
+class DcePass : public Pass {
+ public:
+  const char* name() const override { return "dce"; }
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    (void)ctx;
+    return graph->RemoveDeadNodes() > 0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateDcePass() { return std::make_unique<DcePass>(); }
+
+}  // namespace disc

@@ -1,0 +1,56 @@
+// Layout simplification: folds explicit transposes into matmul's
+// transpose_a/transpose_b flags (the library kernel handles transposed
+// operands for free), eliminating the materialized transposed copy.
+//
+// Matters most for dynamic shapes: the transpose kernel a framework emits
+// for `x @ w.T` moves the whole tensor through global memory; folding it
+// into the GEMM call removes a launch and a full tensor of traffic.
+#include "opt/pass.h"
+
+namespace disc {
+namespace {
+
+// True if `perm` swaps the last two dims and fixes everything else.
+bool SwapsLastTwoOnly(const std::vector<int64_t>& perm) {
+  int64_t rank = static_cast<int64_t>(perm.size());
+  if (rank < 2) return false;
+  for (int64_t i = 0; i < rank - 2; ++i) {
+    if (perm[i] != i) return false;
+  }
+  return perm[rank - 2] == rank - 1 && perm[rank - 1] == rank - 2;
+}
+
+class LayoutSimplifyPass : public Pass {
+ public:
+  const char* name() const override { return "layout_simplify"; }
+
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    (void)ctx;
+    bool changed = false;
+    for (Node* node : graph->TopologicalOrder()) {
+      if (node->kind() != OpKind::kMatMul) continue;
+      for (int operand_index = 0; operand_index < 2; ++operand_index) {
+        Node* producer = node->operand(operand_index)->producer();
+        if (producer == nullptr || producer->kind() != OpKind::kTranspose) {
+          continue;
+        }
+        if (!SwapsLastTwoOnly(producer->GetIntListAttr("perm"))) continue;
+        const char* flag = operand_index == 0 ? "transpose_a" : "transpose_b";
+        graph->SetOperand(node, operand_index, producer->operand(0));
+        node->SetAttr(flag, node->GetIntAttr(flag, 0) == 0 ? int64_t{1}
+                                                           : int64_t{0});
+        changed = true;
+      }
+    }
+    if (changed) graph->RemoveDeadNodes();
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateLayoutSimplifyPass() {
+  return std::make_unique<LayoutSimplifyPass>();
+}
+
+}  // namespace disc

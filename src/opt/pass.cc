@@ -1,0 +1,43 @@
+#include "opt/pass.h"
+
+#include "support/logging.h"
+
+namespace disc {
+
+Result<bool> PassManager::RunOnce(Graph* graph, const PassContext& ctx) {
+  bool changed = false;
+  for (auto& pass : passes_) {
+    DISC_ASSIGN_OR_RETURN(bool pass_changed, pass->Run(graph, ctx));
+    if (pass_changed) {
+      changed = true;
+      change_log_.emplace_back(pass->name(), 1);
+      DISC_LOG(Debug) << "pass " << pass->name() << " changed the graph";
+    }
+  }
+  return changed;
+}
+
+Status PassManager::RunToFixpoint(Graph* graph, const PassContext& ctx,
+                                  int max_iters) {
+  for (int i = 0; i < max_iters; ++i) {
+    DISC_ASSIGN_OR_RETURN(bool changed, RunOnce(graph, ctx));
+    // Rewrites can expose more static type information (e.g. after a
+    // redundant broadcast is removed); tighten before the next sweep.
+    changed |= graph->RefineStaticTypes() > 0;
+    if (!changed) return Status::OK();
+  }
+  DISC_LOG(Warning) << "pass pipeline did not reach fixpoint in " << max_iters
+                    << " iterations";
+  return Status::OK();
+}
+
+void AddStandardPasses(PassManager* pm) {
+  pm->AddPass(CreateCanonicalizePass());
+  pm->AddPass(CreateConstantFoldPass());
+  pm->AddPass(CreateShapeSimplifyPass());
+  pm->AddPass(CreateLayoutSimplifyPass());
+  pm->AddPass(CreateCsePass());
+  pm->AddPass(CreateDcePass());
+}
+
+}  // namespace disc

@@ -1,0 +1,85 @@
+// Graph-pass infrastructure.
+#ifndef DISC_OPT_PASS_H_
+#define DISC_OPT_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// Context shared by passes in one pipeline run.
+struct PassContext {
+  /// Dim labels for ShapeAnalysis-backed passes (see ShapeAnalysis).
+  std::vector<std::vector<std::string>> input_dim_labels;
+  /// Upper bound on elements materialized by constant folding.
+  int64_t max_fold_elements = 1 << 16;
+};
+
+/// \brief A graph-to-graph transformation.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  /// \brief Returns true if the graph changed.
+  virtual Result<bool> Run(Graph* graph, const PassContext& ctx) = 0;
+};
+
+/// \brief Runs a pass sequence, optionally to fixpoint.
+class PassManager {
+ public:
+  void AddPass(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  /// \brief One sweep over all passes. Returns whether anything changed.
+  Result<bool> RunOnce(Graph* graph, const PassContext& ctx);
+
+  /// \brief Sweeps until no pass reports a change (bounded by max_iters).
+  Status RunToFixpoint(Graph* graph, const PassContext& ctx,
+                       int max_iters = 10);
+
+  /// \brief Per-pass cumulative change counts (for reporting/tests).
+  const std::vector<std::pair<std::string, int>>& change_log() const {
+    return change_log_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<std::pair<std::string, int>> change_log_;
+};
+
+// --- standard passes --------------------------------------------------------
+
+/// Local algebraic/structural rewrites: identities (x+0, x*1, x/1),
+/// double-negation, transpose composition/identity, trivial reshape/slice/
+/// pad/concat elimination, cast-to-same-dtype removal.
+std::unique_ptr<Pass> CreateCanonicalizePass();
+
+/// Evaluates nodes whose operands are all constants (bounded by
+/// ctx.max_fold_elements).
+std::unique_ptr<Pass> CreateConstantFoldPass();
+
+/// Common subexpression elimination over (kind, operands, attrs).
+std::unique_ptr<Pass> CreateCsePass();
+
+/// Removes nodes not reachable from graph outputs.
+std::unique_ptr<Pass> CreateDcePass();
+
+/// Symbolic-shape-powered cleanups (the dynamic-shape-specific pass the
+/// paper's pipeline needs): removes broadcast_to/reshape ops whose output is
+/// provably shape-equal to their input even when dims are dynamic.
+std::unique_ptr<Pass> CreateShapeSimplifyPass();
+
+/// Folds explicit last-two-dim transposes into matmul transpose flags.
+std::unique_ptr<Pass> CreateLayoutSimplifyPass();
+
+/// \brief The standard optimization pipeline used by the compiler.
+void AddStandardPasses(PassManager* pm);
+
+}  // namespace disc
+
+#endif  // DISC_OPT_PASS_H_

@@ -1,0 +1,71 @@
+// The dynamic-shape-specific cleanup pass.
+//
+// Frameworks emit defensive shape plumbing around dynamic dims: broadcasts
+// to shapes that are provably identical, reshapes that provably preserve the
+// shape, and shape-computation chains that reduce to an input's own shape.
+// None of these can be removed by looking at static types (the dims are all
+// "?"); the symbolic layer can prove them away. This is a direct analog of
+// the paper's use of shape constraints to recover optimizations that static
+// compilers get for free.
+#include "opt/pass.h"
+#include "shape/shape_analysis.h"
+#include "support/logging.h"
+
+namespace disc {
+namespace {
+
+class ShapeSimplifyPass : public Pass {
+ public:
+  const char* name() const override { return "shape_simplify"; }
+
+  Result<bool> Run(Graph* graph, const PassContext& ctx) override {
+    ShapeAnalysis analysis(graph, ctx.input_dim_labels);
+    DISC_RETURN_IF_ERROR(analysis.Run());
+
+    bool changed = false;
+    for (Node* node : graph->TopologicalOrder()) {
+      switch (node->kind()) {
+        case OpKind::kBroadcastTo:
+        case OpKind::kReshape: {
+          Value* in = node->operand(0);
+          Value* out = node->output(0);
+          // Provably the same shape (symbolically) -> drop the op.
+          // Ranks must match and the static types must be compatible so the
+          // replacement does not weaken type information downstream.
+          if (in->rank() == out->rank() &&
+              analysis.IsShapeEqual(in, out) &&
+              StaticCompatible(in->type(), out->type())) {
+            graph->ReplaceAllUsesWith(out, in);
+            changed = true;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (changed) graph->RemoveDeadNodes();
+    return changed;
+  }
+
+ private:
+  // `in` may replace `out` if every statically-known dim of `out` is also
+  // statically known (and equal) in `in`.
+  static bool StaticCompatible(const TensorType& in, const TensorType& out) {
+    if (in.dtype != out.dtype || in.rank() != out.rank()) return false;
+    for (int64_t i = 0; i < out.rank(); ++i) {
+      if (out.dims[i] != kDynamicDim && in.dims[i] != out.dims[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateShapeSimplifyPass() {
+  return std::make_unique<ShapeSimplifyPass>();
+}
+
+}  // namespace disc

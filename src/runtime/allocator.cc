@@ -1,0 +1,54 @@
+#include "runtime/allocator.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace disc {
+
+int64_t CachingAllocator::Allocate(int64_t bytes) {
+  DISC_CHECK_GE(bytes, 0);
+  int64_t size = std::max<int64_t>(RoundUp(bytes, 256), 256);
+  ++stats_.alloc_calls;
+
+  auto it = free_lists_.find(size);
+  int64_t block_id;
+  if (it != free_lists_.end() && !it->second.empty()) {
+    block_id = it->second.back();
+    it->second.pop_back();
+    ++stats_.cache_hits;
+  } else {
+    block_id = static_cast<int64_t>(blocks_.size());
+    blocks_.push_back({size, false});
+    stats_.bytes_reserved += size;
+  }
+  Block& block = blocks_[block_id];
+  DISC_CHECK(!block.in_use);
+  block.in_use = true;
+  stats_.bytes_in_use += size;
+  stats_.peak_bytes_in_use =
+      std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+  stats_.peak_bytes_reserved =
+      std::max(stats_.peak_bytes_reserved, stats_.bytes_reserved);
+  return block_id;
+}
+
+void CachingAllocator::Free(int64_t block_id) {
+  DISC_CHECK_GE(block_id, 0);
+  DISC_CHECK_LT(block_id, static_cast<int64_t>(blocks_.size()));
+  Block& block = blocks_[block_id];
+  DISC_CHECK(block.in_use) << "double free of block " << block_id;
+  block.in_use = false;
+  stats_.bytes_in_use -= block.size;
+  free_lists_[block.size].push_back(block_id);
+}
+
+void CachingAllocator::TrimCache() {
+  for (auto& [size, list] : free_lists_) {
+    stats_.bytes_reserved -= size * static_cast<int64_t>(list.size());
+    list.clear();
+  }
+}
+
+}  // namespace disc

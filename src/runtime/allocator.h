@@ -1,0 +1,54 @@
+// Size-class caching device-memory allocator (accounting model).
+//
+// Mirrors the behaviour of the RAL/framework caching allocators the paper's
+// runtime sits on: frees return blocks to per-size-class free lists, repeat
+// allocations of the same (rounded) size hit the cache, and the high-water
+// mark reports the device footprint an execution strategy needs. No real
+// device memory exists in the simulation, so this class tracks bytes only —
+// but the cache-hit dynamics under changing shapes are real, which is what
+// the memory experiments measure.
+#ifndef DISC_RUNTIME_ALLOCATOR_H_
+#define DISC_RUNTIME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace disc {
+
+class CachingAllocator {
+ public:
+  struct Stats {
+    int64_t alloc_calls = 0;
+    int64_t cache_hits = 0;
+    int64_t bytes_in_use = 0;
+    int64_t bytes_reserved = 0;  // in-use + cached free blocks
+    int64_t peak_bytes_in_use = 0;
+    int64_t peak_bytes_reserved = 0;
+  };
+
+  /// \brief Allocates `bytes` (rounded up to a 256-B-aligned size class);
+  /// returns an opaque block id.
+  int64_t Allocate(int64_t bytes);
+
+  /// \brief Returns the block to its size-class free list.
+  void Free(int64_t block_id);
+
+  /// \brief Releases all cached free blocks (cudaEmptyCache analog).
+  void TrimCache();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    int64_t size = 0;
+    bool in_use = false;
+  };
+  std::vector<Block> blocks_;
+  std::map<int64_t, std::vector<int64_t>> free_lists_;  // size -> block ids
+  Stats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_RUNTIME_ALLOCATOR_H_

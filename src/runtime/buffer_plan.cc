@@ -1,0 +1,81 @@
+#include "runtime/buffer_plan.h"
+
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/string_util.h"
+
+namespace disc {
+
+std::string BufferAssignment::ToString() const {
+  return StrFormat("%lld values in %lld slots (%lld reuses)",
+                   static_cast<long long>(num_values),
+                   static_cast<long long>(num_slots()),
+                   static_cast<long long>(num_reused));
+}
+
+BufferAssignment PlanBuffers(const std::vector<PlanStep>& steps,
+                             const std::vector<const Value*>& keep_alive,
+                             const ShapeAnalysis& analysis) {
+  BufferAssignment plan;
+  std::unordered_set<const Value*> pinned(keep_alive.begin(),
+                                          keep_alive.end());
+
+  // Last step that uses each value.
+  std::unordered_map<const Value*, size_t> last_use;
+  for (size_t s = 0; s < steps.size(); ++s) {
+    for (const Value* v : steps[s].uses) last_use[v] = s;
+  }
+
+  // Symbolic byte size of a value, canonical so equality is structural.
+  auto size_expr = [&](const Value* v) {
+    DimExpr numel = analysis.manager().Canonicalize(
+        SymShapeNumElements(analysis.GetShape(v)));
+    return DimExpr::Mul(numel, DimExpr::Const(DTypeSize(v->dtype())));
+  };
+
+  // Linear scan with per-size free lists.
+  std::map<std::string, std::vector<int>> free_slots;
+  std::unordered_set<const Value*> freed;  // guard against duplicate uses
+  for (size_t s = 0; s < steps.size(); ++s) {
+    for (const Value* v : steps[s].defines) {
+      DimExpr bytes = size_expr(v);
+      const std::string& key = bytes.ToString();
+      auto& free_list = free_slots[key];
+      int slot;
+      if (!free_list.empty()) {
+        slot = free_list.back();
+        free_list.pop_back();
+        ++plan.num_reused;
+      } else {
+        slot = static_cast<int>(plan.slot_bytes.size());
+        plan.slot_bytes.push_back(bytes);
+      }
+      plan.slot_of[v] = slot;
+      ++plan.num_values;
+    }
+    // Recycle slots of values whose last use is this step.
+    for (const Value* v : steps[s].defines) {
+      // A defined-but-never-used value dies immediately after its step
+      // unless pinned.
+      if (pinned.count(v)) continue;
+      auto lu = last_use.find(v);
+      if ((lu == last_use.end() || lu->second <= s) && freed.insert(v).second) {
+        free_slots[size_expr(v).ToString()].push_back(plan.slot_of.at(v));
+      }
+    }
+    for (const Value* v : steps[s].uses) {
+      if (pinned.count(v)) continue;
+      auto it = plan.slot_of.find(v);
+      if (it == plan.slot_of.end()) continue;  // graph input, not planned
+      auto lu = last_use.find(v);
+      if (lu != last_use.end() && lu->second == s && freed.insert(v).second) {
+        free_slots[size_expr(v).ToString()].push_back(it->second);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace disc

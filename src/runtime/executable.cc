@@ -1,0 +1,248 @@
+#include "runtime/executable.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/eval.h"
+#include "kernel/library.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+namespace {
+// Per-node cost of replaying a captured CUDA graph (vs a full driver
+// launch): the GPU still schedules each kernel, the host does not.
+constexpr double kGraphReplayPerNodeUs = 0.4;
+}  // namespace
+
+std::string RunProfile::ToString() const {
+  std::ostringstream out;
+  out << StrFormat(
+      "device=%.1fus launches=%lld lib_calls=%lld bytes=%.2fMB peak=%.2fMB",
+      device_time_us, static_cast<long long>(kernel_launches),
+      static_cast<long long>(library_calls),
+      (bytes_read + bytes_written) / 1e6, peak_memory_bytes / 1e6);
+  if (!variant_counts.empty()) {
+    out << " variants{";
+    bool first = true;
+    for (const auto& [name, count] : variant_counts) {
+      if (!first) out << ", ";
+      out << name << ":" << count;
+      first = false;
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+std::string CompileReport::ToString() const {
+  return StrFormat(
+      "compile=%.1fms nodes %lld->%lld, %lld kernels (%lld variants), "
+      "groups: %lld loop / %lld input / %lld stitch, symbols %lld->%lld "
+      "classes",
+      compile_ms, static_cast<long long>(num_nodes_before),
+      static_cast<long long>(num_nodes_after),
+      static_cast<long long>(num_kernels),
+      static_cast<long long>(num_variants),
+      static_cast<long long>(fusion.num_loop_groups),
+      static_cast<long long>(fusion.num_input_groups),
+      static_cast<long long>(fusion.num_stitch_groups),
+      static_cast<long long>(shapes.num_symbols),
+      static_cast<long long>(shapes.num_classes));
+}
+
+Result<RunResult> Executable::Run(const std::vector<Tensor>& inputs,
+                                  const RunOptions& options) const {
+  std::vector<std::vector<int64_t>> dims;
+  dims.reserve(inputs.size());
+  for (const Tensor& t : inputs) dims.push_back(t.dims());
+  return RunInternal(dims, options.execute_data ? &inputs : nullptr, options);
+}
+
+Result<RunResult> Executable::RunWithShapes(
+    const std::vector<std::vector<int64_t>>& input_dims,
+    const RunOptions& options) const {
+  RunOptions timing_only = options;
+  timing_only.execute_data = false;
+  return RunInternal(input_dims, nullptr, timing_only);
+}
+
+Result<RunResult> Executable::RunInternal(
+    const std::vector<std::vector<int64_t>>& input_dims,
+    const std::vector<Tensor>* inputs, const RunOptions& options) const {
+  // Host-side shape computation: solve every symbolic dim once per run.
+  DISC_ASSIGN_OR_RETURN(SymbolBindings bindings,
+                        analysis_->BindInputs(input_dims));
+
+  DeviceModel model(options.device);
+  RunResult result;
+  RunProfile& profile = result.profile;
+  CachingAllocator allocator;
+  const bool execute_data = inputs != nullptr;
+
+  std::unordered_map<const Value*, Tensor> env;
+  if (execute_data) {
+    for (size_t i = 0; i < graph_->inputs().size(); ++i) {
+      env.emplace(graph_->inputs()[i], (*inputs)[i]);
+    }
+  }
+
+  // Liveness: the last step consuming each value (for buffer release).
+  std::unordered_map<const Value*, size_t> last_use;
+  std::unordered_set<const Value*> graph_outputs(graph_->outputs().begin(),
+                                                 graph_->outputs().end());
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    auto mark = [&](const Node* node) {
+      for (const Value* operand : node->operands()) last_use[operand] = s;
+    };
+    if (step.kind == Step::Kind::kKernel) {
+      for (const Value* in : step.kernel->group().inputs) last_use[in] = s;
+    } else {
+      mark(step.node);
+    }
+  }
+
+  std::unordered_map<const Value*, int64_t> block_of;
+  auto allocate_value = [&](const Value* v) -> Status {
+    DISC_ASSIGN_OR_RETURN(std::vector<int64_t> dims,
+                          analysis_->EvaluateShape(v, bindings));
+    block_of[v] = allocator.Allocate(Product(dims) * DTypeSize(v->dtype()));
+    return Status::OK();
+  };
+  auto release_dead = [&](size_t step_index) {
+    for (auto it = block_of.begin(); it != block_of.end();) {
+      const Value* v = it->first;
+      auto lu = last_use.find(v);
+      bool dead = (lu == last_use.end() || lu->second <= step_index) &&
+                  !graph_outputs.count(v) &&
+                  (v->producer() == nullptr ||
+                   v->producer()->kind() != OpKind::kConstant);
+      if (dead) {
+        allocator.Free(it->second);
+        it = block_of.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    switch (step.kind) {
+      case Step::Kind::kConstant: {
+        // Weights are resident on device for the module's lifetime.
+        DISC_RETURN_IF_ERROR(allocate_value(step.node->output(0)));
+        if (execute_data) {
+          env.emplace(step.node->output(0),
+                      step.node->GetTensorAttr("value"));
+        }
+        break;
+      }
+      case Step::Kind::kHost: {
+        // Shape computation runs on the host CPU alongside kernel
+        // launches; it contributes no device time.
+        if (execute_data) {
+          std::vector<Tensor> operand_values;
+          for (const Value* operand : step.node->operands()) {
+            operand_values.push_back(env.at(operand));
+          }
+          DISC_ASSIGN_OR_RETURN(std::vector<Tensor> values,
+                                EvaluateNode(*step.node, operand_values));
+          for (size_t i = 0; i < values.size(); ++i) {
+            env.emplace(step.node->output(static_cast<int>(i)),
+                        std::move(values[i]));
+          }
+        }
+        break;
+      }
+      case Step::Kind::kLibrary: {
+        DISC_ASSIGN_OR_RETURN(
+            LibraryCallStats stats,
+            ComputeLibraryStats(*step.node, *analysis_, bindings));
+        KernelCost cost =
+            model.EstimateLibrary(stats, options.library_efficiency);
+        profile.device_time_us += options.batch_launches
+                                      ? cost.body_us + kGraphReplayPerNodeUs
+                                      : cost.time_us;
+        profile.library_calls += 1;
+        profile.bytes_read += stats.bytes_read;
+        profile.bytes_written += stats.bytes_written;
+        if (cost.memory_bound) profile.memory_bound_launches += 1;
+        for (const Value* out : step.node->outputs()) {
+          DISC_RETURN_IF_ERROR(allocate_value(out));
+        }
+        if (execute_data) {
+          std::vector<Tensor> operand_values;
+          for (const Value* operand : step.node->operands()) {
+            operand_values.push_back(env.at(operand));
+          }
+          DISC_ASSIGN_OR_RETURN(std::vector<Tensor> values,
+                                EvaluateNode(*step.node, operand_values));
+          for (size_t i = 0; i < values.size(); ++i) {
+            env.emplace(step.node->output(static_cast<int>(i)),
+                        std::move(values[i]));
+          }
+        }
+        break;
+      }
+      case Step::Kind::kKernel: {
+        const FusedKernel& kernel = *step.kernel;
+        DISC_ASSIGN_OR_RETURN(const KernelVariant* variant,
+                              kernel.SelectVariant(bindings));
+        DISC_ASSIGN_OR_RETURN(KernelStats stats,
+                              kernel.ComputeStats(bindings, *variant));
+        KernelCost cost = model.EstimateGenerated(stats, *variant);
+        profile.device_time_us += options.batch_launches
+                                      ? cost.body_us + kGraphReplayPerNodeUs
+                                      : cost.time_us;
+        profile.kernel_launches += 1;
+        profile.bytes_read += stats.bytes_read;
+        profile.bytes_written += stats.bytes_written;
+        profile.variant_counts[kernel.name() + "/" + variant->name] += 1;
+        if (cost.memory_bound) profile.memory_bound_launches += 1;
+        for (const Value* out : kernel.group().outputs) {
+          DISC_RETURN_IF_ERROR(allocate_value(out));
+        }
+        if (execute_data) {
+          DISC_RETURN_IF_ERROR(kernel.Execute(bindings, &env));
+        }
+        break;
+      }
+    }
+    release_dead(s);
+  }
+
+  if (options.batch_launches) {
+    // One driver submission for the whole captured graph.
+    profile.device_time_us += model.launch_overhead_us();
+  }
+  profile.peak_memory_bytes = allocator.stats().peak_bytes_in_use;
+  profile.alloc_calls = allocator.stats().alloc_calls;
+  profile.alloc_cache_hits = allocator.stats().cache_hits;
+
+  if (execute_data) {
+    for (const Value* out : graph_->outputs()) {
+      auto it = env.find(out);
+      if (it == env.end()) {
+        return Status::Internal("graph output %" + std::to_string(out->id()) +
+                                " was not produced");
+      }
+      result.outputs.push_back(it->second);
+    }
+  }
+  return result;
+}
+
+std::string Executable::ToString() const {
+  std::ostringstream out;
+  out << "executable for graph '" << graph_->name() << "' — "
+      << report_.ToString() << "\n";
+  for (const auto& kernel : kernels_) out << kernel->ToString();
+  return out.str();
+}
+
+}  // namespace disc

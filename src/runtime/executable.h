@@ -1,0 +1,138 @@
+// The compiled artifact and its runtime.
+//
+// An Executable owns the optimized graph, the shape analysis (whose DimExprs
+// double as the host-side shape program), the fusion plan and the compiled
+// kernels. One compilation serves every input shape: each Run solves the
+// symbolic dims from the actual input shapes, evaluates every kernel's
+// guards to pick variants, computes launch dims, and executes — no
+// recompilation, mirroring the paper's compile-once design.
+//
+// Two run modes:
+//   * data mode      — executes numerics on the CPU and simulates timing;
+//   * timing-only    — skips data movement entirely (shapes suffice), used
+//                      by the benchmarks so sweeps stay fast.
+#ifndef DISC_RUNTIME_EXECUTABLE_H_
+#define DISC_RUNTIME_EXECUTABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fusion/fusion.h"
+#include "ir/graph.h"
+#include "ir/tensor.h"
+#include "kernel/kernel.h"
+#include "runtime/allocator.h"
+#include "runtime/buffer_plan.h"
+#include "sim/device.h"
+
+namespace disc {
+
+struct RunOptions {
+  DeviceSpec device = DeviceSpec::A10();
+  /// When false, Run only simulates timing (outputs stay empty).
+  bool execute_data = true;
+  /// Fraction of peak FLOPs the vendor library reaches for GEMM/Conv
+  /// (cuBLAS-class 0.85; tuned TVM/TensorRT kernels higher).
+  double library_efficiency = 0.85;
+  /// CUDA-Graph-style replay: all kernel launches of the run are submitted
+  /// as one captured graph, paying the driver launch latency once plus a
+  /// small per-node replay cost. Only valid when the caller has verified
+  /// the shape signature matches a previous capture (CUDA graphs are
+  /// shape-static); engines gate this on their signature cache.
+  bool batch_launches = false;
+};
+
+/// Counters collected during one Run.
+struct RunProfile {
+  double device_time_us = 0.0;
+  int64_t kernel_launches = 0;  // generated kernels
+  int64_t library_calls = 0;
+  int64_t memory_bound_launches = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t peak_memory_bytes = 0;
+  /// Device allocator traffic (size-class cache hits are free on the hot
+  /// path; misses map/reserve new memory).
+  int64_t alloc_calls = 0;
+  int64_t alloc_cache_hits = 0;
+  std::map<std::string, int64_t> variant_counts;  // per variant name
+
+  std::string ToString() const;
+};
+
+struct RunResult {
+  std::vector<Tensor> outputs;  // empty in timing-only mode
+  RunProfile profile;
+};
+
+/// Summary of one compilation, for reporting and the compile-time bench.
+struct CompileReport {
+  double compile_ms = 0.0;
+  int64_t num_nodes_before = 0;
+  int64_t num_nodes_after = 0;
+  FusionPlan::Stats fusion;
+  SymbolicDimManager::Stats shapes;
+  int64_t num_kernels = 0;
+  int64_t num_variants = 0;
+  /// Compile-time buffer assignment: device values vs logical slots.
+  int64_t buffer_values = 0;
+  int64_t buffer_slots = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief A compiled, shape-polymorphic module. Create via DiscCompiler.
+class Executable {
+ public:
+  /// \brief Full run: numerics + simulated timing.
+  Result<RunResult> Run(const std::vector<Tensor>& inputs,
+                        const RunOptions& options = {}) const;
+
+  /// \brief Timing-only run from input shapes.
+  Result<RunResult> RunWithShapes(
+      const std::vector<std::vector<int64_t>>& input_dims,
+      const RunOptions& options = {}) const;
+
+  const Graph& graph() const { return *graph_; }
+  const ShapeAnalysis& analysis() const { return *analysis_; }
+  const FusionPlan& plan() const { return plan_; }
+  const std::vector<std::unique_ptr<FusedKernel>>& kernels() const {
+    return kernels_;
+  }
+  const CompileReport& report() const { return report_; }
+  /// Compile-time buffer assignment (shape-polymorphic slot reuse). The
+  /// CPU runtime's caching allocator realizes the same reuse dynamically;
+  /// the plan documents it statically and is validated by tests.
+  const BufferAssignment& buffer_plan() const { return buffer_plan_; }
+
+  std::string ToString() const;
+
+ private:
+  friend class DiscCompiler;
+  Executable() = default;
+
+  struct Step {
+    enum class Kind { kConstant, kHost, kLibrary, kKernel };
+    Kind kind;
+    const Node* node = nullptr;        // kConstant/kHost/kLibrary
+    const FusedKernel* kernel = nullptr;  // kKernel
+  };
+
+  Result<RunResult> RunInternal(
+      const std::vector<std::vector<int64_t>>& input_dims,
+      const std::vector<Tensor>* inputs, const RunOptions& options) const;
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<ShapeAnalysis> analysis_;
+  FusionPlan plan_;
+  std::vector<std::unique_ptr<FusedKernel>> kernels_;
+  std::vector<Step> steps_;
+  BufferAssignment buffer_plan_;
+  CompileReport report_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_RUNTIME_EXECUTABLE_H_

@@ -1,0 +1,167 @@
+#include "serving/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+const char* PadPolicyName(PadPolicy policy) {
+  switch (policy) {
+    case PadPolicy::kNone:
+      return "none";
+    case PadPolicy::kBatchMax:
+      return "batch-max";
+    case PadPolicy::kBucketPow2:
+      return "bucket-pow2";
+  }
+  return "?";
+}
+
+std::string ServingStats::ToString() const {
+  return StrFormat(
+      "p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus qps=%.0f "
+      "pad_waste=%.0f%% batches=%lld",
+      p50_us, p95_us, p99_us, mean_us, throughput_qps,
+      padded_token_fraction * 100, static_cast<long long>(batches));
+}
+
+std::vector<Batch> FormBatches(const std::vector<Request>& requests,
+                               const BatcherOptions& options) {
+  std::vector<Batch> batches;
+  if (requests.empty()) return batches;
+
+  if (options.pad == PadPolicy::kNone) {
+    for (const Request& r : requests) {
+      Batch batch;
+      batch.requests = {r};
+      batch.padded_batch = 1;
+      batch.padded_seq = r.seq_len;
+      batch.ready_us = r.arrival_us;
+      batches.push_back(std::move(batch));
+    }
+    return batches;
+  }
+
+  Batch current;
+  auto flush = [&]() {
+    if (current.requests.empty()) return;
+    int64_t batch_size = static_cast<int64_t>(current.requests.size());
+    int64_t max_seq = 0;
+    double last_arrival = 0.0;
+    for (const Request& r : current.requests) {
+      max_seq = std::max(max_seq, r.seq_len);
+      last_arrival = std::max(last_arrival, r.arrival_us);
+    }
+    if (options.pad == PadPolicy::kBucketPow2) {
+      current.padded_batch = NextPowerOfTwo(batch_size);
+      current.padded_seq = NextPowerOfTwo(max_seq);
+    } else {
+      current.padded_batch = batch_size;
+      current.padded_seq = max_seq;
+    }
+    // The batch is ready when its last member arrived, or when the oldest
+    // member's wait budget expires — whichever is earlier — but never
+    // before the last member it actually contains arrived.
+    current.ready_us = last_arrival;
+    batches.push_back(std::move(current));
+    current = Batch();
+  };
+
+  for (const Request& r : requests) {
+    if (!current.requests.empty()) {
+      double oldest = current.requests.front().arrival_us;
+      // Close the batch if adding r would exceed the oldest member's wait.
+      if (r.arrival_us - oldest > options.max_wait_us) flush();
+    }
+    current.requests.push_back(r);
+    if (static_cast<int64_t>(current.requests.size()) >= options.max_batch) {
+      flush();
+    }
+  }
+  flush();
+  return batches;
+}
+
+Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
+                                     const std::vector<Request>& requests,
+                                     const BatcherOptions& options,
+                                     const DeviceSpec& device) {
+  std::vector<Batch> batches = FormBatches(requests, options);
+  ServingStats stats;
+  stats.batches = static_cast<int64_t>(batches.size());
+
+  double clock_us = 0.0;
+  int64_t real_tokens = 0;
+  int64_t padded_tokens = 0;
+  std::vector<double> latencies;
+  for (const Batch& batch : batches) {
+    DISC_ASSIGN_OR_RETURN(
+        EngineTiming timing,
+        engine->Query(shape_fn(batch.padded_batch, batch.padded_seq),
+                      device));
+    double start = std::max(clock_us, batch.ready_us);
+    double done = start + timing.total_us;
+    clock_us = done;
+    for (const Request& r : batch.requests) {
+      latencies.push_back(done - r.arrival_us);
+      real_tokens += r.seq_len;
+    }
+    padded_tokens += batch.padded_batch * batch.padded_seq;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    double idx = p / 100.0 * static_cast<double>(latencies.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, latencies.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return latencies[lo] * (1 - frac) + latencies[hi] * frac;
+  };
+  stats.p50_us = pct(50);
+  stats.p95_us = pct(95);
+  stats.p99_us = pct(99);
+  double total = 0;
+  for (double l : latencies) total += l;
+  stats.mean_us =
+      latencies.empty() ? 0.0 : total / static_cast<double>(latencies.size());
+  stats.throughput_qps =
+      clock_us > 0 ? static_cast<double>(requests.size()) / clock_us * 1e6
+                   : 0.0;
+  stats.padded_token_fraction =
+      padded_tokens > 0
+          ? 1.0 - static_cast<double>(real_tokens) /
+                      static_cast<double>(padded_tokens)
+          : 0.0;
+  return stats;
+}
+
+std::vector<Request> SyntheticRequestStream(int64_t count, double mean_gap_us,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Request> requests;
+  double clock = 0.0;
+  const std::vector<int64_t> lengths = {64, 32, 96, 17, 128, 48, 80, 24};
+  std::vector<double> weights(lengths.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    // Exponential-ish gap via inverse transform on a uniform sample.
+    double u = std::max(1e-6, 1.0 - rng.Uniform());
+    clock += -mean_gap_us * std::log(u);
+    Request r;
+    r.id = i;
+    r.seq_len = lengths[rng.Categorical(weights)];
+    r.arrival_us = clock;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+}  // namespace disc

@@ -1,0 +1,92 @@
+// Serving simulation: dynamic batching over a single simulated GPU.
+//
+// Production inference (the paper's deployment context) doesn't see one
+// query at a time — a batcher groups concurrent requests. Batching forces
+// padding *within* a batch (all sequences in one launch share S), and the
+// padding policy is where shape flexibility pays off:
+//   * kBatchMax   — pad only to the longest request in the batch; needs a
+//                   compiler that accepts ANY (B, S) — i.e. DISC;
+//   * kBucketPow2 — pad (B, S) up to powers of two; what static engines
+//                   with a bucket grid must do;
+//   * kNone       — no batching: every request runs alone (eager-style).
+// The simulator advances a single-device clock: batches execute serially,
+// requests accumulate queueing + execution latency; reported percentiles
+// include both.
+#ifndef DISC_SERVING_SERVING_H_
+#define DISC_SERVING_SERVING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+#include "support/status.h"
+
+namespace disc {
+
+/// One inference request.
+struct Request {
+  int64_t id = 0;
+  int64_t seq_len = 1;
+  double arrival_us = 0.0;
+};
+
+enum class PadPolicy {
+  kNone,       // no batching, one request per launch
+  kBatchMax,   // pad to the batch's longest sequence
+  kBucketPow2, // pad batch and sequence to powers of two
+};
+
+const char* PadPolicyName(PadPolicy policy);
+
+struct BatcherOptions {
+  int64_t max_batch = 8;
+  /// A batch launches when full or when its oldest request has waited this
+  /// long.
+  double max_wait_us = 2000.0;
+  PadPolicy pad = PadPolicy::kBatchMax;
+};
+
+/// One formed batch: the requests plus the padded launch shape.
+struct Batch {
+  std::vector<Request> requests;
+  int64_t padded_batch = 0;
+  int64_t padded_seq = 0;
+  double ready_us = 0.0;  // when the batch could start (arrivals + wait)
+};
+
+/// \brief Groups requests (assumed sorted by arrival) into batches under
+/// the policy. Pure function — exposed for testing.
+std::vector<Batch> FormBatches(const std::vector<Request>& requests,
+                               const BatcherOptions& options);
+
+struct ServingStats {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double throughput_qps = 0.0;     // completed requests / simulated second
+  double padded_token_fraction = 0.0;  // padding waste across all batches
+  int64_t batches = 0;
+
+  std::string ToString() const;
+};
+
+/// Maps a padded (batch, seq) to the engine's input shapes.
+using ShapeFn =
+    std::function<std::vector<std::vector<int64_t>>(int64_t batch, int64_t seq)>;
+
+/// \brief Replays the request stream through `engine` on one device.
+/// `engine` must already be Prepared.
+Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
+                                     const std::vector<Request>& requests,
+                                     const BatcherOptions& options,
+                                     const DeviceSpec& device);
+
+/// \brief Poisson-ish request stream with Zipf-ish sequence lengths.
+std::vector<Request> SyntheticRequestStream(int64_t count, double mean_gap_us,
+                                            uint64_t seed);
+
+}  // namespace disc
+
+#endif  // DISC_SERVING_SERVING_H_

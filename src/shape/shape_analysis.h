@@ -1,0 +1,105 @@
+// Whole-graph symbolic shape analysis ("shape information propagation").
+//
+// Walks the graph in topological order and derives, for every value,
+//   * a SymShape — one DimExpr per dimension, and
+//   * for small i64 "shape tensors" (outputs of shape_of/dim/constant/
+//     concat/arithmetic), the symbolic *contents* — so a dynamic reshape
+//     whose target shape was computed in the graph still gets precise
+//     symbolic output dims (the cross-level linkage the paper relies on).
+//
+// Along the way it *excavates* constraints into the SymbolicDimManager:
+// elementwise ops unify operand dims, matmul unifies contraction dims,
+// reshape records product-equality facts, concat produces sum expressions.
+//
+// The same object doubles as the runtime's host-side shape program:
+// BindInputs() solves symbol values from concrete input shapes and
+// EvaluateShape() computes any value's concrete dims from them.
+#ifndef DISC_SHAPE_SHAPE_ANALYSIS_H_
+#define DISC_SHAPE_SHAPE_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.h"
+#include "shape/dim_expr.h"
+#include "shape/symbolic_dim.h"
+
+namespace disc {
+
+/// Concrete symbol values solved from runtime input shapes.
+using SymbolBindings = std::unordered_map<SymbolId, int64_t>;
+
+/// \brief Runs and stores the symbolic shape analysis for one graph.
+class ShapeAnalysis {
+ public:
+  /// `input_dim_labels`, if non-empty, is parallel to graph->inputs(); each
+  /// entry holds one label per dimension ("" = anonymous). Dynamic dims with
+  /// the same label share one symbolic dimension (e.g. the batch size of two
+  /// inputs). Static dims ignore labels.
+  explicit ShapeAnalysis(
+      const Graph* graph,
+      std::vector<std::vector<std::string>> input_dim_labels = {});
+
+  ShapeAnalysis(const ShapeAnalysis&) = delete;
+  ShapeAnalysis& operator=(const ShapeAnalysis&) = delete;
+
+  /// \brief Propagates shapes through every node. Idempotent.
+  Status Run();
+
+  const Graph* graph() const { return graph_; }
+  SymbolicDimManager& manager() { return manager_; }
+  const SymbolicDimManager& manager() const { return manager_; }
+
+  /// \brief Symbolic shape of a value (valid after Run()).
+  const SymShape& GetShape(const Value* v) const;
+
+  /// \brief Symbolic contents of an i64 shape-carrying value, if tracked.
+  const std::vector<DimExpr>* GetContent(const Value* v) const;
+
+  // --- relational queries used by fusion/codegen ---------------------------
+  bool IsShapeEqual(const Value* a, const Value* b) const;
+  bool IsSameNumElements(const Value* a, const Value* b) const;
+  bool IsDimEqual(const Value* a, int64_t da, const Value* b,
+                  int64_t db) const;
+
+  // --- runtime shape program -----------------------------------------------
+  /// \brief Solves symbol values given concrete dims for every graph input
+  /// (order parallel to graph->inputs()). Errors on inconsistency, e.g. two
+  /// inputs that must share a batch size arriving with different sizes.
+  Result<SymbolBindings> BindInputs(
+      const std::vector<std::vector<int64_t>>& input_dims) const;
+
+  /// \brief Concrete dims of `v` under the given bindings.
+  Result<std::vector<int64_t>> EvaluateShape(const Value* v,
+                                             const SymbolBindings& bindings) const;
+
+  /// \brief Evaluates a single expression under bindings.
+  Result<int64_t> EvaluateDim(const DimExpr& expr,
+                              const SymbolBindings& bindings) const;
+
+ private:
+  Status ProcessNode(const Node* node);
+  Status InferElementwise(const Node* node);
+  // Combines two dims of a (numpy-aligned) elementwise op, excavating
+  // equality constraints as a side effect.
+  Result<DimExpr> CombineBroadcastDims(const DimExpr& a, const DimExpr& b);
+  // Resolves the target shape of reshape/broadcast/iota from attr or the
+  // shape operand's tracked contents; entries may be invalid (unknown).
+  SymShape ResolveTarget(const Node* node, int64_t attr_rank_fallback);
+
+  void SetShape(const Value* v, SymShape shape);
+  void SetContent(const Value* v, std::vector<DimExpr> content);
+
+  const Graph* graph_;
+  std::vector<std::vector<std::string>> input_dim_labels_;
+  SymbolicDimManager manager_;
+  std::unordered_map<const Value*, SymShape> shapes_;
+  std::unordered_map<const Value*, std::vector<DimExpr>> contents_;
+  bool ran_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SHAPE_SHAPE_ANALYSIS_H_

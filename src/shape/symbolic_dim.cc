@@ -1,0 +1,325 @@
+#include "shape/symbolic_dim.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+SymbolId SymbolicDimManager::NewSymbol(const std::string& name_hint) {
+  SymbolId id = static_cast<SymbolId>(parent_.size());
+  parent_.push_back(id);
+  SymbolInfo info;
+  info.name = name_hint.empty() ? "s" + std::to_string(id) : name_hint;
+  info_.push_back(std::move(info));
+  return id;
+}
+
+SymbolId SymbolicDimManager::Find(SymbolId id) const {
+  DISC_CHECK_GE(id, 0);
+  DISC_CHECK_LT(id, static_cast<SymbolId>(parent_.size()));
+  while (parent_[id] != id) {
+    parent_[id] = parent_[parent_[id]];  // path halving
+    id = parent_[id];
+  }
+  return id;
+}
+
+Status SymbolicDimManager::MergeSymbols(SymbolId a, SymbolId b) {
+  SymbolId ra = Find(a);
+  SymbolId rb = Find(b);
+  if (ra == rb) return Status::OK();
+  SymbolInfo& ia = info_[ra];
+  SymbolInfo& ib = info_[rb];
+  if (ia.value && ib.value && *ia.value != *ib.value) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot merge s%d (=%lld) with s%d (=%lld)", ra,
+                  static_cast<long long>(*ia.value), rb,
+                  static_cast<long long>(*ib.value)));
+  }
+  // Keep the smaller id as root for determinism.
+  if (rb < ra) std::swap(ra, rb);
+  SymbolInfo& root = info_[ra];
+  SymbolInfo& child = info_[rb];
+  if (!root.value) root.value = child.value;
+  root.divisor = root.divisor / Gcd(root.divisor, child.divisor) *
+                 child.divisor;  // lcm
+  root.lower_bound = std::max(root.lower_bound, child.lower_bound);
+  root.upper_bound = std::min(root.upper_bound, child.upper_bound);
+  for (int64_t v : child.likely_values) {
+    if (std::find(root.likely_values.begin(), root.likely_values.end(), v) ==
+        root.likely_values.end()) {
+      root.likely_values.push_back(v);
+    }
+  }
+  parent_[rb] = ra;
+  return Status::OK();
+}
+
+Status SymbolicDimManager::SetValue(SymbolId id, int64_t value) {
+  SymbolInfo& info = info_[Find(id)];
+  if (info.value && *info.value != value) {
+    return Status::FailedPrecondition(
+        StrFormat("symbol %s already has value %lld, cannot set %lld",
+                  info.name.c_str(), static_cast<long long>(*info.value),
+                  static_cast<long long>(value)));
+  }
+  info.value = value;
+  return Status::OK();
+}
+
+std::optional<int64_t> SymbolicDimManager::GetValue(SymbolId id) const {
+  return info_[Find(id)].value;
+}
+
+void SymbolicDimManager::AddDivisibility(SymbolId id, int64_t divisor) {
+  DISC_CHECK_GT(divisor, 0);
+  SymbolInfo& info = info_[Find(id)];
+  info.divisor = info.divisor / Gcd(info.divisor, divisor) * divisor;  // lcm
+}
+
+int64_t SymbolicDimManager::GetDivisor(SymbolId id) const {
+  return info_[Find(id)].divisor;
+}
+
+Status SymbolicDimManager::SetRange(SymbolId id, int64_t lower, int64_t upper) {
+  SymbolInfo& info = info_[Find(id)];
+  int64_t new_lower = std::max(info.lower_bound, lower);
+  int64_t new_upper = std::min(info.upper_bound, upper);
+  if (new_lower > new_upper) {
+    return Status::FailedPrecondition("empty range for " + info.name);
+  }
+  info.lower_bound = new_lower;
+  info.upper_bound = new_upper;
+  return Status::OK();
+}
+
+std::pair<int64_t, int64_t> SymbolicDimManager::GetRange(SymbolId id) const {
+  const SymbolInfo& info = info_[Find(id)];
+  return {info.lower_bound, info.upper_bound};
+}
+
+void SymbolicDimManager::AddLikelyValue(SymbolId id, int64_t value) {
+  SymbolInfo& info = info_[Find(id)];
+  auto it = std::find(info.likely_values.begin(), info.likely_values.end(),
+                      value);
+  if (it != info.likely_values.end()) info.likely_values.erase(it);
+  info.likely_values.push_back(value);
+}
+
+const std::vector<int64_t>& SymbolicDimManager::GetLikelyValues(
+    SymbolId id) const {
+  return info_[Find(id)].likely_values;
+}
+
+const SymbolInfo& SymbolicDimManager::Info(SymbolId id) const {
+  return info_[Find(id)];
+}
+
+void SymbolicDimManager::AddProductEqual(const SymShape& lhs,
+                                         const SymShape& rhs) {
+  SymShape cl = Canonicalize(lhs);
+  SymShape cr = Canonicalize(rhs);
+  // Skip trivial facts.
+  if (DimExpr::Mul(std::vector<DimExpr>(cl.begin(), cl.end()))
+          .Equals(DimExpr::Mul(std::vector<DimExpr>(cr.begin(), cr.end())))) {
+    return;
+  }
+  product_facts_.emplace_back(std::move(cl), std::move(cr));
+}
+
+DimExpr SymbolicDimManager::Canonicalize(const DimExpr& expr) const {
+  std::unordered_map<SymbolId, DimExpr> subst;
+  for (SymbolId s : expr.CollectSymbols()) {
+    SymbolId root = Find(s);
+    const SymbolInfo& info = info_[root];
+    if (info.value) {
+      subst[s] = DimExpr::Const(*info.value);
+    } else if (root != s) {
+      subst[s] = DimExpr::Symbol(root);
+    } else {
+      // Even the root may carry a value set later; handled above.
+    }
+  }
+  return subst.empty() ? expr : expr.Substitute(subst);
+}
+
+SymShape SymbolicDimManager::Canonicalize(const SymShape& shape) const {
+  SymShape out;
+  out.reserve(shape.size());
+  for (const DimExpr& d : shape) out.push_back(Canonicalize(d));
+  return out;
+}
+
+bool SymbolicDimManager::IsDimEqual(const DimExpr& a, const DimExpr& b) const {
+  if (!a.valid() || !b.valid()) return false;
+  return Canonicalize(a).Equals(Canonicalize(b));
+}
+
+bool SymbolicDimManager::IsShapeEqual(const SymShape& a,
+                                      const SymShape& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!IsDimEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+SymbolicDimManager::ProductForm SymbolicDimManager::DecomposeProduct(
+    const SymShape& dims) const {
+  ProductForm form;
+  DimExpr product = Canonicalize(SymShapeNumElements(dims));
+  std::vector<DimExpr> worklist = {product};
+  while (!worklist.empty()) {
+    DimExpr e = worklist.back();
+    worklist.pop_back();
+    if (e.IsConst()) {
+      form.coeff *= e.const_value();
+    } else if (e.kind() == DimExprKind::kMul) {
+      for (const DimExpr& op : e.operands()) worklist.push_back(op);
+    } else {
+      // Symbols and opaque sub-expressions (sums, divisions) are factors.
+      form.factors[e.ToString()] += 1;
+      if (!e.IsSymbol()) form.polynomial = false;
+    }
+  }
+  return form;
+}
+
+bool SymbolicDimManager::IsSameNumElements(const SymShape& a,
+                                           const SymShape& b) const {
+  ProductForm fa = DecomposeProduct(a);
+  ProductForm fb = DecomposeProduct(b);
+
+  // diff = fa / fb as (coeff ratio, exponent difference).
+  auto diff_of = [](const ProductForm& x, const ProductForm& y) {
+    std::map<std::string, int> d = x.factors;
+    for (const auto& [key, exp] : y.factors) d[key] -= exp;
+    std::erase_if(d, [](const auto& kv) { return kv.second == 0; });
+    return d;
+  };
+  auto ratio_of = [](int64_t num, int64_t den) {
+    DISC_CHECK(num != 0 && den != 0);
+    int64_t g = Gcd(std::abs(num), std::abs(den));
+    return std::pair<int64_t, int64_t>(num / g, den / g);
+  };
+
+  std::map<std::string, int> d_ab = diff_of(fa, fb);
+  auto r_ab = ratio_of(fa.coeff, fb.coeff);
+  if (d_ab.empty() && r_ab.first == r_ab.second) return true;
+
+  // Try each recorded reshape fact (and its inverse) as a rewrite:
+  // a/b == l/r  or  a/b == r/l  implies equality.
+  for (const auto& [lhs, rhs] : product_facts_) {
+    ProductForm fl = DecomposeProduct(lhs);
+    ProductForm fr = DecomposeProduct(rhs);
+    std::map<std::string, int> d_lr = diff_of(fl, fr);
+    auto r_lr = ratio_of(fl.coeff, fr.coeff);
+    if (d_ab == d_lr && r_ab == r_lr) return true;
+    std::map<std::string, int> d_rl = diff_of(fr, fl);
+    auto r_rl = ratio_of(fr.coeff, fl.coeff);
+    if (d_ab == d_rl && r_ab == r_rl) return true;
+  }
+  return false;
+}
+
+bool SymbolicDimManager::IsDivisibleBy(const DimExpr& expr,
+                                       int64_t divisor) const {
+  DimExpr canonical = Canonicalize(expr);
+  std::unordered_map<SymbolId, int64_t> divisors;
+  for (SymbolId s : canonical.CollectSymbols()) {
+    divisors[s] = GetDivisor(s);
+  }
+  return canonical.ProvablyDivisibleBy(divisor, divisors);
+}
+
+std::optional<int64_t> SymbolicDimManager::UpperBound(
+    const DimExpr& expr) const {
+  DimExpr e = Canonicalize(expr);
+  switch (e.kind()) {
+    case DimExprKind::kConst:
+      return e.const_value();
+    case DimExprKind::kSymbol: {
+      int64_t ub = info_[Find(e.symbol())].upper_bound;
+      if (ub == INT64_MAX) return std::nullopt;
+      return ub;
+    }
+    case DimExprKind::kAdd: {
+      int64_t sum = 0;
+      for (const DimExpr& op : e.operands()) {
+        auto ub = UpperBound(op);
+        if (!ub) return std::nullopt;
+        sum += *ub;
+      }
+      return sum;
+    }
+    case DimExprKind::kMul: {
+      int64_t product = 1;
+      for (const DimExpr& op : e.operands()) {
+        auto ub = UpperBound(op);
+        if (!ub || *ub < 0) return std::nullopt;
+        product *= *ub;
+      }
+      return product;
+    }
+    case DimExprKind::kFloorDiv:
+    case DimExprKind::kCeilDiv: {
+      auto ua = UpperBound(e.operands()[0]);
+      if (!ua) return std::nullopt;
+      if (e.operands()[1].IsConst() && e.operands()[1].const_value() > 0) {
+        int64_t c = e.operands()[1].const_value();
+        return e.kind() == DimExprKind::kFloorDiv ? *ua / c : CeilDiv(*ua, c);
+      }
+      return *ua;  // divisor >= 1 in shape arithmetic
+    }
+    case DimExprKind::kMod: {
+      auto ub = UpperBound(e.operands()[1]);
+      if (ub) return *ub - 1;
+      return UpperBound(e.operands()[0]);
+    }
+  }
+  return std::nullopt;
+}
+
+SymbolicDimManager::Stats SymbolicDimManager::GetStats() const {
+  Stats stats;
+  stats.num_symbols = num_symbols();
+  for (SymbolId i = 0; i < static_cast<SymbolId>(parent_.size()); ++i) {
+    if (Find(i) == i) {
+      ++stats.num_classes;
+      if (info_[i].value) ++stats.num_known_constants;
+    }
+  }
+  stats.num_product_facts = static_cast<int64_t>(product_facts_.size());
+  return stats;
+}
+
+std::string SymbolicDimManager::ToString() const {
+  std::ostringstream out;
+  out << "SymbolicDimManager{\n";
+  for (SymbolId i = 0; i < static_cast<SymbolId>(parent_.size()); ++i) {
+    if (Find(i) != i) continue;
+    const SymbolInfo& info = info_[i];
+    out << "  s" << i << " (" << info.name << ")";
+    if (info.value) out << " = " << *info.value;
+    if (info.divisor > 1) out << ", %" << info.divisor << "==0";
+    if (info.upper_bound != INT64_MAX) {
+      out << ", in [" << info.lower_bound << ", " << info.upper_bound << "]";
+    }
+    if (!info.likely_values.empty()) {
+      out << ", likely {" << Join(info.likely_values, ", ") << "}";
+    }
+    out << "\n";
+  }
+  for (const auto& [lhs, rhs] : product_facts_) {
+    out << "  product " << SymShapeToString(lhs) << " == "
+        << SymShapeToString(rhs) << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace disc

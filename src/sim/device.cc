@@ -1,0 +1,102 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace disc {
+
+DeviceSpec DeviceSpec::A10() {
+  DeviceSpec spec;
+  spec.name = "A10";
+  spec.sm_count = 72;
+  spec.fp32_tflops = 31.2;
+  spec.dram_gbps = 600.0;
+  spec.kernel_launch_us = 3.5;
+  spec.max_threads_per_sm = 1536;
+  spec.saturation_threads = 72 * 768;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::T4() {
+  DeviceSpec spec;
+  spec.name = "T4";
+  spec.sm_count = 40;
+  spec.fp32_tflops = 8.1;
+  spec.dram_gbps = 320.0;
+  spec.kernel_launch_us = 4.0;
+  spec.max_threads_per_sm = 1024;
+  spec.saturation_threads = 40 * 768;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::XeonCpu() {
+  DeviceSpec spec;
+  spec.name = "XeonCPU";
+  spec.sm_count = 32;  // cores
+  spec.fp32_tflops = 3.0;  // AVX-512 across 32 cores
+  spec.dram_gbps = 180.0;
+  spec.kernel_launch_us = 0.3;  // a function call + thread-pool wakeup
+  spec.max_threads_per_sm = 2;  // SMT
+  spec.saturation_threads = 64;
+  return spec;
+}
+
+KernelCost DeviceModel::EstimateGenerated(const KernelStats& stats,
+                                          const KernelVariant& variant) const {
+  KernelCost cost;
+  int64_t total_threads =
+      std::max<int64_t>(1, stats.num_blocks * stats.threads_per_block);
+
+  // Achieved bandwidth: vectorized access streams whole cache lines;
+  // scalar generic access wastes part of each transaction. Low occupancy
+  // cannot keep enough loads in flight.
+  double access_efficiency = variant.vector_width > 1 ? 0.85 : 0.62;
+  if (variant.exact_shape) access_efficiency = 0.90;  // static unrolled
+  double occupancy = std::min(
+      1.0, static_cast<double>(total_threads) /
+               static_cast<double>(spec_.saturation_threads));
+  // A block-per-row kernel with tiny rows runs tiny blocks: most of each
+  // block's bandwidth window is wasted on the tree-reduce tail. (This is
+  // exactly what the warp-per-row schedule fixes for short rows.)
+  if (variant.schedule == ReduceSchedule::kBlockPerRow) {
+    access_efficiency *=
+        std::min(1.0, static_cast<double>(stats.threads_per_block) / 128.0);
+  }
+  // Very small launches still get some bandwidth: floor at 6%.
+  double bw_frac = std::max(0.06, access_efficiency * occupancy);
+  double achieved_gbps = spec_.dram_gbps * bw_frac;
+  double mem_us = stats.total_bytes() / achieved_gbps / 1e3;  // B/(GB/s)=ns
+
+  // Compute: index arithmetic shares the ALUs with the payload flops.
+  double effective_flops =
+      static_cast<double>(stats.flops) + 0.5 * stats.index_ops;
+  double compute_eff = variant.broadcast_free ? 0.55 : 0.40;
+  if (variant.exact_shape) compute_eff = 0.65;  // constants folded into code
+  if (variant.schedule == ReduceSchedule::kBlockPerRow) {
+    compute_eff *= 0.8;  // block-wide tree reduce + syncs
+  }
+  double achieved_tflops = spec_.fp32_tflops * compute_eff;
+  double compute_us = effective_flops / achieved_tflops / 1e6;
+
+  cost.memory_bound = mem_us >= compute_us;
+  cost.utilization = bw_frac;
+  cost.body_us = std::max(mem_us, compute_us);
+  cost.time_us = cost.body_us + spec_.kernel_launch_us;
+  return cost;
+}
+
+KernelCost DeviceModel::EstimateLibrary(const LibraryCallStats& stats,
+                                        double efficiency) const {
+  KernelCost cost;
+  double compute_us =
+      stats.flops / (spec_.fp32_tflops * efficiency) / 1e6;
+  double mem_us =
+      (stats.bytes_read + stats.bytes_written) / (spec_.dram_gbps * 0.8) /
+      1e3;
+  cost.memory_bound = mem_us >= compute_us;
+  cost.body_us = std::max(mem_us, compute_us);
+  cost.time_us = cost.body_us + spec_.kernel_launch_us;
+  cost.utilization = 0.8;
+  return cost;
+}
+
+}  // namespace disc

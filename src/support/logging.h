@@ -1,0 +1,72 @@
+// Minimal logging + checked assertions.
+//
+// DISC_CHECK(cond) aborts on violated internal invariants (programming
+// errors); recoverable conditions use Status instead (see status.h).
+#ifndef DISC_SUPPORT_LOGGING_H_
+#define DISC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace disc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global minimum level actually emitted; default kWarning so tests
+/// and benchmarks stay quiet. Override with SetLogLevel or env DISC_LOG.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace disc
+
+#define DISC_LOG(level)                                                  \
+  ::disc::internal::LogMessage(::disc::LogLevel::k##level, __FILE__, __LINE__)
+
+#define DISC_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::disc::internal::LogMessage(::disc::LogLevel::kError, __FILE__,         \
+                               __LINE__, /*fatal=*/true)                   \
+      << "Check failed: " #cond " "
+
+#define DISC_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    auto _disc_check_status = (expr);                                      \
+    DISC_CHECK(_disc_check_status.ok()) << _disc_check_status.ToString();  \
+  } while (false)
+
+#define DISC_CHECK_EQ(a, b) DISC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DISC_CHECK_NE(a, b) DISC_CHECK((a) != (b))
+#define DISC_CHECK_LT(a, b) DISC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DISC_CHECK_LE(a, b) DISC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DISC_CHECK_GT(a, b) DISC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DISC_CHECK_GE(a, b) DISC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define DISC_UNREACHABLE(msg)                                       \
+  ::disc::internal::LogMessage(::disc::LogLevel::kError, __FILE__,  \
+                               __LINE__, /*fatal=*/true)            \
+      << "Unreachable: " << msg
+
+#endif  // DISC_SUPPORT_LOGGING_H_

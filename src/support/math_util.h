@@ -1,0 +1,45 @@
+// Integer math helpers shared by shape arithmetic, buffer planning and the
+// device model.
+#ifndef DISC_SUPPORT_MATH_UTIL_H_
+#define DISC_SUPPORT_MATH_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace disc {
+
+/// \brief ceil(a / b) for positive b.
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  DISC_CHECK_GT(b, 0);
+  return (a + b - 1) / b;
+}
+
+/// \brief Rounds `a` up to the next multiple of `multiple` (> 0).
+inline int64_t RoundUp(int64_t a, int64_t multiple) {
+  return CeilDiv(a, multiple) * multiple;
+}
+
+/// \brief Rounds `a` up to the next power of two (a >= 1).
+inline int64_t NextPowerOfTwo(int64_t a) {
+  DISC_CHECK_GE(a, 1);
+  int64_t p = 1;
+  while (p < a) p <<= 1;
+  return p;
+}
+
+/// \brief Product of all elements; empty product is 1.
+inline int64_t Product(const std::vector<int64_t>& dims) {
+  int64_t p = 1;
+  for (int64_t d : dims) p *= d;
+  return p;
+}
+
+/// \brief Greatest common divisor with gcd(0, x) == x.
+inline int64_t Gcd(int64_t a, int64_t b) { return std::gcd(a, b); }
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_MATH_UTIL_H_

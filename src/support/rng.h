@@ -1,0 +1,56 @@
+// Deterministic random number generation for tests, workload traces and
+// synthetic model weights. A thin wrapper so all randomness in the repo is
+// seeded and reproducible.
+#ifndef DISC_SUPPORT_RNG_H_
+#define DISC_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace disc {
+
+/// \brief Seeded pseudo-random generator (mt19937_64 based).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// \brief Uniform float in [lo, hi).
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// \brief Standard normal sample.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// \brief Fills `out` with normal samples (for weights/inputs).
+  void FillNormal(std::vector<float>* out, float stddev = 1.0f) {
+    for (float& v : *out) v = Normal(0.0f, stddev);
+  }
+
+  /// \brief Samples an index in [0, weights.size()) proportionally to
+  /// `weights` (used for Zipf-like shape traces).
+  size_t Categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_RNG_H_

@@ -1,0 +1,159 @@
+// Status / Result<T> error handling, Arrow-style: the library does not throw
+// exceptions; fallible operations return Status or Result<T>.
+#ifndef DISC_SUPPORT_STATUS_H_
+#define DISC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace disc {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+  kOutOfRange,
+  kFailedPrecondition,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation that produces no value.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Statuses are cheap to move and copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts in debug builds; callers
+/// must check ok() (or use DISC_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// \brief Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Builds an error message via streaming, used by DISC_CHECK-style macros.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace disc
+
+/// Propagates a non-OK Status from the current function.
+#define DISC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::disc::Status _disc_status = (expr);     \
+    if (!_disc_status.ok()) return _disc_status; \
+  } while (false)
+
+#define DISC_CONCAT_IMPL(x, y) x##y
+#define DISC_CONCAT(x, y) DISC_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define DISC_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  DISC_ASSIGN_OR_RETURN_IMPL(DISC_CONCAT(_disc_result_, __LINE__), lhs, rexpr)
+
+#define DISC_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value();
+
+#endif  // DISC_SUPPORT_STATUS_H_

@@ -1,0 +1,53 @@
+// Small string helpers used across the compiler (printing, parsing).
+#ifndef DISC_SUPPORT_STRING_UTIL_H_
+#define DISC_SUPPORT_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disc {
+
+/// \brief Joins the elements of `items` with `sep`, using operator<<.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+/// \brief Joins after applying `fn` to each element.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    out << fn(item);
+    first = false;
+  }
+  return out.str();
+}
+
+/// \brief Splits `text` on `sep`, keeping empty tokens.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// \brief Removes leading/trailing whitespace.
+std::string Strip(std::string_view text);
+
+/// \brief True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_STRING_UTIL_H_

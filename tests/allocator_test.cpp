@@ -1,0 +1,72 @@
+#include "runtime/allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(AllocatorTest, RoundsToSizeClass) {
+  CachingAllocator allocator;
+  allocator.Allocate(1);
+  EXPECT_EQ(allocator.stats().bytes_in_use, 256);
+  allocator.Allocate(257);
+  EXPECT_EQ(allocator.stats().bytes_in_use, 256 + 512);
+}
+
+TEST(AllocatorTest, FreeReturnsToCacheAndHits) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(1000);
+  allocator.Free(a);
+  EXPECT_EQ(allocator.stats().bytes_in_use, 0);
+  int64_t b = allocator.Allocate(1000);
+  EXPECT_EQ(a, b);  // same block reused
+  EXPECT_EQ(allocator.stats().cache_hits, 1);
+  // Reserved memory does not grow on a cache hit.
+  EXPECT_EQ(allocator.stats().bytes_reserved, 1024);
+}
+
+TEST(AllocatorTest, DifferentSizeClassMisses) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(256);
+  allocator.Free(a);
+  allocator.Allocate(512);
+  EXPECT_EQ(allocator.stats().cache_hits, 0);
+  EXPECT_EQ(allocator.stats().bytes_reserved, 256 + 512);
+}
+
+TEST(AllocatorTest, PeakTracksHighWaterMark) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(1024);
+  int64_t b = allocator.Allocate(1024);
+  allocator.Free(a);
+  allocator.Free(b);
+  allocator.Allocate(1024);
+  EXPECT_EQ(allocator.stats().peak_bytes_in_use, 2048);
+  EXPECT_EQ(allocator.stats().bytes_in_use, 1024);
+}
+
+TEST(AllocatorTest, TrimCacheReleasesFreeBlocks) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(4096);
+  allocator.Free(a);
+  EXPECT_EQ(allocator.stats().bytes_reserved, 4096);
+  allocator.TrimCache();
+  EXPECT_EQ(allocator.stats().bytes_reserved, 0);
+}
+
+TEST(AllocatorTest, ZeroByteAllocationIsValid) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(0);
+  EXPECT_EQ(allocator.stats().bytes_in_use, 256);  // minimum class
+  allocator.Free(a);
+}
+
+TEST(AllocatorDeathTest, DoubleFreeAborts) {
+  CachingAllocator allocator;
+  int64_t a = allocator.Allocate(64);
+  allocator.Free(a);
+  EXPECT_DEATH(allocator.Free(a), "double free");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,255 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dynamic_engine.h"
+#include "baselines/interpreter_engine.h"
+#include "baselines/static_engine.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+// A small dynamic model: matmul + bias + gelu + softmax.
+std::unique_ptr<Graph> SmallModel() {
+  auto g = std::make_unique<Graph>("small");
+  GraphBuilder b(g.get());
+  Rng rng(5);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Tensor w(DType::kF32, {16, 16});
+  for (int i = 0; i < 256; ++i) w.f32_data()[i] = rng.Normal(0, 0.2f);
+  Value* h = b.Gelu(b.MatMul(x, b.Constant(w)));
+  b.Output({b.Softmax(h)});
+  return g;
+}
+
+std::vector<std::vector<std::string>> SmallLabels() { return {{"B", ""}}; }
+
+TEST(BaselinesTest, FactoryMakesAllEight) {
+  for (const std::string& name : AllBaselineNames()) {
+    auto engine = MakeBaseline(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    EXPECT_EQ((*engine)->name(), name);
+  }
+  EXPECT_FALSE(MakeBaseline("NotASystem").ok());
+}
+
+TEST(BaselinesTest, QueryBeforePrepareFails) {
+  auto engine = MakeBaseline("PyTorch");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->Query({{4, 16}}, DeviceSpec::T4()).ok());
+}
+
+TEST(BaselinesTest, AllEnginesAnswerQueries) {
+  auto model = SmallModel();
+  for (const std::string& name : AllBaselineNames()) {
+    auto engine = MakeBaseline(name);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Prepare(*model, SmallLabels()).ok()) << name;
+    for (int64_t batch : {1, 4, 9, 32}) {
+      auto timing = (*engine)->Query({{batch, 16}}, DeviceSpec::A10());
+      ASSERT_TRUE(timing.ok()) << name << " batch " << batch << ": "
+                               << timing.status().ToString();
+      EXPECT_GT(timing->total_us, 0.0) << name;
+      EXPECT_GT(timing->kernel_launches, 0) << name;
+    }
+  }
+}
+
+TEST(BaselinesTest, EagerPaysPerOpOverhead) {
+  auto model = SmallModel();
+  auto eager = MakeBaseline("PyTorch");
+  auto disc = MakeBaseline("DISC");
+  ASSERT_TRUE(eager.ok() && disc.ok());
+  ASSERT_TRUE((*eager)->Prepare(*model, SmallLabels()).ok());
+  ASSERT_TRUE((*disc)->Prepare(*model, SmallLabels()).ok());
+  auto te = (*eager)->Query({{4, 16}}, DeviceSpec::T4());
+  auto td = (*disc)->Query({{4, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(te.ok() && td.ok());
+  // Small-shape inference: eager is dominated by host overhead + launches.
+  EXPECT_GT(te->host_us, td->host_us);
+  EXPECT_GT(te->kernel_launches, td->kernel_launches);
+  EXPECT_GT(te->total_us, td->total_us);
+}
+
+TEST(InterpreterTest, PointwiseFuserReducesUnits) {
+  Graph g("chain");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 32});
+  Value* v = x;
+  for (int i = 0; i < 5; ++i) v = b.Tanh(b.Add(v, b.ScalarF32(0.1f)));
+  b.Output({v});
+
+  InterpreterEngine eager(InterpreterProfile::PyTorch());
+  InterpreterEngine script(InterpreterProfile::TorchScript());
+  ASSERT_TRUE(eager.Prepare(g, {{"B", ""}}).ok());
+  ASSERT_TRUE(script.Prepare(g, {{"B", ""}}).ok());
+  EXPECT_EQ(eager.num_device_units(), 10);
+  EXPECT_EQ(script.num_device_units(), 1);
+
+  auto te = eager.Query({{16, 32}}, DeviceSpec::T4());
+  auto ts = script.Query({{16, 32}}, DeviceSpec::T4());
+  ASSERT_TRUE(te.ok() && ts.ok());
+  EXPECT_GT(te->kernel_launches, ts->kernel_launches);
+  EXPECT_GT(te->total_us, ts->total_us);
+}
+
+TEST(InterpreterTest, CompositeMatcherFindsSoftmax) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Value* sm = b.Softmax(x);
+  b.Output({sm});
+  auto members = MatchSoftmax(sm->producer());
+  ASSERT_EQ(members.size(), 5u);
+  EXPECT_EQ(members.back(), sm->producer());
+}
+
+TEST(InterpreterTest, CompositeMatcherFindsLayerNormAndGelu) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Value* ln = b.LayerNorm(x, b.Constant(Tensor::F32({64}, std::vector<float>(64, 1))),
+                          b.Constant(Tensor::F32({64}, std::vector<float>(64, 0))));
+  Value* gelu = b.Gelu(x);
+  b.Output({ln, gelu});
+  EXPECT_EQ(MatchLayerNorm(ln->producer()).size(), 9u);
+  EXPECT_EQ(MatchGelu(gelu->producer()).size(), 9u);
+  // Non-matching roots return empty.
+  EXPECT_TRUE(MatchSoftmax(ln->producer()).empty());
+  EXPECT_TRUE(MatchLayerNorm(gelu->producer()).empty());
+}
+
+TEST(InterpreterTest, VendorCompositesReduceLaunches) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  b.Output({b.Softmax(x)});
+  InterpreterEngine plain(InterpreterProfile::PyTorch());
+  InterpreterEngine ort(InterpreterProfile::OnnxRuntime());
+  ASSERT_TRUE(plain.Prepare(g, {{"B", ""}}).ok());
+  ASSERT_TRUE(ort.Prepare(g, {{"B", ""}}).ok());
+  EXPECT_EQ(plain.num_device_units(), 5);  // rmax, sub, exp, rsum, div
+  EXPECT_EQ(ort.num_device_units(), 1);    // one vendor softmax
+}
+
+TEST(StaticEngineTest, CachesPerShapeAndChargesCompileOnce) {
+  auto model = SmallModel();
+  StaticCompilerEngine xla(StaticProfile::Xla());
+  ASSERT_TRUE(xla.Prepare(*model, SmallLabels()).ok());
+
+  auto first = xla.Query({{4, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->compile_us, 0.0);
+  EXPECT_EQ(xla.cache_size(), 1);
+
+  auto second = xla.Query({{4, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->compile_us, 0.0);  // cache hit
+  EXPECT_EQ(xla.cache_size(), 1);
+
+  auto third = xla.Query({{5, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT(third->compile_us, 0.0);  // new shape -> recompile
+  EXPECT_EQ(xla.cache_size(), 2);
+  EXPECT_EQ(xla.stats().compilations, 2);
+}
+
+TEST(StaticEngineTest, BucketingCompilesPerBucketWithPaddingWaste) {
+  auto model = SmallModel();
+  StaticCompilerEngine trt(StaticProfile::TensorRt());
+  ASSERT_TRUE(trt.Prepare(*model, SmallLabels()).ok());
+
+  // 5, 6, 7 all land in the 8-bucket: one compilation, padded execution.
+  for (int64_t batch : {5, 6, 7}) {
+    auto timing = trt.Query({{batch, 16}}, DeviceSpec::T4());
+    ASSERT_TRUE(timing.ok());
+    if (batch > 5) {
+      EXPECT_EQ(timing->compile_us, 0.0);
+    }
+    EXPECT_GT(timing->padded_waste_bytes, 0) << "batch " << batch;
+  }
+  EXPECT_EQ(trt.cache_size(), 1);
+  // Exact bucket boundary: no waste.
+  auto exact = trt.Query({{8, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->padded_waste_bytes, 0);
+}
+
+TEST(StaticEngineTest, TvmCompileStallIsLargest) {
+  auto model = SmallModel();
+  StaticCompilerEngine xla(StaticProfile::Xla());
+  StaticCompilerEngine tvm(StaticProfile::Tvm());
+  ASSERT_TRUE(xla.Prepare(*model, SmallLabels()).ok());
+  ASSERT_TRUE(tvm.Prepare(*model, SmallLabels()).ok());
+  auto tx = xla.Query({{4, 16}}, DeviceSpec::T4());
+  auto tt = tvm.Query({{4, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(tx.ok() && tt.ok());
+  EXPECT_GT(tt->compile_us, tx->compile_us);
+  // On its coarse bucket grid TVM pays padding for off-grid shapes...
+  auto tt_pad = tvm.Query({{4, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(tt_pad.ok());
+  EXPECT_GT(tt_pad->padded_waste_bytes, 0);
+  // ...but on an exact bucket its tuned kernels match XLA-grade kernels.
+  auto tx2 = xla.Query({{64, 16}}, DeviceSpec::T4());
+  auto tt2 = tvm.Query({{64, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(tx2.ok() && tt2.ok());
+  EXPECT_LE(tt2->device_us, tx2->device_us * 1.05);
+}
+
+TEST(DynamicEngineTest, DiscCompilesOnceForAllShapes) {
+  auto model = SmallModel();
+  DynamicCompilerEngine engine(DynamicProfile::Disc());
+  ASSERT_TRUE(engine.Prepare(*model, SmallLabels()).ok());
+  EXPECT_EQ(engine.stats().compilations, 1);
+  for (int64_t batch : {1, 3, 17, 64, 5}) {
+    ASSERT_TRUE(engine.Query({{batch, 16}}, DeviceSpec::A10()).ok());
+  }
+  EXPECT_EQ(engine.stats().compilations, 1);  // never recompiles
+}
+
+TEST(DynamicEngineTest, InductorPaysGuardOverhead) {
+  auto model = SmallModel();
+  DynamicCompilerEngine disc(DynamicProfile::Disc());
+  DynamicCompilerEngine inductor(DynamicProfile::TorchInductorDynamic());
+  ASSERT_TRUE(disc.Prepare(*model, SmallLabels()).ok());
+  ASSERT_TRUE(inductor.Prepare(*model, SmallLabels()).ok());
+  auto td = disc.Query({{4, 16}}, DeviceSpec::A10());
+  auto ti = inductor.Query({{4, 16}}, DeviceSpec::A10());
+  ASSERT_TRUE(td.ok() && ti.ok());
+  EXPECT_GT(ti->host_us, td->host_us);
+  EXPECT_GT(ti->total_us, td->total_us);
+}
+
+TEST(DynamicEngineTest, ExecuteMatchesReferenceEvaluator) {
+  auto model = SmallModel();
+  DynamicCompilerEngine disc(DynamicProfile::Disc());
+  auto reference = MakeBaseline("PyTorch");
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(disc.Prepare(*model, SmallLabels()).ok());
+  ASSERT_TRUE((*reference)->Prepare(*model, SmallLabels()).ok());
+
+  Rng rng(13);
+  Tensor in(DType::kF32, {6, 16});
+  for (int i = 0; i < 96; ++i) in.f32_data()[i] = rng.Normal();
+  auto got = disc.Execute({in});
+  auto want = (*reference)->Execute({in});
+  ASSERT_TRUE(got.ok() && want.ok());
+  ASSERT_EQ(got->size(), 1u);
+  EXPECT_TRUE(Tensor::AllClose((*got)[0], (*want)[0]));
+}
+
+TEST(BaselinesTest, A10IsFasterThanT4) {
+  auto model = SmallModel();
+  auto disc = MakeBaseline("DISC");
+  ASSERT_TRUE(disc.ok());
+  ASSERT_TRUE((*disc)->Prepare(*model, SmallLabels()).ok());
+  auto a10 = (*disc)->Query({{512, 16}}, DeviceSpec::A10());
+  auto t4 = (*disc)->Query({{512, 16}}, DeviceSpec::T4());
+  ASSERT_TRUE(a10.ok() && t4.ok());
+  EXPECT_LT(a10->device_us, t4->device_us);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,125 @@
+#include "runtime/buffer_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "models/models.h"
+
+namespace disc {
+namespace {
+
+// A chain of same-shaped kernels should ping-pong between ~2 slots.
+TEST(BufferPlanTest, ChainCollapsesToFewSlots) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  CompileOptions options = CompileOptions::NoFusion();
+  for (int i = 0; i < 10; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, options);
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  EXPECT_EQ(plan.num_values, 10);
+  EXPECT_LE(plan.num_slots(), 3);
+  EXPECT_GE(plan.num_reused, 7);
+}
+
+TEST(BufferPlanTest, DifferentSymbolicSizesNeverShare) {
+  // [B,64] and [B,32] values have different symbolic byte sizes; even with
+  // disjoint lifetimes they must use different slots (B is unknown).
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Value* a = b.Exp(x);                     // [B, 64]
+  Value* s = b.Slice(a, {0, 0}, {-1, 32}, {1, 1});  // [B, 32]
+  Value* c = b.Tanh(s);                    // [B, 32], `a` dead by now
+  b.Output({c});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  // Slots for the 64-wide and 32-wide values are distinct sizes.
+  std::set<std::string> sizes;
+  for (const DimExpr& bytes : plan.slot_bytes) sizes.insert(bytes.ToString());
+  EXPECT_GE(sizes.size(), 2u);
+}
+
+TEST(BufferPlanTest, SameSymbolicSizeSharesAcrossShapes) {
+  // [B,8] and its transpose-ish reshape [8,B]... use two equal-sized but
+  // differently-shaped values with disjoint lifetimes: one slot.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* a = b.Exp(x);                 // [B, 8]
+  Value* r = b.Reshape(a, {8, -1});    // [8, B] — same byte size
+  Value* c = b.Tanh(r);                // `a` dead
+  b.Output({c});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  EXPECT_GT(plan.num_reused, 0) << plan.ToString();
+}
+
+TEST(BufferPlanTest, GraphOutputsArePinned) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Value* a = b.Exp(x);
+  Value* c = b.Tanh(a);
+  Value* d = b.Abs(c);
+  b.Output({a, d});  // `a` escapes: its slot must never be recycled
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  int a_slot = plan.slot_of.at((*exe)->graph().outputs()[0]);
+  for (const auto& [value, slot] : plan.slot_of) {
+    if (value != (*exe)->graph().outputs()[0]) {
+      EXPECT_NE(slot, a_slot) << "pinned output slot was recycled";
+    }
+  }
+}
+
+TEST(BufferPlanTest, DisjointLifetimesRequiredForSharing) {
+  // Diamond: both branches are live at the join — they cannot share.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Value* l = b.Exp(x);
+  Value* r = b.Tanh(x);
+  b.Output({b.Add(l, r)});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  const Graph& og = (*exe)->graph();
+  const Node* add = og.outputs()[0]->producer();
+  EXPECT_NE(plan.slot_of.at(add->operand(0)),
+            plan.slot_of.at(add->operand(1)));
+}
+
+TEST(BufferPlanTest, ReportCarriesPlanStats) {
+  ModelConfig config;
+  Model bert = BuildBert(config);
+  auto exe = DiscCompiler::Compile(*bert.graph, bert.input_dim_labels);
+  ASSERT_TRUE(exe.ok());
+  const CompileReport& report = (*exe)->report();
+  EXPECT_GT(report.buffer_values, 0);
+  EXPECT_GT(report.buffer_slots, 0);
+  EXPECT_LT(report.buffer_slots, report.buffer_values)
+      << "no reuse found in a transformer graph";
+}
+
+TEST(BufferPlanTest, PlannerHandlesEmptySchedule) {
+  BufferAssignment plan = PlanBuffers({}, {}, *[] {
+    static Graph g;
+    static ShapeAnalysis analysis(&g);
+    DISC_CHECK_OK(analysis.Run());
+    return &analysis;
+  }());
+  EXPECT_EQ(plan.num_values, 0);
+  EXPECT_EQ(plan.num_slots(), 0);
+}
+
+}  // namespace
+}  // namespace disc

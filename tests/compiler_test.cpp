@@ -1,0 +1,297 @@
+#include "compiler/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+Tensor RandomF32(Rng* rng, std::vector<int64_t> dims) {
+  Tensor t(DType::kF32, std::move(dims));
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.f32_data()[i] = rng->Normal();
+  }
+  return t;
+}
+
+// Compiles, runs on concrete inputs and checks against the reference
+// evaluator.
+void ExpectMatchesReference(const Graph& g,
+                            std::vector<std::vector<std::string>> labels,
+                            const std::vector<Tensor>& inputs,
+                            const CompileOptions& options = {}) {
+  auto exe = DiscCompiler::Compile(g, labels, options);
+  ASSERT_TRUE(exe.ok()) << exe.status().ToString();
+  auto got = (*exe)->Run(inputs);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto want = EvaluateGraph(g, inputs);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_EQ(got->outputs.size(), want->size());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_TRUE(Tensor::AllClose(got->outputs[i], (*want)[i]))
+        << "output " << i << ":\n got: " << got->outputs[i].ToString()
+        << "\nwant: " << (*want)[i].ToString();
+  }
+}
+
+TEST(CompilerTest, ElementwiseChainMatchesReference) {
+  Graph g("chain");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Relu(b.Exp(b.Mul(x, b.ScalarF32(0.5f))))});
+  Rng rng(1);
+  ExpectMatchesReference(g, {{"B", "S"}}, {RandomF32(&rng, {3, 7})});
+}
+
+TEST(CompilerTest, SoftmaxMatchesReferenceAcrossShapes) {
+  Graph g("softmax");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  Rng rng(2);
+  for (auto dims : std::vector<std::vector<int64_t>>{
+           {1, 1}, {2, 5}, {7, 32}, {16, 3}}) {
+    ExpectMatchesReference(g, {{"B", "S"}}, {RandomF32(&rng, dims)});
+  }
+}
+
+TEST(CompilerTest, LayerNormMatchesReference) {
+  Graph g("ln");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Value* scale = b.Input("scale", DType::kF32, {16});
+  Value* bias = b.Input("bias", DType::kF32, {16});
+  b.Output({b.LayerNorm(x, scale, bias)});
+  Rng rng(3);
+  ExpectMatchesReference(
+      g, {{"B", ""}, {}, {}},
+      {RandomF32(&rng, {5, 16}), RandomF32(&rng, {16}), RandomF32(&rng, {16})});
+}
+
+TEST(CompilerTest, MatMulWithEpilogueMatchesReference) {
+  Graph g("mm");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* w = b.Input("w", DType::kF32, {8, 12});
+  Value* bias = b.Input("bias", DType::kF32, {12});
+  b.Output({b.Gelu(b.Add(b.MatMul(x, w), bias))});
+  Rng rng(4);
+  ExpectMatchesReference(g, {{"B", ""}},
+                         {RandomF32(&rng, {6, 8}), RandomF32(&rng, {8, 12}),
+                          RandomF32(&rng, {12})});
+}
+
+TEST(CompilerTest, DynamicReshapeRoundTripMatchesReference) {
+  Graph g("reshape");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 4});
+  Value* flat = b.Reshape(x, {-1, 4});
+  Value* act = b.Tanh(flat);
+  Value* back = b.ReshapeDynamic(act, b.ShapeOf(x));
+  b.Output({back});
+  Rng rng(5);
+  ExpectMatchesReference(g, {{"B", "S", ""}}, {RandomF32(&rng, {2, 3, 4})});
+}
+
+TEST(CompilerTest, TransposeGatherConcatMatchesReference) {
+  Graph g("mix");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 6});
+  Value* t = b.Transpose(x, {1, 0});
+  Value* ids = b.Input("ids", DType::kI64, {kDynamicDim});
+  Value* gathered = b.Gather(x, ids, 0);
+  Value* padded = b.Pad(gathered, {0, 1}, {0, 1});
+  b.Output({t, padded});
+  Rng rng(6);
+  ExpectMatchesReference(
+      g, {{"B", ""}, {"N"}},
+      {RandomF32(&rng, {5, 6}), Tensor::I64({3}, {0, 4, 2})});
+}
+
+TEST(CompilerTest, MultiOutputFusionMatchesReference) {
+  Graph g("multi");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* e = b.Exp(x);
+  Value* r = b.Relu(b.Sub(e, b.ScalarF32(1.0f)));
+  b.Output({e, r});
+  Rng rng(7);
+  ExpectMatchesReference(g, {{"B", ""}}, {RandomF32(&rng, {4, 8})});
+}
+
+TEST(CompilerTest, AllAblationConfigsAgree) {
+  Graph g("abl");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* sm = b.Softmax(b.Mul(x, x));
+  b.Output({b.Add(sm, b.ScalarF32(1.0f))});
+  Rng rng(8);
+  std::vector<Tensor> inputs = {RandomF32(&rng, {3, 9})};
+  for (const CompileOptions& options :
+       {CompileOptions::Default(), CompileOptions::NoFusion(),
+        CompileOptions::NoSpecialization(),
+        CompileOptions::NoSymbolicShapes()}) {
+    ExpectMatchesReference(g, {{"B", "S"}}, inputs, options);
+  }
+}
+
+TEST(CompilerTest, CompileOnceRunManyShapes) {
+  Graph g("poly");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(b.Relu(x))});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+
+  Rng rng(9);
+  auto want_for = [&](const Tensor& t) {
+    auto r = EvaluateGraph(g, {t});
+    EXPECT_TRUE(r.ok());
+    return (*r)[0];
+  };
+  // One compilation handles every shape — no recompile, different variants.
+  for (auto dims : std::vector<std::vector<int64_t>>{
+           {1, 4}, {8, 8}, {3, 128}, {2, 1000}, {5, 17}}) {
+    Tensor in = RandomF32(&rng, dims);
+    auto got = (*exe)->Run({in});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(Tensor::AllClose(got->outputs[0], want_for(in)));
+  }
+}
+
+TEST(CompilerTest, ProfileCountsKernelsAndLibraryCalls) {
+  Graph g("prof");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* w = b.Input("w", DType::kF32, {8, 8});
+  b.Output({b.Relu(b.MatMul(b.Exp(x), w))});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->RunWithShapes({{16, 8}, {8, 8}});
+  ASSERT_TRUE(r.ok());
+  // exp -> kernel, matmul -> library, relu -> kernel.
+  EXPECT_EQ(r->profile.kernel_launches, 2);
+  EXPECT_EQ(r->profile.library_calls, 1);
+  EXPECT_GT(r->profile.device_time_us, 0.0);
+  EXPECT_GT(r->profile.bytes_read, 0);
+  EXPECT_GT(r->profile.peak_memory_bytes, 0);
+}
+
+TEST(CompilerTest, FusionReducesLaunchesAndTraffic) {
+  Graph g("fuse");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 256});
+  Value* v = x;
+  for (int i = 0; i < 6; ++i) v = b.Tanh(b.Add(v, b.ScalarF32(0.1f)));
+  b.Output({v});
+
+  auto fused = DiscCompiler::Compile(g, {{"B", ""}});
+  auto unfused = DiscCompiler::Compile(g, {{"B", ""}},
+                                       CompileOptions::NoFusion());
+  ASSERT_TRUE(fused.ok() && unfused.ok());
+  auto rf = (*fused)->RunWithShapes({{64, 256}});
+  auto ru = (*unfused)->RunWithShapes({{64, 256}});
+  ASSERT_TRUE(rf.ok() && ru.ok());
+  EXPECT_LT(rf->profile.kernel_launches, ru->profile.kernel_launches);
+  EXPECT_LT(rf->profile.bytes_read + rf->profile.bytes_written,
+            ru->profile.bytes_read + ru->profile.bytes_written);
+  EXPECT_LT(rf->profile.device_time_us, ru->profile.device_time_us);
+}
+
+TEST(CompilerTest, VariantDispatchFollowsGuards) {
+  Graph g("variants");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Relu(b.Add(x, x))});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+
+  // 16x16 = 256 elements, divisible by 4 -> vectorized variant.
+  auto vec = (*exe)->RunWithShapes({{16, 16}});
+  ASSERT_TRUE(vec.ok());
+  bool saw_vec = false;
+  for (const auto& [name, count] : vec->profile.variant_counts) {
+    if (name.find("vec4") != std::string::npos && count > 0) saw_vec = true;
+  }
+  EXPECT_TRUE(saw_vec) << vec->profile.ToString();
+
+  // 3x3 = 9 elements -> generic fallback.
+  auto gen = (*exe)->RunWithShapes({{3, 3}});
+  ASSERT_TRUE(gen.ok());
+  bool saw_generic = false;
+  for (const auto& [name, count] : gen->profile.variant_counts) {
+    if (name.find("generic") != std::string::npos && count > 0) {
+      saw_generic = true;
+    }
+  }
+  EXPECT_TRUE(saw_generic) << gen->profile.ToString();
+}
+
+TEST(CompilerTest, ReduceScheduleSwitchesOnRowLength) {
+  Graph g("rows");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.ReduceSum(b.Mul(x, x), {1})});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+
+  auto short_rows = (*exe)->RunWithShapes({{4096, 128}});
+  auto long_rows = (*exe)->RunWithShapes({{4096, 4096}});
+  ASSERT_TRUE(short_rows.ok() && long_rows.ok());
+  auto has = [](const RunProfile& profile, const std::string& key) {
+    for (const auto& [name, count] : profile.variant_counts) {
+      if (name.find(key) != std::string::npos && count > 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(short_rows->profile, "warp_per_row"));
+  EXPECT_TRUE(has(long_rows->profile, "block_per_row"));
+}
+
+TEST(CompilerTest, RejectsInconsistentRuntimeShapes) {
+  Graph g("check");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* y = b.Input("y", DType::kF32, {kDynamicDim, 8});
+  b.Output({b.Add(x, y)});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  // Batch dims must agree (the add unified them).
+  EXPECT_FALSE((*exe)->RunWithShapes({{4, 8}, {5, 8}}).ok());
+  EXPECT_TRUE((*exe)->RunWithShapes({{4, 8}, {4, 8}}).ok());
+}
+
+TEST(CompilerTest, ReportIsPopulated) {
+  Graph g("report");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+  const CompileReport& report = (*exe)->report();
+  EXPECT_GT(report.compile_ms, 0.0);
+  EXPECT_EQ(report.num_kernels, 1);
+  EXPECT_GE(report.num_variants, 2);
+  EXPECT_EQ(report.fusion.num_stitch_groups, 1);
+  EXPECT_GT(report.shapes.num_symbols, 0);
+}
+
+TEST(CompilerTest, GraphOutputsThatAreConstantsOrInputs) {
+  Graph g("edge");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {2});
+  Value* c = b.Constant(Tensor::F32({2}, {5, 6}));
+  b.Output({x, c});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::F32({2}, {1, 2})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[0], Tensor::F32({2}, {1, 2})));
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[1], Tensor::F32({2}, {5, 6})));
+}
+
+}  // namespace
+}  // namespace disc

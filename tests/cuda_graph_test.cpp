@@ -1,0 +1,90 @@
+// CUDA-Graph-style launch batching: replaying a captured graph pays the
+// driver launch latency once per query — but only for repeated shape
+// signatures (graphs are shape-static), which is exactly why it cannot
+// substitute for dynamic-shape compilation.
+#include <gtest/gtest.h>
+
+#include "baselines/dynamic_engine.h"
+#include "baselines/static_engine.h"
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+
+namespace disc {
+namespace {
+
+std::unique_ptr<Graph> LaunchHeavyModel() {
+  auto g = std::make_unique<Graph>("launchy");
+  GraphBuilder b(g.get());
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  // Library matmuls are fusion barriers -> one kernel + one library call
+  // per iteration, so the run stays launch-heavy.
+  for (int i = 0; i < 6; ++i) {
+    Tensor w(DType::kF32, {64, 64});
+    for (int64_t e = 0; e < 64; ++e) w.f32_data()[e * 64 + e] = 1.0f;
+    v = b.Tanh(b.MatMul(v, b.Constant(w)));
+  }
+  b.Output({v});
+  return g;
+}
+
+TEST(CudaGraphTest, BatchedRunPaysOneLaunchOverhead) {
+  auto g = LaunchHeavyModel();
+  auto exe = DiscCompiler::Compile(*g, {{"B", ""}});
+  ASSERT_TRUE(exe.ok());
+  RunOptions normal;
+  RunOptions batched;
+  batched.batch_launches = true;
+  auto rn = (*exe)->RunWithShapes({{8, 64}}, normal);
+  auto rb = (*exe)->RunWithShapes({{8, 64}}, batched);
+  ASSERT_TRUE(rn.ok() && rb.ok());
+  EXPECT_GT(rn->profile.kernel_launches, 3);
+  EXPECT_EQ(rn->profile.kernel_launches, rb->profile.kernel_launches);
+  EXPECT_LT(rb->profile.device_time_us, rn->profile.device_time_us);
+  // Saving is roughly (launches-1) * (launch_us - replay_us).
+  double launches = static_cast<double>(rn->profile.kernel_launches);
+  double saved = rn->profile.device_time_us - rb->profile.device_time_us;
+  EXPECT_GT(saved, (launches - 1) * 2.0);
+}
+
+TEST(CudaGraphTest, EngineReplaysOnlyRepeatedSignatures) {
+  auto g = LaunchHeavyModel();
+  DynamicProfile profile = DynamicProfile::Disc();
+  profile.name = "DISC+graph";
+  profile.use_cuda_graph = true;
+  DynamicCompilerEngine engine(profile);
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", ""}}).ok());
+
+  auto first = engine.Query({{8, 64}}, DeviceSpec::T4());
+  auto repeat = engine.Query({{8, 64}}, DeviceSpec::T4());
+  auto fresh = engine.Query({{9, 64}}, DeviceSpec::T4());
+  ASSERT_TRUE(first.ok() && repeat.ok() && fresh.ok());
+  // First occurrence = capture at full launch cost; repeat = replay.
+  EXPECT_LT(repeat->device_us, first->device_us);
+  // A fresh shape cannot replay.
+  EXPECT_GT(fresh->device_us, repeat->device_us);
+}
+
+TEST(CudaGraphTest, StaticEngineOptInRepaysCacheHits) {
+  auto g = LaunchHeavyModel();
+  StaticProfile profile = StaticProfile::Xla();
+  profile.use_cuda_graph = true;
+  StaticCompilerEngine engine(profile);
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", ""}}).ok());
+  auto miss = engine.Query({{8, 64}}, DeviceSpec::T4());
+  auto hit = engine.Query({{8, 64}}, DeviceSpec::T4());
+  ASSERT_TRUE(miss.ok() && hit.ok());
+  EXPECT_LT(hit->device_us, miss->device_us);
+}
+
+TEST(CudaGraphTest, DefaultProfilesDoNotBatch) {
+  auto g = LaunchHeavyModel();
+  DynamicCompilerEngine engine(DynamicProfile::Disc());
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", ""}}).ok());
+  auto q1 = engine.Query({{8, 64}}, DeviceSpec::T4());
+  auto q2 = engine.Query({{8, 64}}, DeviceSpec::T4());
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_DOUBLE_EQ(q1->device_us, q2->device_us);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,167 @@
+// Edge cases across the whole stack: degenerate graphs, zero-sized runtime
+// dims, scalar inputs, duplicate outputs, deep and wide graphs.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "ir/eval.h"
+
+namespace disc {
+namespace {
+
+TEST(EdgeCaseTest, InputPassedStraightToOutput) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({x});
+  auto exe = DiscCompiler::Compile(g, {{"N"}});
+  ASSERT_TRUE(exe.ok()) << exe.status().ToString();
+  auto r = (*exe)->Run({Tensor::F32({2}, {1, 2})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[0], Tensor::F32({2}, {1, 2})));
+}
+
+TEST(EdgeCaseTest, ConstantOnlyGraph) {
+  Graph g;
+  GraphBuilder b(&g);
+  b.Output({b.Constant(Tensor::F32({3}, {1, 2, 3}))});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outputs[0].num_elements(), 3);
+}
+
+TEST(EdgeCaseTest, DuplicateGraphOutputs) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Relu(x);
+  b.Output({y, y, y});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::F32({4}, {-1, 0, 1, 2})});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->outputs.size(), 3u);
+  for (const Tensor& out : r->outputs) {
+    EXPECT_TRUE(Tensor::AllClose(out, Tensor::F32({4}, {0, 0, 1, 2})));
+  }
+}
+
+TEST(EdgeCaseTest, ZeroSizedRuntimeDim) {
+  // Batch 0 is a legal runtime shape: kernels iterate nothing.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 4});
+  b.Output({b.Relu(b.Add(x, x))});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor(DType::kF32, {0, 4})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->outputs[0].dims(), (std::vector<int64_t>{0, 4}));
+  EXPECT_EQ(r->outputs[0].num_elements(), 0);
+}
+
+TEST(EdgeCaseTest, ScalarInputsAndOutputs) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {});
+  Value* y = b.Input("y", DType::kF32, {});
+  b.Output({b.Mul(b.Add(x, y), x)});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::ScalarF32(3), Tensor::ScalarF32(4)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r->outputs[0].f32_data()[0], 21.0f);
+}
+
+TEST(EdgeCaseTest, DeepChainCompiles) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim});
+  for (int i = 0; i < 200; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  auto exe = DiscCompiler::Compile(g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  // max_group_size (64) caps groups -> at least 4 kernels.
+  EXPECT_GE((*exe)->report().num_kernels, 4);
+  auto r = (*exe)->Run({Tensor::F32({2}, {0.5f, -0.5f})});
+  ASSERT_TRUE(r.ok());
+  auto want = EvaluateGraph(g, {Tensor::F32({2}, {0.5f, -0.5f})});
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[0], (*want)[0]));
+}
+
+TEST(EdgeCaseTest, WideFanOutFromOneValue) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  std::vector<Value*> branches;
+  for (int i = 0; i < 20; ++i) {
+    branches.push_back(b.Mul(x, b.ScalarF32(static_cast<float>(i))));
+  }
+  Value* acc = branches[0];
+  for (size_t i = 1; i < branches.size(); ++i) acc = b.Add(acc, branches[i]);
+  b.Output({acc});
+  auto exe = DiscCompiler::Compile(g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::F32({2}, {1, 2})});
+  ASSERT_TRUE(r.ok());
+  // sum(i) for i in 0..19 = 190.
+  EXPECT_FLOAT_EQ(r->outputs[0].f32_data()[0], 190.0f);
+  EXPECT_FLOAT_EQ(r->outputs[0].f32_data()[1], 380.0f);
+}
+
+TEST(EdgeCaseTest, ReduceOverAllDims) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.ReduceSum(x, {0, 1})});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::F32({2, 3}, {1, 2, 3, 4, 5, 6})});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->outputs[0].rank(), 0);
+  EXPECT_FLOAT_EQ(r->outputs[0].f32_data()[0], 21.0f);
+}
+
+TEST(EdgeCaseTest, DimOfSizeOneBroadcastsBothWays) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 1});
+  Value* y = b.Input("y", DType::kF32, {1, kDynamicDim});
+  b.Output({b.Add(x, y)});  // outer sum [B, S]
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}, {"", "S"}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor::F32({2, 1}, {10, 20}),
+                        Tensor::F32({1, 3}, {1, 2, 3})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Tensor::AllClose(
+      r->outputs[0], Tensor::F32({2, 3}, {11, 12, 13, 21, 22, 23})));
+}
+
+TEST(EdgeCaseTest, CompileRejectsMalformedLabelCount) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({b.Relu(x)});
+  // Too many label vectors is tolerated (extra ignored); malformed graphs
+  // are rejected by Verify inside Compile.
+  auto ok = DiscCompiler::Compile(g, {{"N"}, {"EXTRA"}});
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(EdgeCaseTest, RunAfterManyShapesKeepsWorking) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+  for (int64_t n = 1; n <= 40; ++n) {
+    ASSERT_TRUE((*exe)->RunWithShapes({{n, 41 - n}}).ok()) << n;
+  }
+}
+
+}  // namespace
+}  // namespace disc

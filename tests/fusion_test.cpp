@@ -1,0 +1,301 @@
+#include "fusion/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace disc {
+namespace {
+
+struct Planned {
+  Graph* graph;
+  std::unique_ptr<ShapeAnalysis> analysis;
+  FusionPlan plan;
+};
+
+FusionPlan PlanFor(Graph* g, FusionOptions options = {},
+                   std::vector<std::vector<std::string>> labels = {}) {
+  ShapeAnalysis analysis(g, std::move(labels));
+  EXPECT_TRUE(analysis.Run().ok());
+  FusionPlanner planner(g, &analysis, options);
+  auto plan = planner.Plan();
+  EXPECT_TRUE(plan.ok());
+  return std::move(plan).value();
+}
+
+const FusionGroup* GroupContaining(const FusionPlan& plan, const Value* v) {
+  auto it = plan.group_of.find(v->producer());
+  if (it == plan.group_of.end()) return nullptr;
+  return &plan.groups[it->second];
+}
+
+TEST(FusionTest, ElementwiseChainFusesIntoOneLoop) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* y = b.Relu(b.Exp(b.Mul(x, x)));
+  b.Output({y});
+
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, y);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 3);
+  EXPECT_EQ(group->kind, FusionKind::kLoop);
+  EXPECT_EQ(group->outputs.size(), 1u);
+  EXPECT_EQ(group->root, y->producer());
+}
+
+TEST(FusionTest, DynamicShapesFuseViaSymbolicEquality) {
+  // Two dynamic inputs; the add proves their shapes equal, so the whole
+  // chain fuses even though no dim value is known.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* y = b.Input("y", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* z = b.Tanh(b.Add(x, y));
+  b.Output({z});
+
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, z);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2);
+}
+
+TEST(FusionTest, WithoutSymbolicShapesDynamicChainsStaySplit) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* z = b.Tanh(b.Add(x, x));
+  b.Output({z});
+
+  FusionOptions options;
+  options.use_symbolic_shapes = false;  // the ablation of experiment F2
+  FusionPlan plan = PlanFor(&g, options);
+  // Shapes are dynamic -> no static proof -> two singleton groups.
+  EXPECT_EQ(plan.GetStats().num_fused_nodes, 0);
+  EXPECT_EQ(plan.groups.size(), 2u);
+}
+
+TEST(FusionTest, WithoutSymbolicShapesStaticChainsStillFuse) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {8, 128});
+  Value* z = b.Tanh(b.Add(x, x));
+  b.Output({z});
+
+  FusionOptions options;
+  options.use_symbolic_shapes = false;
+  FusionPlan plan = PlanFor(&g, options);
+  EXPECT_EQ(plan.GetStats().num_fused_nodes, 2);
+}
+
+TEST(FusionTest, FusionDisabledMakesSingletons) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  b.Output({b.Relu(b.Exp(x))});
+  FusionOptions options;
+  options.enable_fusion = false;
+  FusionPlan plan = PlanFor(&g, options);
+  EXPECT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.GetStats().num_singleton_groups, 2);
+}
+
+TEST(FusionTest, BroadcastProducerFuses) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 128});
+  Value* bias = b.Input("bias", DType::kF32, {128});
+  Value* y = b.Relu(b.Add(x, bias));
+  b.Output({y});
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, y);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2);
+  // bias is an input of the fused kernel.
+  EXPECT_NE(std::find(group->inputs.begin(), group->inputs.end(), bias),
+            group->inputs.end());
+}
+
+TEST(FusionTest, LibraryOpsAreBarriers) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Value* w = b.Input("w", DType::kF32, {64, 64});
+  Value* pre = b.Mul(x, x);
+  Value* mm = b.MatMul(pre, w);
+  Value* post = b.Relu(mm);
+  b.Output({post});
+  FusionPlan plan = PlanFor(&g);
+  // matmul is not in any group; pre and post are separate groups.
+  EXPECT_EQ(plan.group_of.count(mm->producer()), 0u);
+  ASSERT_NE(GroupContaining(plan, pre), nullptr);
+  ASSERT_NE(GroupContaining(plan, post), nullptr);
+  EXPECT_NE(GroupContaining(plan, pre)->id, GroupContaining(plan, post)->id);
+}
+
+TEST(FusionTest, ReduceRootedInputFusion) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* sq = b.Mul(x, x);
+  Value* sum = b.ReduceSum(sq, {1});
+  b.Output({sum});
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, sum);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2);
+  EXPECT_EQ(group->kind, FusionKind::kInput);
+  EXPECT_EQ(group->root, sum->producer());
+}
+
+TEST(FusionTest, InputFusionDisabledKeepsReduceAlone) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* sum = b.ReduceSum(b.Mul(x, x), {1});
+  b.Output({sum});
+  FusionOptions options;
+  options.enable_input_fusion = false;
+  options.enable_stitch = false;
+  FusionPlan plan = PlanFor(&g, options);
+  const FusionGroup* group = GroupContaining(plan, sum);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 1);
+}
+
+TEST(FusionTest, SoftmaxStitchesIntoOneKernel) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* sm = b.Softmax(x);
+  b.Output({sm});
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, sm);
+  ASSERT_NE(group, nullptr);
+  // reduce_max, sub, exp, reduce_sum, div — all in one stitch kernel.
+  EXPECT_EQ(group->size(), 5);
+  EXPECT_EQ(group->kind, FusionKind::kStitch);
+  EXPECT_EQ(plan.groups.size(), 1u);
+}
+
+TEST(FusionTest, StitchDisabledSplitsSoftmax) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  FusionOptions options;
+  options.enable_stitch = false;
+  FusionPlan plan = PlanFor(&g, options);
+  // Without stitching the softmax needs several kernels.
+  EXPECT_GE(plan.groups.size(), 3u);
+  for (const FusionGroup& group : plan.groups) {
+    EXPECT_NE(group.kind, FusionKind::kStitch);
+  }
+}
+
+TEST(FusionTest, LayerNormStitches) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 256});
+  Value* scale = b.Input("scale", DType::kF32, {256});
+  Value* bias = b.Input("bias", DType::kF32, {256});
+  Value* ln = b.LayerNorm(x, scale, bias);
+  b.Output({ln});
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, ln);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->kind, FusionKind::kStitch);
+  // Everything (2 reduce_means + elementwise glue + constant-free ops)
+  // lands in one kernel.
+  EXPECT_EQ(plan.groups.size(), 1u);
+}
+
+TEST(FusionTest, StitchRespectsSharedMemoryBudget) {
+  Graph g;
+  GraphBuilder b(&g);
+  // Static row of 64K floats = 256KB > 48KB budget.
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 65536});
+  b.Output({b.Softmax(x)});
+  FusionPlan plan = PlanFor(&g);
+  for (const FusionGroup& group : plan.groups) {
+    EXPECT_NE(group.kind, FusionKind::kStitch) << group.ToString();
+  }
+}
+
+TEST(FusionTest, NoCycleThroughExternalNode) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Value* w = b.Input("w", DType::kF32, {64, 64});
+  Value* a = b.Exp(x);
+  Value* mm = b.MatMul(a, w);   // external (library) node
+  Value* c = b.Add(a, mm);      // would form a cycle if fused with `a`
+  b.Output({c});
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* ga = GroupContaining(plan, a);
+  const FusionGroup* gc = GroupContaining(plan, c);
+  ASSERT_NE(ga, nullptr);
+  ASSERT_NE(gc, nullptr);
+  EXPECT_NE(ga->id, gc->id);
+}
+
+TEST(FusionTest, MultiOutputGroupExposesInternalValue) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 32});
+  Value* e = b.Exp(x);
+  Value* r = b.Relu(e);
+  b.Output({e, r});  // e escapes
+  FusionPlan plan = PlanFor(&g);
+  const FusionGroup* group = GroupContaining(plan, r);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2);
+  EXPECT_EQ(group->outputs.size(), 2u);
+}
+
+TEST(FusionTest, ReshapeChainFusesAcrossFlatten) {
+  // relu(reshape(x)) — same element count proven symbolically, fuses.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 64});
+  Value* flat = b.Reshape(x, {-1, 64});
+  Value* act = b.Relu(flat);
+  b.Output({act});
+  FusionPlan plan = PlanFor(&g, {}, {{"B", "S", ""}});
+  const FusionGroup* group = GroupContaining(plan, act);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2);
+}
+
+TEST(FusionTest, MaxGroupSizeRespected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim});
+  for (int i = 0; i < 20; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  FusionOptions options;
+  options.max_group_size = 8;
+  FusionPlan plan = PlanFor(&g, options);
+  for (const FusionGroup& group : plan.groups) {
+    EXPECT_LE(group.size(), 8);
+  }
+  EXPECT_GE(plan.groups.size(), 3u);
+}
+
+TEST(FusionTest, StatsAreConsistent) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  FusionPlan plan = PlanFor(&g);
+  auto stats = plan.GetStats();
+  EXPECT_EQ(stats.num_groups, 1);
+  EXPECT_EQ(stats.num_stitch_groups, 1);
+  EXPECT_EQ(stats.num_fused_nodes, 5);
+  // 5 nodes, 1 output -> 4 tensors internalized.
+  EXPECT_EQ(stats.num_internalized_values, 4);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,211 @@
+#include "ir/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace disc {
+namespace {
+
+TEST(TensorTypeTest, StaticAndDynamic) {
+  TensorType t(DType::kF32, {2, kDynamicDim});
+  EXPECT_FALSE(t.IsFullyStatic());
+  EXPECT_TRUE(t.IsStaticDim(0));
+  EXPECT_FALSE(t.IsStaticDim(1));
+  EXPECT_EQ(t.ToString(), "f32[2x?]");
+  TensorType u(DType::kI64, {3, 4});
+  EXPECT_TRUE(u.IsFullyStatic());
+  EXPECT_EQ(u.NumElements(), 12);
+}
+
+TEST(GraphTest, BuildSimpleChain) {
+  Graph g("chain");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 4});
+  Value* y = b.Add(x, x);
+  Value* z = b.Relu(y);
+  b.Output({z});
+
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(z->type().ToString(), "f32[?x4]");
+  EXPECT_TRUE(g.Verify().ok());
+}
+
+TEST(GraphTest, UseListsTracked) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Add(x, x);
+  // x used twice by the same node -> two use entries.
+  EXPECT_EQ(x->users().size(), 2u);
+  EXPECT_EQ(y->users().size(), 0u);
+  b.Mul(y, x);
+  EXPECT_EQ(x->users().size(), 3u);
+  EXPECT_EQ(y->users().size(), 1u);
+}
+
+TEST(GraphTest, ReplaceAllUsesWith) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Add(x, x);
+  Value* z = b.Relu(y);
+  b.Output({z, y});
+
+  Value* y2 = b.Mul(x, x);
+  g.ReplaceAllUsesWith(y, y2);
+  EXPECT_TRUE(y->users().empty());
+  EXPECT_EQ(z->producer()->operand(0), y2);
+  EXPECT_EQ(g.outputs()[1], y2);
+}
+
+TEST(GraphTest, EraseNodeRules) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Add(x, x);
+  Value* z = b.Relu(y);
+  b.Output({z});
+
+  // y still used -> cannot erase its producer.
+  EXPECT_FALSE(g.EraseNode(y->producer()).ok());
+  // z is a graph output -> cannot erase.
+  EXPECT_FALSE(g.EraseNode(z->producer()).ok());
+  // A fresh unused node can be erased.
+  Value* w = b.Exp(x);
+  EXPECT_TRUE(g.EraseNode(w->producer()).ok());
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+TEST(GraphTest, RemoveDeadNodesSweepsChains) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* keep = b.Relu(x);
+  // A dead chain of 3 nodes.
+  b.Exp(b.Abs(b.Neg(x)));
+  b.Output({keep});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.RemoveDeadNodes(), 3);
+  EXPECT_EQ(g.num_nodes(), 1);
+}
+
+TEST(GraphTest, TopologicalOrderRespectsDeps) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* a = b.Relu(x);
+  Value* c = b.Add(a, b.Exp(a));
+  b.Output({c});
+  auto order = g.TopologicalOrder();
+  std::unordered_map<const Node*, size_t> pos;
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (Node* n : order) {
+    for (Value* operand : n->operands()) {
+      if (operand->producer() != nullptr) {
+        EXPECT_LT(pos[operand->producer()], pos[n]);
+      }
+    }
+  }
+}
+
+TEST(GraphTest, CloneIsIsomorphicAndIndependent) {
+  Graph g("orig");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* w = b.Constant(Tensor::F32({8, 8}, std::vector<float>(64, 0.5f)));
+  Value* y = b.Relu(b.MatMul(x, w));
+  b.Output({y});
+
+  std::unordered_map<const Value*, Value*> map;
+  auto clone = g.Clone(&map);
+  EXPECT_EQ(clone->num_nodes(), g.num_nodes());
+  EXPECT_EQ(clone->inputs().size(), 1u);
+  EXPECT_EQ(clone->outputs().size(), 1u);
+  EXPECT_EQ(map.at(y)->type(), y->type());
+  EXPECT_TRUE(clone->Verify().ok());
+  // Mutating the clone leaves the original untouched.
+  clone->RemoveDeadNodes();
+  EXPECT_EQ(g.num_nodes(), 3);
+}
+
+TEST(GraphTest, PrinterMentionsOpsAndTypes) {
+  Graph g("p");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({b.Relu(x)});
+  std::string text = g.ToString();
+  EXPECT_NE(text.find("relu"), std::string::npos);
+  EXPECT_NE(text.find("f32[?]"), std::string::npos);
+  EXPECT_NE(text.find("return"), std::string::npos);
+}
+
+TEST(GraphTest, VerifyCatchesCorruptedType) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Relu(x);
+  b.Output({y});
+  EXPECT_TRUE(g.Verify().ok());
+  // Hand-build a node with a wrong output type via the low-level API.
+  g.CreateNode(OpKind::kAbs, {x}, {}, {TensorType(DType::kI64, {4})});
+  EXPECT_FALSE(g.Verify().ok());
+}
+
+TEST(GraphTest, SetOperandUpdatesUses) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Input("y", DType::kF32, {4});
+  Value* sum = b.Add(x, x);
+  g.SetOperand(sum->producer(), 1, y);
+  EXPECT_EQ(x->users().size(), 1u);
+  EXPECT_EQ(y->users().size(), 1u);
+  EXPECT_EQ(sum->producer()->operand(1), y);
+}
+
+TEST(OpKindTest, NameRoundTrip) {
+  for (int i = 0; i < static_cast<int>(OpKind::kNumOps); ++i) {
+    OpKind k = static_cast<OpKind>(i);
+    EXPECT_EQ(OpKindFromName(OpName(k)), k) << OpName(k);
+  }
+  EXPECT_EQ(OpKindFromName("definitely_not_an_op"), OpKind::kNumOps);
+}
+
+TEST(OpKindTest, Classification) {
+  EXPECT_TRUE(IsFusableElementwise(OpKind::kAdd));
+  EXPECT_TRUE(IsFusableElementwise(OpKind::kTranspose));
+  EXPECT_FALSE(IsFusableElementwise(OpKind::kMatMul));
+  EXPECT_FALSE(IsFusableElementwise(OpKind::kReduceSum));
+  EXPECT_TRUE(IsReduction(OpKind::kReduceMean));
+  EXPECT_TRUE(IsBinaryElementwise(OpKind::kMul));
+  EXPECT_FALSE(IsBinaryElementwise(OpKind::kExp));
+  EXPECT_TRUE(IsUnaryElementwise(OpKind::kExp));
+  EXPECT_TRUE(IsPredicateOp(OpKind::kLess));
+  EXPECT_FALSE(IsPredicateOp(OpKind::kAdd));
+}
+
+TEST(BuilderTest, CompositeSoftmaxShape) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 64});
+  Value* sm = b.Softmax(x);
+  EXPECT_EQ(sm->type().ToString(), "f32[?x?x64]");
+  EXPECT_TRUE(g.Verify().ok());
+}
+
+TEST(BuilderTest, CompositeLayerNormShape) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Value* scale = b.Constant(Tensor::F32({16}, std::vector<float>(16, 1.0f)));
+  Value* bias = b.Constant(Tensor::F32({16}, std::vector<float>(16, 0.0f)));
+  Value* ln = b.LayerNorm(x, scale, bias);
+  EXPECT_EQ(ln->type().ToString(), "f32[?x16]");
+  EXPECT_TRUE(g.Verify().ok());
+}
+
+}  // namespace
+}  // namespace disc

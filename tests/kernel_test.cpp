@@ -1,0 +1,294 @@
+#include "kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "kernel/library.h"
+
+namespace disc {
+namespace {
+
+struct Compiled {
+  Graph graph;
+  std::unique_ptr<ShapeAnalysis> analysis;
+  FusionPlan plan;
+  std::vector<std::unique_ptr<FusedKernel>> kernels;
+};
+
+// Builds a graph, runs analysis + fusion, compiles every group.
+std::unique_ptr<Compiled> CompileKernels(
+    const std::function<void(GraphBuilder*)>& build,
+    std::vector<std::vector<std::string>> labels,
+    SpecializeOptions options = {}) {
+  auto c = std::make_unique<Compiled>();
+  GraphBuilder b(&c->graph);
+  build(&b);
+  c->analysis = std::make_unique<ShapeAnalysis>(&c->graph, std::move(labels));
+  EXPECT_TRUE(c->analysis->Run().ok());
+  FusionPlanner planner(&c->graph, c->analysis.get());
+  auto plan = planner.Plan();
+  EXPECT_TRUE(plan.ok());
+  c->plan = std::move(plan).value();
+  for (const FusionGroup& group : c->plan.groups) {
+    c->kernels.push_back(
+        std::make_unique<FusedKernel>(group, c->analysis.get(), options));
+  }
+  return c;
+}
+
+TEST(GuardTest, PredicateKinds) {
+  SymbolicDimManager m;
+  SymbolId s = m.NewSymbol();
+  DimExpr e = DimExpr::Symbol(s);
+  SymbolBindings bindings = {{s, 12}};
+
+  DimPredicate div{DimPredicate::Kind::kDivisibleBy, e, 4};
+  DimPredicate le{DimPredicate::Kind::kLessEqual, e, 10};
+  DimPredicate ge{DimPredicate::Kind::kGreaterEqual, e, 10};
+  DimPredicate eq{DimPredicate::Kind::kEqual, e, 12};
+  EXPECT_TRUE(*div.Evaluate(bindings));
+  EXPECT_FALSE(*le.Evaluate(bindings));
+  EXPECT_TRUE(*ge.Evaluate(bindings));
+  EXPECT_TRUE(*eq.Evaluate(bindings));
+}
+
+TEST(GuardTest, UnboundSymbolErrors) {
+  DimPredicate p{DimPredicate::Kind::kEqual, DimExpr::Symbol(3), 1};
+  EXPECT_FALSE(p.Evaluate({}).ok());
+}
+
+TEST(GuardTest, ConjunctionAndEmptyGuard) {
+  SymbolicDimManager m;
+  SymbolId s = m.NewSymbol();
+  DimExpr e = DimExpr::Symbol(s);
+  Guard guard;
+  EXPECT_TRUE(guard.always_true());
+  EXPECT_TRUE(*guard.Evaluate({}));
+  guard.predicates.push_back({DimPredicate::Kind::kGreaterEqual, e, 2});
+  guard.predicates.push_back({DimPredicate::Kind::kLessEqual, e, 8});
+  EXPECT_TRUE(*guard.Evaluate({{s, 5}}));
+  EXPECT_FALSE(*guard.Evaluate({{s, 1}}));
+  EXPECT_FALSE(*guard.Evaluate({{s, 9}}));
+  EXPECT_NE(guard.ToString().find("&&"), std::string::npos);
+}
+
+TEST(KernelTest, LoopKernelHasVecAndGenericVariants) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+        b->Output({b->Relu(b->Add(x, x))});
+      },
+      {{"B", "S"}});
+  ASSERT_EQ(c->kernels.size(), 1u);
+  const FusedKernel& kernel = *c->kernels[0];
+  ASSERT_EQ(kernel.variants().size(), 2u);
+  EXPECT_EQ(kernel.variants()[0].name, "vec4");
+  EXPECT_EQ(kernel.variants()[1].name, "generic");
+  EXPECT_TRUE(kernel.variants()[1].guard.always_true());
+  // Both variants are broadcast-free: all shapes provably equal.
+  EXPECT_TRUE(kernel.variants()[0].broadcast_free);
+  EXPECT_TRUE(kernel.variants()[1].broadcast_free);
+}
+
+TEST(KernelTest, ProvenDivisibilityDropsTheGuard) {
+  // Innermost static 128 and a dynamic batch: total = 128*B, divisible by
+  // 4 regardless of B -> vectorized variant has no runtime guard.
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, 128});
+        b->Output({b->Exp(x)});
+      },
+      {{"B", ""}});
+  ASSERT_EQ(c->kernels.size(), 1u);
+  EXPECT_EQ(c->kernels[0]->variants()[0].name, "vec4");
+  EXPECT_TRUE(c->kernels[0]->variants()[0].guard.always_true());
+}
+
+TEST(KernelTest, UnprovenDivisibilityKeepsGuard) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim});
+        b->Output({b->Exp(x)});
+      },
+      {{"N"}});
+  const KernelVariant& vec = c->kernels[0]->variants()[0];
+  ASSERT_EQ(vec.name, "vec4");
+  EXPECT_FALSE(vec.guard.always_true());
+  // Dispatch: 8 elements -> vec4; 7 -> generic.
+  auto bindings8 = c->analysis->BindInputs({{8}});
+  auto bindings7 = c->analysis->BindInputs({{7}});
+  ASSERT_TRUE(bindings8.ok() && bindings7.ok());
+  EXPECT_EQ((*c->kernels[0]->SelectVariant(*bindings8))->name, "vec4");
+  EXPECT_EQ((*c->kernels[0]->SelectVariant(*bindings7))->name, "generic");
+}
+
+TEST(KernelTest, BroadcastInGroupDisablesBroadcastFree) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, 64});
+        Value* bias = b->Input("bias", DType::kF32, {64});
+        b->Output({b->Relu(b->Add(x, bias))});
+      },
+      {{"B", ""}, {""}});
+  ASSERT_EQ(c->kernels.size(), 1u);
+  for (const KernelVariant& variant : c->kernels[0]->variants()) {
+    EXPECT_FALSE(variant.broadcast_free) << variant.ToString();
+  }
+}
+
+TEST(KernelTest, NoSpecializationLeavesOnlyGeneric) {
+  SpecializeOptions options;
+  options.enable_specialization = false;
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, 128});
+        b->Output({b->Exp(x)});
+      },
+      {{"B", ""}}, options);
+  ASSERT_EQ(c->kernels[0]->variants().size(), 1u);
+  EXPECT_EQ(c->kernels[0]->variants()[0].name, "generic");
+}
+
+TEST(KernelTest, ReduceKernelSchedulesAndRowExprs) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+        b->Output({b->ReduceSum(x, {1})});
+      },
+      {{"B", "S"}});
+  const FusedKernel& kernel = *c->kernels[0];
+  EXPECT_TRUE(kernel.row_extent().valid());
+  EXPECT_TRUE(kernel.row_count().valid());
+  ASSERT_EQ(kernel.variants().size(), 2u);
+  EXPECT_EQ(kernel.variants()[0].schedule, ReduceSchedule::kWarpPerRow);
+  EXPECT_EQ(kernel.variants()[1].schedule, ReduceSchedule::kBlockPerRow);
+
+  // Row 64 with 4096 rows -> warp; 4096-long rows -> block; 64 rows -> block.
+  auto warp = c->analysis->BindInputs({{4096, 64}});
+  auto long_rows = c->analysis->BindInputs({{4096, 4096}});
+  auto few_rows = c->analysis->BindInputs({{64, 64}});
+  EXPECT_EQ((*kernel.SelectVariant(*warp))->schedule,
+            ReduceSchedule::kWarpPerRow);
+  EXPECT_EQ((*kernel.SelectVariant(*long_rows))->schedule,
+            ReduceSchedule::kBlockPerRow);
+  EXPECT_EQ((*kernel.SelectVariant(*few_rows))->schedule,
+            ReduceSchedule::kBlockPerRow);
+}
+
+TEST(KernelTest, StatsScaleWithShape) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+        b->Output({b->Relu(b->Add(x, x))});
+      },
+      {{"B", "S"}});
+  const FusedKernel& kernel = *c->kernels[0];
+  auto small = c->analysis->BindInputs({{8, 8}});
+  auto large = c->analysis->BindInputs({{64, 64}});
+  auto stats_small =
+      kernel.ComputeStats(*small, *kernel.SelectVariant(*small).value());
+  auto stats_large =
+      kernel.ComputeStats(*large, *kernel.SelectVariant(*large).value());
+  ASSERT_TRUE(stats_small.ok() && stats_large.ok());
+  EXPECT_EQ(stats_large->bytes_read, stats_small->bytes_read * 64);
+  EXPECT_EQ(stats_large->bytes_written, stats_small->bytes_written * 64);
+  EXPECT_EQ(stats_large->flops, stats_small->flops * 64);
+  EXPECT_GE(stats_large->num_blocks, stats_small->num_blocks);
+}
+
+TEST(KernelTest, StitchKernelChargesSharedMemory) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+        b->Output({b->Softmax(x)});
+      },
+      {{"B", "S"}});
+  ASSERT_EQ(c->kernels.size(), 1u);
+  EXPECT_EQ(c->kernels[0]->kind(), FusionKind::kStitch);
+  auto bindings = c->analysis->BindInputs({{128, 256}});
+  auto stats = c->kernels[0]->ComputeStats(
+      *bindings, *c->kernels[0]->SelectVariant(*bindings).value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shared_mem_bytes, 256 * 4 * 2);
+  // Only input and output hit global memory.
+  EXPECT_EQ(stats->bytes_read, 128 * 256 * 4);
+  EXPECT_EQ(stats->bytes_written, 128 * 256 * 4);
+}
+
+TEST(KernelTest, MultiOutputKernelWritesBothOutputs) {
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim});
+        Value* e = b->Exp(x);
+        Value* r = b->Relu(e);
+        b->Output({e, r});
+      },
+      {{"N"}});
+  ASSERT_EQ(c->kernels.size(), 1u);
+  auto bindings = c->analysis->BindInputs({{100}});
+  auto stats = c->kernels[0]->ComputeStats(
+      *bindings, *c->kernels[0]->SelectVariant(*bindings).value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->bytes_written, 2 * 100 * 4);
+}
+
+TEST(KernelTest, OpFlopCosts) {
+  EXPECT_EQ(OpFlopCost(OpKind::kAdd), 1);
+  EXPECT_EQ(OpFlopCost(OpKind::kExp), 8);
+  EXPECT_EQ(OpFlopCost(OpKind::kDiv), 4);
+  EXPECT_EQ(OpFlopCost(OpKind::kTranspose), 0);
+  EXPECT_EQ(OpFlopCost(OpKind::kGather), 0);
+}
+
+TEST(LibraryTest, MatMulStats) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* a = b.Input("a", DType::kF32, {kDynamicDim, 64});
+  Value* w = b.Input("w", DType::kF32, {64, 32});
+  Value* y = b.MatMul(a, w);
+  b.Output({y});
+  ShapeAnalysis analysis(&g, {{"B", ""}, {}});
+  ASSERT_TRUE(analysis.Run().ok());
+  auto bindings = analysis.BindInputs({{16, 64}, {64, 32}});
+  ASSERT_TRUE(bindings.ok());
+  auto stats = ComputeLibraryStats(*y->producer(), analysis, *bindings);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->flops, 2 * 16 * 32 * 64);
+  EXPECT_EQ(stats->bytes_read, (16 * 64 + 64 * 32) * 4);
+  EXPECT_EQ(stats->bytes_written, 16 * 32 * 4);
+}
+
+TEST(LibraryTest, Conv2DStats) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {1, 8, kDynamicDim, 3});
+  Value* w = b.Input("w", DType::kF32, {3, 3, 3, 16});
+  Value* y = b.Conv2D(x, w, {1, 1}, {1, 1});
+  b.Output({y});
+  ShapeAnalysis analysis(&g, {{"", "", "W", ""}, {}});
+  ASSERT_TRUE(analysis.Run().ok());
+  auto bindings = analysis.BindInputs({{1, 8, 10, 3}, {3, 3, 3, 16}});
+  ASSERT_TRUE(bindings.ok());
+  auto stats = ComputeLibraryStats(*y->producer(), analysis, *bindings);
+  ASSERT_TRUE(stats.ok());
+  // out = [1, 8, 10, 16]; flops = 2 * out * 3*3*3.
+  EXPECT_EQ(stats->flops, 2 * (8 * 10 * 16) * 27);
+}
+
+TEST(LibraryTest, NonLibraryOpRejected) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  Value* y = b.Relu(x);
+  b.Output({y});
+  ShapeAnalysis analysis(&g);
+  ASSERT_TRUE(analysis.Run().ok());
+  auto bindings = analysis.BindInputs({{4}});
+  EXPECT_FALSE(
+      ComputeLibraryStats(*y->producer(), analysis, *bindings).ok());
+  EXPECT_TRUE(IsLibraryOp(OpKind::kMatMul));
+  EXPECT_FALSE(IsLibraryOp(OpKind::kRelu));
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,155 @@
+#include "ir/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+TEST(ParserTest, MinimalGraph) {
+  auto g = ParseGraph(R"(graph tiny (%0: f32[4]) {
+    %1 = relu(%0) : f32[4]
+    return %1
+  })");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->name(), "tiny");
+  EXPECT_EQ((*g)->num_nodes(), 1);
+  EXPECT_EQ((*g)->outputs()[0]->producer()->kind(), OpKind::kRelu);
+}
+
+TEST(ParserTest, DynamicDimsAndAttrs) {
+  auto g = ParseGraph(R"(graph t (%0: f32[?x8]) {
+    %1 = reduce_sum(%0) {dims = [1], keep_dims = 1} : f32[?x1]
+    return %1
+  })");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  Node* node = (*g)->outputs()[0]->producer();
+  EXPECT_EQ(node->GetIntListAttr("dims"), (std::vector<int64_t>{1}));
+  EXPECT_EQ(node->GetIntAttr("keep_dims", 0), 1);
+  EXPECT_EQ(node->output(0)->type().ToString(), "f32[?x1]");
+}
+
+TEST(ParserTest, ConstantTensorLiteral) {
+  auto g = ParseGraph(R"(graph c () {
+    %0 = constant() {value = f32[2x2] {1, 2.5, -3, 4}} : f32[2x2]
+    return %0
+  })");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const Tensor& t =
+      (*g)->outputs()[0]->producer()->GetTensorAttr("value");
+  EXPECT_FLOAT_EQ(t.f32_data()[1], 2.5f);
+  EXPECT_FLOAT_EQ(t.f32_data()[2], -3.0f);
+}
+
+TEST(ParserTest, DTypeAttr) {
+  auto g = ParseGraph(R"(graph c (%0: f32[3]) {
+    %1 = cast(%0) {to = i64} : i64[3]
+    return %1
+  })");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->outputs()[0]->dtype(), DType::kI64);
+}
+
+TEST(ParserTest, RejectsUnknownOp) {
+  auto g = ParseGraph(R"(graph b (%0: f32[2]) {
+    %1 = frobnicate(%0) : f32[2]
+    return %1
+  })");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParserTest, RejectsUndefinedValue) {
+  auto g = ParseGraph(R"(graph b (%0: f32[2]) {
+    %1 = relu(%9) : f32[2]
+    return %1
+  })");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParserTest, RejectsTypeMismatch) {
+  auto g = ParseGraph(R"(graph b (%0: f32[2]) {
+    %1 = relu(%0) : f32[3]
+    return %1
+  })");
+  EXPECT_FALSE(g.ok());  // verifier catches the declared type
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  auto g = ParseGraph(R"(graph b (%0: f32[2]) {
+    %1 = relu(%0) : f32[2]
+    return %1
+  } extra)");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParserTest, RoundTripPreservesStructureAndSemantics) {
+  Graph g("roundtrip");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* w = b.Constant(Tensor::F32({8, 4}, [] {
+    std::vector<float> v(32);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = 0.1f * (i % 7);
+    return v;
+  }()));
+  Value* h = b.Relu(b.MatMul(x, w));
+  Value* s = b.Softmax(h);
+  b.Output({s, h});
+
+  auto parsed = ParseGraph(g.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n"
+                           << g.ToString();
+  EXPECT_EQ((*parsed)->num_nodes(), g.num_nodes());
+  EXPECT_EQ((*parsed)->outputs().size(), g.outputs().size());
+
+  // Same numerics.
+  Rng rng(5);
+  Tensor in(DType::kF32, {3, 8});
+  for (int i = 0; i < 24; ++i) in.f32_data()[i] = rng.Normal();
+  auto want = EvaluateGraph(g, {in});
+  auto got = EvaluateGraph(**parsed, {in});
+  ASSERT_TRUE(want.ok() && got.ok());
+  for (size_t i = 0; i < want->size(); ++i) {
+    EXPECT_TRUE(Tensor::AllClose((*got)[i], (*want)[i]));
+  }
+}
+
+TEST(ParserTest, RoundTripIsAFixpoint) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* flat = b.Reshape(x, {-1});
+  Value* back = b.ReshapeDynamic(b.Exp(flat), b.ShapeOf(x));
+  b.Output({back});
+  auto once = ParseGraph(g.ToString());
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  auto twice = ParseGraph((*once)->ToString());
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  EXPECT_EQ((*once)->ToString(), (*twice)->ToString());
+}
+
+TEST(ParserTest, MultiRankTypesParse) {
+  auto g = ParseGraph(R"(graph r (%0: f32[], %1: i1[2x3x4x5]) {
+    return %0, %1
+  })");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->inputs()[0]->rank(), 0);
+  EXPECT_EQ((*g)->inputs()[1]->rank(), 4);
+  EXPECT_EQ((*g)->inputs()[1]->dtype(), DType::kI1);
+}
+
+TEST(ParserTest, TransposeAttrRoundTrip) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {2, kDynamicDim, 4});
+  b.Output({b.Transpose(x, {2, 0, 1})});
+  auto parsed = ParseGraph(g.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)->outputs()[0]->producer()->GetIntListAttr("perm"),
+            (std::vector<int64_t>{2, 0, 1}));
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,198 @@
+// Executable/runtime behaviour: mode consistency, host placement of shape
+// computation, liveness-driven memory accounting, fused edge-case ops.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "ir/eval.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+Tensor RandomF32(Rng* rng, std::vector<int64_t> dims) {
+  Tensor t(DType::kF32, std::move(dims));
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    t.f32_data()[i] = rng->Normal();
+  }
+  return t;
+}
+
+TEST(RuntimeTest, TimingOnlyAndDataModeAgreeOnProfile) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 32});
+  b.Output({b.Softmax(b.Relu(x))});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}});
+  ASSERT_TRUE(exe.ok());
+
+  Rng rng(1);
+  Tensor in = RandomF32(&rng, {8, 32});
+  auto data = (*exe)->Run({in});
+  auto timing = (*exe)->RunWithShapes({{8, 32}});
+  ASSERT_TRUE(data.ok() && timing.ok());
+  EXPECT_EQ(data->profile.kernel_launches, timing->profile.kernel_launches);
+  EXPECT_EQ(data->profile.bytes_read, timing->profile.bytes_read);
+  EXPECT_DOUBLE_EQ(data->profile.device_time_us,
+                   timing->profile.device_time_us);
+  EXPECT_TRUE(timing->outputs.empty());
+  EXPECT_FALSE(data->outputs.empty());
+}
+
+TEST(RuntimeTest, HostStepsContributeNoDeviceTime) {
+  // A graph that is ONLY shape computation: no kernels at all.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* shape = b.ShapeOf(x);
+  Value* numel = b.Mul(b.Dim(x, 0), b.Dim(x, 1));
+  b.Output({shape, numel});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->Run({Tensor(DType::kF32, {3, 4})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->profile.kernel_launches, 0);
+  EXPECT_DOUBLE_EQ(r->profile.device_time_us, 0.0);
+  EXPECT_EQ(r->outputs[0].i64_data()[0], 3);
+  EXPECT_EQ(r->outputs[1].i64_data()[0], 12);
+}
+
+TEST(RuntimeTest, PeakMemoryBelowSumOfAllIntermediates) {
+  // A long chain: liveness should reuse buffers, keeping the peak near two
+  // live tensors, far below the 12-tensor total.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim, 1024});
+  CompileOptions options = CompileOptions::NoFusion();
+  for (int i = 0; i < 12; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, options);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->RunWithShapes({{64, 1024}});
+  ASSERT_TRUE(r.ok());
+  int64_t one_tensor = 64 * 1024 * 4;
+  EXPECT_LE(r->profile.peak_memory_bytes, 3 * one_tensor);
+  EXPECT_GE(r->profile.peak_memory_bytes, one_tensor);
+}
+
+TEST(RuntimeTest, ConstantsAreResidentAcrossTheRun) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 16});
+  Tensor w(DType::kF32, {16, 16});
+  Value* y = b.MatMul(x, b.Constant(w));
+  b.Output({b.Relu(y)});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}});
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->RunWithShapes({{4, 16}});
+  ASSERT_TRUE(r.ok());
+  // Peak includes the weight (1KB) + activations.
+  EXPECT_GE(r->profile.peak_memory_bytes, 16 * 16 * 4);
+}
+
+TEST(RuntimeTest, FusedSelectAndIotaExecuteCorrectly) {
+  // select/iota inside a fused loop kernel (edge ops of the executor).
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  Value* pred = b.Greater(x, b.ScalarF32(0.0f));
+  Value* y = b.Select(pred, x, b.Neg(x));  // |x|
+  b.Output({y});
+  auto exe = DiscCompiler::Compile(g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  Tensor in = Tensor::F32({5}, {-2, -1, 0, 1, 2});
+  auto r = (*exe)->Run({in});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[0],
+                               Tensor::F32({5}, {2, 1, 0, 1, 2})));
+}
+
+TEST(RuntimeTest, FusedGatherThroughPadMatchesReference) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* data = b.Input("data", DType::kF32, {6, 4});
+  Value* ids = b.Input("ids", DType::kI64, {kDynamicDim});
+  Value* gathered = b.Gather(data, ids, 0);
+  Value* padded = b.Pad(gathered, {1, 0}, {0, 1}, -5.0);
+  b.Output({b.Relu(padded)});
+  auto exe = DiscCompiler::Compile(g, {{}, {"N"}});
+  ASSERT_TRUE(exe.ok());
+  Rng rng(2);
+  std::vector<Tensor> inputs = {RandomF32(&rng, {6, 4}),
+                                Tensor::I64({3}, {5, 0, 3})};
+  auto got = (*exe)->Run(inputs);
+  auto want = EvaluateGraph(g, inputs);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_TRUE(Tensor::AllClose(got->outputs[0], (*want)[0]));
+}
+
+TEST(RuntimeTest, ShapeValueConsumedAsData) {
+  // Mean over a dynamic axis computed as sum / cast(dim): the dim value is
+  // produced by the host shape program, cast to f32, and consumed inside a
+  // fused device kernel — the host/device boundary the paper's runtime
+  // manages.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* total = b.ReduceSum(x, {1});  // [B]
+  Value* len = b.Cast(b.Dim(x, 1), DType::kF32);  // f32 scalar
+  b.Output({b.Div(total, len)});
+  auto exe = DiscCompiler::Compile(g, {{"B", "S"}});
+  ASSERT_TRUE(exe.ok()) << exe.status().ToString();
+  auto r = (*exe)->Run({Tensor::F32({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40})});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Tensor::AllClose(r->outputs[0], Tensor::F32({2}, {2.5, 25})));
+}
+
+TEST(RuntimeTest, ProfileToStringMentionsKeyCounters) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {4});
+  b.Output({b.Relu(x)});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  auto r = (*exe)->RunWithShapes({{4}});
+  ASSERT_TRUE(r.ok());
+  std::string s = r->profile.ToString();
+  EXPECT_NE(s.find("launches="), std::string::npos);
+  EXPECT_NE(s.find("variants{"), std::string::npos);
+}
+
+TEST(RuntimeTest, SameExecutableIsReentrant) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({b.Exp(x)});
+  auto exe = DiscCompiler::Compile(g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  Rng rng(3);
+  Tensor a = RandomF32(&rng, {4});
+  Tensor c = RandomF32(&rng, {9});
+  auto r1 = (*exe)->Run({a});
+  auto r2 = (*exe)->Run({c});
+  auto r3 = (*exe)->Run({a});
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_TRUE(Tensor::AllClose(r1->outputs[0], r3->outputs[0]));
+  EXPECT_EQ(r2->outputs[0].dims(), (std::vector<int64_t>{9}));
+}
+
+TEST(RuntimeTest, LibraryEfficiencyOptionChangesGemmTime) {
+  Graph g;
+  GraphBuilder b(&g);
+  // Large enough to be compute-bound so library efficiency matters.
+  Value* x = b.Input("x", DType::kF32, {1024, 1024});
+  Value* w = b.Input("w", DType::kF32, {1024, 1024});
+  b.Output({b.MatMul(x, w)});
+  auto exe = DiscCompiler::Compile(g);
+  ASSERT_TRUE(exe.ok());
+  RunOptions base;
+  RunOptions tuned;
+  tuned.library_efficiency = 0.95;
+  auto r1 = (*exe)->RunWithShapes({{1024, 1024}, {1024, 1024}}, base);
+  auto r2 = (*exe)->RunWithShapes({{1024, 1024}, {1024, 1024}}, tuned);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(r1->profile.device_time_us, r2->profile.device_time_us);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,173 @@
+#include "serving/serving.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "ir/builder.h"
+
+namespace disc {
+namespace {
+
+std::vector<Request> FixedRequests(std::vector<std::pair<double, int64_t>>
+                                       arrival_and_len) {
+  std::vector<Request> requests;
+  int64_t id = 0;
+  for (auto [arrival, len] : arrival_and_len) {
+    requests.push_back({id++, len, arrival});
+  }
+  return requests;
+}
+
+TEST(BatcherTest, NoBatchingIsOnePerRequest) {
+  BatcherOptions options;
+  options.pad = PadPolicy::kNone;
+  auto batches = FormBatches(FixedRequests({{0, 10}, {5, 20}, {9, 30}}),
+                             options);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[1].padded_batch, 1);
+  EXPECT_EQ(batches[1].padded_seq, 20);
+}
+
+TEST(BatcherTest, FillsUpToMaxBatch) {
+  BatcherOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 1e9;
+  auto batches =
+      FormBatches(FixedRequests({{0, 8}, {1, 16}, {2, 8}, {3, 8}}), options);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].requests.size(), 2u);
+  EXPECT_EQ(batches[0].padded_batch, 2);
+  EXPECT_EQ(batches[0].padded_seq, 16);  // padded to longest member
+}
+
+TEST(BatcherTest, WaitBudgetClosesBatches) {
+  BatcherOptions options;
+  options.max_batch = 100;
+  options.max_wait_us = 10;
+  auto batches =
+      FormBatches(FixedRequests({{0, 8}, {5, 8}, {100, 8}}), options);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].requests.size(), 2u);
+  EXPECT_EQ(batches[1].requests.size(), 1u);
+}
+
+TEST(BatcherTest, BucketPow2Pads) {
+  BatcherOptions options;
+  options.max_batch = 3;
+  options.max_wait_us = 1e9;
+  options.pad = PadPolicy::kBucketPow2;
+  auto batches =
+      FormBatches(FixedRequests({{0, 17}, {1, 30}, {2, 9}}), options);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].padded_batch, 4);   // 3 -> 4
+  EXPECT_EQ(batches[0].padded_seq, 32);    // 30 -> 32
+}
+
+TEST(BatcherTest, ReadyTimeIsLastArrival) {
+  BatcherOptions options;
+  options.max_batch = 2;
+  auto batches = FormBatches(FixedRequests({{0, 8}, {7, 8}}), options);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[0].ready_us, 7.0);
+}
+
+TEST(ServingTest, SyntheticStreamIsSortedAndDeterministic) {
+  auto a = SyntheticRequestStream(50, 100.0, 3);
+  auto b = SyntheticRequestStream(50, 100.0, 3);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    EXPECT_EQ(a[i].seq_len, b[i].seq_len);
+  }
+}
+
+TEST(ServingTest, EndToEndSimulationProducesSaneStats) {
+  Graph g("serve");
+  GraphBuilder b(&g);
+  const int64_t kHidden = 32;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, kHidden});
+  b.Output({b.Softmax(b.Relu(x))});
+
+  auto engine = MakeBaseline("DISC");
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Prepare(g, {{"B", "S", ""}}).ok());
+
+  auto shape_fn = [kHidden](int64_t batch, int64_t seq) {
+    return std::vector<std::vector<int64_t>>{{batch, seq, kHidden}};
+  };
+  auto requests = SyntheticRequestStream(64, 50.0, 7);
+  BatcherOptions options;
+  auto stats = SimulateServing(engine->get(), shape_fn, requests, options,
+                               DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->p50_us, 0.0);
+  EXPECT_GE(stats->p95_us, stats->p50_us);
+  EXPECT_GE(stats->p99_us, stats->p95_us);
+  EXPECT_GT(stats->throughput_qps, 0.0);
+  EXPECT_GT(stats->batches, 0);
+  // batch-max padding wastes some tokens (mixed lengths) but < 60%.
+  EXPECT_GT(stats->padded_token_fraction, 0.0);
+  EXPECT_LT(stats->padded_token_fraction, 0.6);
+}
+
+TEST(ServingTest, BucketPaddingWastesMoreThanBatchMax) {
+  Graph g("serve2");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 32});
+  b.Output({b.Relu(x)});
+  auto shape_fn = [](int64_t batch, int64_t seq) {
+    return std::vector<std::vector<int64_t>>{{batch, seq, 32}};
+  };
+  auto requests = SyntheticRequestStream(64, 50.0, 9);
+
+  double waste_batch_max = 0;
+  double waste_bucket = 0;
+  for (PadPolicy policy : {PadPolicy::kBatchMax, PadPolicy::kBucketPow2}) {
+    auto engine = MakeBaseline("DISC");
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Prepare(g, {{"B", "S", ""}}).ok());
+    BatcherOptions options;
+    options.pad = policy;
+    auto stats = SimulateServing(engine->get(), shape_fn, requests, options,
+                                 DeviceSpec::T4());
+    ASSERT_TRUE(stats.ok());
+    if (policy == PadPolicy::kBatchMax) {
+      waste_batch_max = stats->padded_token_fraction;
+    } else {
+      waste_bucket = stats->padded_token_fraction;
+    }
+  }
+  EXPECT_GT(waste_bucket, waste_batch_max);
+}
+
+TEST(ServingTest, BatchingBeatsNoBatchingUnderLoad) {
+  Graph g("serve3");
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 32});
+  b.Output({b.Softmax(x)});
+  auto shape_fn = [](int64_t batch, int64_t seq) {
+    return std::vector<std::vector<int64_t>>{{batch, seq, 32}};
+  };
+  // Arrivals much faster than per-query service time: without batching
+  // the queue grows without bound.
+  auto requests = SyntheticRequestStream(64, 1.0, 11);
+
+  auto run = [&](PadPolicy policy) {
+    auto engine = MakeBaseline("DISC");
+    DISC_CHECK_OK(engine.status());
+    DISC_CHECK_OK((*engine)->Prepare(g, {{"B", "S", ""}}));
+    BatcherOptions options;
+    options.pad = policy;
+    auto stats = SimulateServing(engine->get(), shape_fn, requests, options,
+                                 DeviceSpec::T4());
+    DISC_CHECK_OK(stats.status());
+    return *stats;
+  };
+  ServingStats batched = run(PadPolicy::kBatchMax);
+  ServingStats solo = run(PadPolicy::kNone);
+  EXPECT_GT(batched.throughput_qps, solo.throughput_qps);
+  EXPECT_LT(batched.p99_us, solo.p99_us);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,183 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+KernelStats BaseStats() {
+  KernelStats stats;
+  stats.bytes_read = 1 << 20;
+  stats.bytes_written = 1 << 20;
+  stats.flops = 1 << 20;
+  stats.index_ops = 1 << 20;
+  stats.num_blocks = 512;
+  stats.threads_per_block = 256;
+  return stats;
+}
+
+KernelVariant Generic() { return KernelVariant{}; }
+
+TEST(DeviceSpecTest, A10BeatsT4OnPaper) {
+  DeviceSpec a10 = DeviceSpec::A10();
+  DeviceSpec t4 = DeviceSpec::T4();
+  EXPECT_GT(a10.fp32_tflops, t4.fp32_tflops);
+  EXPECT_GT(a10.dram_gbps, t4.dram_gbps);
+  EXPECT_GT(a10.sm_count, t4.sm_count);
+}
+
+TEST(DeviceSpecTest, CpuTradesThroughputForLatency) {
+  DeviceSpec cpu = DeviceSpec::XeonCpu();
+  DeviceSpec t4 = DeviceSpec::T4();
+  EXPECT_LT(cpu.fp32_tflops, t4.fp32_tflops);
+  EXPECT_LT(cpu.kernel_launch_us, t4.kernel_launch_us);
+
+  // A tiny kernel (launch-bound) is faster on CPU; a large one on GPU.
+  DeviceModel cpu_model(cpu);
+  DeviceModel gpu_model(t4);
+  KernelStats tiny;
+  tiny.bytes_read = 1024;
+  tiny.bytes_written = 1024;
+  tiny.num_blocks = 1;
+  tiny.threads_per_block = 32;
+  KernelStats big = BaseStats();
+  big.bytes_read = 1 << 28;
+  big.bytes_written = 1 << 28;
+  big.num_blocks = 1 << 16;
+  KernelVariant generic;
+  EXPECT_LT(cpu_model.EstimateGenerated(tiny, generic).time_us,
+            gpu_model.EstimateGenerated(tiny, generic).time_us);
+  EXPECT_GT(cpu_model.EstimateGenerated(big, generic).time_us,
+            gpu_model.EstimateGenerated(big, generic).time_us);
+}
+
+TEST(DeviceModelTest, LaunchOverheadIsAdditive) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats tiny;
+  tiny.bytes_read = 4;
+  tiny.bytes_written = 4;
+  tiny.num_blocks = 1;
+  tiny.threads_per_block = 32;
+  KernelCost cost = model.EstimateGenerated(tiny, Generic());
+  EXPECT_GE(cost.time_us, model.launch_overhead_us());
+  EXPECT_NEAR(cost.time_us - cost.body_us, model.launch_overhead_us(), 1e-9);
+}
+
+TEST(DeviceModelTest, MonotoneInBytes) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats small = BaseStats();
+  KernelStats large = BaseStats();
+  large.bytes_read *= 8;
+  large.bytes_written *= 8;
+  EXPECT_LT(model.EstimateGenerated(small, Generic()).time_us,
+            model.EstimateGenerated(large, Generic()).time_us);
+}
+
+TEST(DeviceModelTest, MonotoneInFlops) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats compute = BaseStats();
+  compute.bytes_read = 1024;
+  compute.bytes_written = 1024;
+  compute.flops = 1 << 28;  // clearly compute bound
+  KernelStats more = compute;
+  more.flops *= 4;
+  auto c1 = model.EstimateGenerated(compute, Generic());
+  auto c2 = model.EstimateGenerated(more, Generic());
+  EXPECT_FALSE(c1.memory_bound);
+  EXPECT_LT(c1.time_us, c2.time_us);
+}
+
+TEST(DeviceModelTest, VectorizationImprovesMemoryBoundKernels) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats stats = BaseStats();
+  stats.flops = 0;
+  KernelVariant vec;
+  vec.vector_width = 4;
+  EXPECT_LT(model.EstimateGenerated(stats, vec).body_us,
+            model.EstimateGenerated(stats, Generic()).body_us);
+}
+
+TEST(DeviceModelTest, BroadcastFreeImprovesComputeBoundKernels) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats stats = BaseStats();
+  stats.flops = 1 << 28;
+  stats.bytes_read = 1024;
+  stats.bytes_written = 1024;
+  KernelVariant bf;
+  bf.broadcast_free = true;
+  EXPECT_LT(model.EstimateGenerated(stats, bf).body_us,
+            model.EstimateGenerated(stats, Generic()).body_us);
+}
+
+TEST(DeviceModelTest, LowOccupancyHurtsBandwidth) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats few = BaseStats();
+  few.flops = 0;
+  few.num_blocks = 4;  // 1024 threads: cannot saturate DRAM
+  KernelStats many = few;
+  many.num_blocks = 512;
+  auto cost_few = model.EstimateGenerated(few, Generic());
+  auto cost_many = model.EstimateGenerated(many, Generic());
+  EXPECT_GT(cost_few.body_us, cost_many.body_us);
+  EXPECT_LT(cost_few.utilization, cost_many.utilization);
+}
+
+TEST(DeviceModelTest, TinyBlockReducePaysPenalty) {
+  DeviceModel model(DeviceSpec::T4());
+  KernelStats stats = BaseStats();
+  stats.flops = 0;
+  stats.threads_per_block = 32;  // tiny rows
+  stats.num_blocks = 4096;
+  KernelVariant block;
+  block.schedule = ReduceSchedule::kBlockPerRow;
+  KernelVariant warp;
+  warp.schedule = ReduceSchedule::kWarpPerRow;
+  KernelStats warp_stats = stats;
+  warp_stats.threads_per_block = 256;
+  warp_stats.num_blocks = 512;
+  EXPECT_GT(model.EstimateGenerated(stats, block).body_us,
+            model.EstimateGenerated(warp_stats, warp).body_us);
+}
+
+TEST(DeviceModelTest, SameKernelFasterOnA10) {
+  KernelStats stats = BaseStats();
+  DeviceModel a10(DeviceSpec::A10());
+  DeviceModel t4(DeviceSpec::T4());
+  EXPECT_LT(a10.EstimateGenerated(stats, Generic()).body_us,
+            t4.EstimateGenerated(stats, Generic()).body_us);
+}
+
+TEST(DeviceModelTest, LibraryEfficiencyScalesComputeBoundTime) {
+  DeviceModel model(DeviceSpec::T4());
+  LibraryCallStats stats;
+  stats.flops = 1LL << 32;
+  stats.bytes_read = 1024;
+  stats.bytes_written = 1024;
+  auto base = model.EstimateLibrary(stats, 0.85);
+  auto tuned = model.EstimateLibrary(stats, 0.92);
+  EXPECT_FALSE(base.memory_bound);
+  EXPECT_GT(base.body_us, tuned.body_us);
+  EXPECT_NEAR(base.body_us / tuned.body_us, 0.92 / 0.85, 1e-6);
+}
+
+TEST(DeviceModelTest, LibraryMemoryBoundIgnoresEfficiency) {
+  DeviceModel model(DeviceSpec::T4());
+  LibraryCallStats stats;
+  stats.flops = 1024;
+  stats.bytes_read = 1 << 26;
+  stats.bytes_written = 1 << 26;
+  auto c = model.EstimateLibrary(stats, 0.85);
+  EXPECT_TRUE(c.memory_bound);
+  EXPECT_NEAR(c.body_us, model.EstimateLibrary(stats, 0.92).body_us, 1e-9);
+}
+
+TEST(DeviceModelTest, ScheduleNamesAreStable) {
+  EXPECT_STREQ(ReduceScheduleName(ReduceSchedule::kNone), "none");
+  EXPECT_STREQ(ReduceScheduleName(ReduceSchedule::kWarpPerRow),
+               "warp_per_row");
+  EXPECT_STREQ(ReduceScheduleName(ReduceSchedule::kBlockPerRow),
+               "block_per_row");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Double(Result<int> in) {
+  DISC_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Double(21), 42);
+  EXPECT_FALSE(Double(Status::Internal("boom")).ok());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  DISC_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<int>{}, ", "), "");
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(Strip("  hi \n"), "hi");
+  EXPECT_EQ(Strip(""), "");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("reduce_sum", "reduce"));
+  EXPECT_FALSE(StartsWith("re", "reduce"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(8, 4), 8);
+}
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(64), 64);
+  EXPECT_EQ(NextPowerOfTwo(65), 128);
+}
+
+TEST(MathUtilTest, Product) {
+  EXPECT_EQ(Product({}), 1);
+  EXPECT_EQ(Product({2, 3, 4}), 24);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsZeroWeight) {
+  Rng rng(7);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,276 @@
+#include "shape/symbolic_dim.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+DimExpr C(int64_t v) { return DimExpr::Const(v); }
+
+TEST(SymbolicDimTest, NewSymbolsAreDistinctClasses) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol("batch");
+  SymbolId b = m.NewSymbol("seq");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.Find(a), a);
+  EXPECT_EQ(m.Find(b), b);
+  EXPECT_EQ(m.Info(a).name, "batch");
+}
+
+TEST(SymbolicDimTest, MergeUnifiesClasses) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  SymbolId c = m.NewSymbol();
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  ASSERT_TRUE(m.MergeSymbols(b, c).ok());
+  EXPECT_EQ(m.Find(a), m.Find(c));
+  EXPECT_EQ(m.GetStats().num_classes, 1);
+}
+
+TEST(SymbolicDimTest, MergeKeepsSmallestRoot) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.MergeSymbols(b, a).ok());
+  EXPECT_EQ(m.Find(b), a);
+}
+
+TEST(SymbolicDimTest, MergePropagatesValue) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetValue(b, 128).ok());
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  EXPECT_EQ(m.GetValue(a), 128);
+}
+
+TEST(SymbolicDimTest, MergeConflictingValuesFails) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetValue(a, 4).ok());
+  ASSERT_TRUE(m.SetValue(b, 8).ok());
+  EXPECT_FALSE(m.MergeSymbols(a, b).ok());
+}
+
+TEST(SymbolicDimTest, SetValueConflictFails) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  ASSERT_TRUE(m.SetValue(a, 4).ok());
+  EXPECT_TRUE(m.SetValue(a, 4).ok());
+  EXPECT_FALSE(m.SetValue(a, 5).ok());
+}
+
+TEST(SymbolicDimTest, DivisibilityIsLcm) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  m.AddDivisibility(a, 4);
+  m.AddDivisibility(a, 6);
+  EXPECT_EQ(m.GetDivisor(a), 12);
+}
+
+TEST(SymbolicDimTest, MergeCombinesDivisors) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  m.AddDivisibility(a, 2);
+  m.AddDivisibility(b, 3);
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  EXPECT_EQ(m.GetDivisor(a), 6);
+}
+
+TEST(SymbolicDimTest, RangesIntersect) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  ASSERT_TRUE(m.SetRange(a, 1, 512).ok());
+  ASSERT_TRUE(m.SetRange(a, 8, 1024).ok());
+  EXPECT_EQ(m.GetRange(a), (std::pair<int64_t, int64_t>{8, 512}));
+  EXPECT_FALSE(m.SetRange(a, 600, 700).ok());
+}
+
+TEST(SymbolicDimTest, LikelyValuesMostRecentLast) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  m.AddLikelyValue(a, 64);
+  m.AddLikelyValue(a, 128);
+  m.AddLikelyValue(a, 64);  // moves to the back
+  EXPECT_EQ(m.GetLikelyValues(a), (std::vector<int64_t>{128, 64}));
+}
+
+TEST(SymbolicDimTest, CanonicalizeSubstitutesRootsAndValues) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  SymbolId c = m.NewSymbol();
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  ASSERT_TRUE(m.SetValue(c, 3).ok());
+  DimExpr e = DimExpr::Mul(DimExpr::Symbol(b), DimExpr::Symbol(c));
+  DimExpr canonical = m.Canonicalize(e);
+  EXPECT_TRUE(canonical.Equals(DimExpr::Mul(C(3), DimExpr::Symbol(a))));
+}
+
+TEST(SymbolicDimTest, IsDimEqualThroughUnification) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  DimExpr ea = DimExpr::Symbol(a);
+  DimExpr eb = DimExpr::Symbol(b);
+  EXPECT_FALSE(m.IsDimEqual(ea, eb));
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  EXPECT_TRUE(m.IsDimEqual(ea, eb));
+}
+
+TEST(SymbolicDimTest, IsDimEqualViaValues) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  ASSERT_TRUE(m.SetValue(a, 7).ok());
+  EXPECT_TRUE(m.IsDimEqual(DimExpr::Symbol(a), C(7)));
+}
+
+TEST(SymbolicDimTest, IsShapeEqual) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  SymShape s1 = {DimExpr::Symbol(a), C(4)};
+  SymShape s2 = {DimExpr::Symbol(b), C(4)};
+  EXPECT_FALSE(m.IsShapeEqual(s1, s2));
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  EXPECT_TRUE(m.IsShapeEqual(s1, s2));
+  EXPECT_FALSE(m.IsShapeEqual(s1, {DimExpr::Symbol(a)}));
+}
+
+TEST(SymbolicDimTest, SameNumElementsDirect) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  DimExpr ea = DimExpr::Symbol(a);
+  DimExpr eb = DimExpr::Symbol(b);
+  // [a, b, 768] vs [b, a, 768] — same product by commutativity.
+  EXPECT_TRUE(m.IsSameNumElements({ea, eb, C(768)}, {eb, ea, C(768)}));
+  // [a, 768] vs [a, 512] — differ.
+  EXPECT_FALSE(m.IsSameNumElements({ea, C(768)}, {ea, C(512)}));
+}
+
+TEST(SymbolicDimTest, SameNumElementsFlattened) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  DimExpr ea = DimExpr::Symbol(a);
+  DimExpr eb = DimExpr::Symbol(b);
+  // [a, b, 768] vs [a*b, 768] — equal via normalization, no fact needed.
+  EXPECT_TRUE(
+      m.IsSameNumElements({ea, eb, C(768)}, {DimExpr::Mul(ea, eb), C(768)}));
+}
+
+TEST(SymbolicDimTest, SameNumElementsViaProductFact) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();   // flattened tokens
+  SymbolId b = m.NewSymbol();   // batch
+  SymbolId c = m.NewSymbol();   // seq
+  DimExpr ea = DimExpr::Symbol(a);
+  DimExpr eb = DimExpr::Symbol(b);
+  DimExpr ec = DimExpr::Symbol(c);
+  // Without the fact, [a, 64] vs [b, c, 64] are unrelated.
+  EXPECT_FALSE(m.IsSameNumElements({ea, C(64)}, {eb, ec, C(64)}));
+  // A reshape recorded that a == b*c.
+  m.AddProductEqual({ea}, {eb, ec});
+  EXPECT_TRUE(m.IsSameNumElements({ea, C(64)}, {eb, ec, C(64)}));
+  // And the inverse direction.
+  EXPECT_TRUE(m.IsSameNumElements({eb, ec, C(64)}, {ea, C(64)}));
+  // But unrelated products still differ.
+  EXPECT_FALSE(m.IsSameNumElements({ea, C(64)}, {eb, C(64)}));
+}
+
+TEST(SymbolicDimTest, IsDivisibleByUsesSymbolFacts) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  m.AddDivisibility(a, 8);
+  DimExpr e = DimExpr::Mul(DimExpr::Symbol(a), C(3));
+  EXPECT_TRUE(m.IsDivisibleBy(e, 4));
+  EXPECT_TRUE(m.IsDivisibleBy(e, 24));
+  EXPECT_FALSE(m.IsDivisibleBy(e, 16));
+}
+
+TEST(SymbolicDimTest, IsDivisibleThroughMergedClass) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  m.AddDivisibility(a, 4);
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  EXPECT_TRUE(m.IsDivisibleBy(DimExpr::Symbol(b), 4));
+}
+
+TEST(SymbolicDimTest, UpperBound) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  EXPECT_FALSE(m.UpperBound(DimExpr::Symbol(a)).has_value());
+  ASSERT_TRUE(m.SetRange(a, 1, 512).ok());
+  EXPECT_EQ(m.UpperBound(DimExpr::Symbol(a)), 512);
+  ASSERT_TRUE(m.SetRange(b, 1, 8).ok());
+  DimExpr e = DimExpr::Add(DimExpr::Mul(DimExpr::Symbol(a), DimExpr::Symbol(b)),
+                           C(10));
+  EXPECT_EQ(m.UpperBound(e), 512 * 8 + 10);
+  EXPECT_EQ(m.UpperBound(C(42)), 42);
+}
+
+TEST(SymbolicDimTest, StatsCounts) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  m.NewSymbol();
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  ASSERT_TRUE(m.SetValue(a, 4).ok());
+  m.AddProductEqual({DimExpr::Symbol(a)}, {DimExpr::Symbol(b), C(2)});
+  auto stats = m.GetStats();
+  EXPECT_EQ(stats.num_symbols, 3);
+  EXPECT_EQ(stats.num_classes, 2);
+  EXPECT_EQ(stats.num_known_constants, 1);
+}
+
+TEST(SymbolicDimTest, CanonicalizeAfterLateSetValue) {
+  // Values learned AFTER an expression was built still apply on query.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  DimExpr e = DimExpr::Mul(DimExpr::Symbol(a), DimExpr::Const(2));
+  EXPECT_FALSE(m.Canonicalize(e).IsConst());
+  ASSERT_TRUE(m.SetValue(a, 5).ok());
+  EXPECT_TRUE(m.Canonicalize(e).IsConstValue(10));
+}
+
+TEST(SymbolicDimTest, MergeIsIdempotentAndSymmetric) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.MergeSymbols(a, b).ok());
+  ASSERT_TRUE(m.MergeSymbols(b, a).ok());
+  ASSERT_TRUE(m.MergeSymbols(a, a).ok());
+  EXPECT_EQ(m.GetStats().num_classes, 1);
+}
+
+TEST(SymbolicDimTest, UpperBoundThroughDivision) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  ASSERT_TRUE(m.SetRange(a, 1, 100).ok());
+  EXPECT_EQ(m.UpperBound(DimExpr::FloorDiv(DimExpr::Symbol(a),
+                                           DimExpr::Const(4))),
+            25);
+  EXPECT_EQ(m.UpperBound(DimExpr::CeilDiv(DimExpr::Symbol(a),
+                                          DimExpr::Const(3))),
+            34);
+  EXPECT_EQ(m.UpperBound(DimExpr::Mod(DimExpr::Symbol(a),
+                                      DimExpr::Const(8))),
+            7);
+}
+
+TEST(SymbolicDimTest, TrivialProductFactSkipped) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  DimExpr ea = DimExpr::Symbol(a);
+  m.AddProductEqual({ea, C(4)}, {C(4), ea});
+  EXPECT_EQ(m.GetStats().num_product_facts, 0);
+}
+
+}  // namespace
+}  // namespace disc
