@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_a10.dir/bench_e2e_a10.cpp.o"
+  "CMakeFiles/bench_e2e_a10.dir/bench_e2e_a10.cpp.o.d"
+  "bench_e2e_a10"
+  "bench_e2e_a10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_a10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

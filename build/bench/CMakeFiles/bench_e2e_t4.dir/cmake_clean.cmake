@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_t4.dir/bench_e2e_t4.cpp.o"
+  "CMakeFiles/bench_e2e_t4.dir/bench_e2e_t4.cpp.o.d"
+  "bench_e2e_t4"
+  "bench_e2e_t4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_t4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

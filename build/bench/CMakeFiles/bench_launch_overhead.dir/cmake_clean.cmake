@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_launch_overhead.dir/bench_launch_overhead.cpp.o"
+  "CMakeFiles/bench_launch_overhead.dir/bench_launch_overhead.cpp.o.d"
+  "bench_launch_overhead"
+  "bench_launch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_launch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

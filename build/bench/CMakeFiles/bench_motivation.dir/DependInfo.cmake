@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_motivation.cpp" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o" "gcc" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/disc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/disc_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/disc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/disc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/disc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/disc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/disc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/disc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/disc_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/disc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/disc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

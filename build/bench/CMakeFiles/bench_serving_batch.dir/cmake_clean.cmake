@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving_batch.dir/bench_serving_batch.cpp.o"
+  "CMakeFiles/bench_serving_batch.dir/bench_serving_batch.cpp.o.d"
+  "bench_serving_batch"
+  "bench_serving_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving_trace.dir/bench_serving_trace.cpp.o"
+  "CMakeFiles/bench_serving_trace.dir/bench_serving_trace.cpp.o.d"
+  "bench_serving_trace"
+  "bench_serving_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

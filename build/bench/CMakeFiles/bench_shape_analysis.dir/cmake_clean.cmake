@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape_analysis.dir/bench_shape_analysis.cpp.o"
+  "CMakeFiles/bench_shape_analysis.dir/bench_shape_analysis.cpp.o.d"
+  "bench_shape_analysis"
+  "bench_shape_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shape_analysis.
+# This may be replaced when dependencies are built.

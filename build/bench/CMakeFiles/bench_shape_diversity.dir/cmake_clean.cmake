@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape_diversity.dir/bench_shape_diversity.cpp.o"
+  "CMakeFiles/bench_shape_diversity.dir/bench_shape_diversity.cpp.o.d"
+  "bench_shape_diversity"
+  "bench_shape_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

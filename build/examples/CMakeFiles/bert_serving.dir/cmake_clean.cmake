@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_serving.dir/bert_serving.cpp.o"
+  "CMakeFiles/bert_serving.dir/bert_serving.cpp.o.d"
+  "bert_serving"
+  "bert_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

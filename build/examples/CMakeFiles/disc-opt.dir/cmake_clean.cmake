@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc-opt.dir/disc_opt.cpp.o"
+  "CMakeFiles/disc-opt.dir/disc_opt.cpp.o.d"
+  "disc-opt"
+  "disc-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

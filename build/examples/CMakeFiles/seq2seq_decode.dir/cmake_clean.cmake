@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq2seq_decode.dir/seq2seq_decode.cpp.o"
+  "CMakeFiles/seq2seq_decode.dir/seq2seq_decode.cpp.o.d"
+  "seq2seq_decode"
+  "seq2seq_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq2seq_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

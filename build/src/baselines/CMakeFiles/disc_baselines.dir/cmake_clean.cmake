@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_baselines.dir/baselines.cc.o"
+  "CMakeFiles/disc_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/dynamic_engine.cc.o"
+  "CMakeFiles/disc_baselines.dir/dynamic_engine.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/engine.cc.o"
+  "CMakeFiles/disc_baselines.dir/engine.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/interpreter_engine.cc.o"
+  "CMakeFiles/disc_baselines.dir/interpreter_engine.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/static_engine.cc.o"
+  "CMakeFiles/disc_baselines.dir/static_engine.cc.o.d"
+  "libdisc_baselines.a"
+  "libdisc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_compiler.dir/compiler.cc.o"
+  "CMakeFiles/disc_compiler.dir/compiler.cc.o.d"
+  "libdisc_compiler.a"
+  "libdisc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_fusion.dir/fusion.cc.o"
+  "CMakeFiles/disc_fusion.dir/fusion.cc.o.d"
+  "libdisc_fusion.a"
+  "libdisc_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

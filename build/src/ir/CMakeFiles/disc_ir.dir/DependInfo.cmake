@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/attribute.cc" "src/ir/CMakeFiles/disc_ir.dir/attribute.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/attribute.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/disc_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/dtype.cc" "src/ir/CMakeFiles/disc_ir.dir/dtype.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/dtype.cc.o.d"
+  "/root/repo/src/ir/eval.cc" "src/ir/CMakeFiles/disc_ir.dir/eval.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/eval.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/ir/CMakeFiles/disc_ir.dir/graph.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/graph.cc.o.d"
+  "/root/repo/src/ir/op_kind.cc" "src/ir/CMakeFiles/disc_ir.dir/op_kind.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/op_kind.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/disc_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/tensor.cc" "src/ir/CMakeFiles/disc_ir.dir/tensor.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/tensor.cc.o.d"
+  "/root/repo/src/ir/type_inference.cc" "src/ir/CMakeFiles/disc_ir.dir/type_inference.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/type_inference.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/disc_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/disc_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/disc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

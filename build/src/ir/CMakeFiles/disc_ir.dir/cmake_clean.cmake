@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_ir.dir/attribute.cc.o"
+  "CMakeFiles/disc_ir.dir/attribute.cc.o.d"
+  "CMakeFiles/disc_ir.dir/builder.cc.o"
+  "CMakeFiles/disc_ir.dir/builder.cc.o.d"
+  "CMakeFiles/disc_ir.dir/dtype.cc.o"
+  "CMakeFiles/disc_ir.dir/dtype.cc.o.d"
+  "CMakeFiles/disc_ir.dir/eval.cc.o"
+  "CMakeFiles/disc_ir.dir/eval.cc.o.d"
+  "CMakeFiles/disc_ir.dir/graph.cc.o"
+  "CMakeFiles/disc_ir.dir/graph.cc.o.d"
+  "CMakeFiles/disc_ir.dir/op_kind.cc.o"
+  "CMakeFiles/disc_ir.dir/op_kind.cc.o.d"
+  "CMakeFiles/disc_ir.dir/parser.cc.o"
+  "CMakeFiles/disc_ir.dir/parser.cc.o.d"
+  "CMakeFiles/disc_ir.dir/tensor.cc.o"
+  "CMakeFiles/disc_ir.dir/tensor.cc.o.d"
+  "CMakeFiles/disc_ir.dir/type_inference.cc.o"
+  "CMakeFiles/disc_ir.dir/type_inference.cc.o.d"
+  "CMakeFiles/disc_ir.dir/verifier.cc.o"
+  "CMakeFiles/disc_ir.dir/verifier.cc.o.d"
+  "libdisc_ir.a"
+  "libdisc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/execute.cc" "src/kernel/CMakeFiles/disc_kernel.dir/execute.cc.o" "gcc" "src/kernel/CMakeFiles/disc_kernel.dir/execute.cc.o.d"
+  "/root/repo/src/kernel/guard.cc" "src/kernel/CMakeFiles/disc_kernel.dir/guard.cc.o" "gcc" "src/kernel/CMakeFiles/disc_kernel.dir/guard.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/disc_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/disc_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/library.cc" "src/kernel/CMakeFiles/disc_kernel.dir/library.cc.o" "gcc" "src/kernel/CMakeFiles/disc_kernel.dir/library.cc.o.d"
+  "/root/repo/src/kernel/specialize.cc" "src/kernel/CMakeFiles/disc_kernel.dir/specialize.cc.o" "gcc" "src/kernel/CMakeFiles/disc_kernel.dir/specialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/disc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/disc_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/disc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/disc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_kernel.dir/execute.cc.o"
+  "CMakeFiles/disc_kernel.dir/execute.cc.o.d"
+  "CMakeFiles/disc_kernel.dir/guard.cc.o"
+  "CMakeFiles/disc_kernel.dir/guard.cc.o.d"
+  "CMakeFiles/disc_kernel.dir/kernel.cc.o"
+  "CMakeFiles/disc_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/disc_kernel.dir/library.cc.o"
+  "CMakeFiles/disc_kernel.dir/library.cc.o.d"
+  "CMakeFiles/disc_kernel.dir/specialize.cc.o"
+  "CMakeFiles/disc_kernel.dir/specialize.cc.o.d"
+  "libdisc_kernel.a"
+  "libdisc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

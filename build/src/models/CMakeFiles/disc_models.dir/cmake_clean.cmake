@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_models.dir/models.cc.o"
+  "CMakeFiles/disc_models.dir/models.cc.o.d"
+  "libdisc_models.a"
+  "libdisc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

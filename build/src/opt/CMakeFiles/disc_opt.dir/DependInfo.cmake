@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/canonicalize.cc" "src/opt/CMakeFiles/disc_opt.dir/canonicalize.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/canonicalize.cc.o.d"
+  "/root/repo/src/opt/constant_fold.cc" "src/opt/CMakeFiles/disc_opt.dir/constant_fold.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/constant_fold.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/opt/CMakeFiles/disc_opt.dir/cse.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/disc_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/layout_simplify.cc" "src/opt/CMakeFiles/disc_opt.dir/layout_simplify.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/layout_simplify.cc.o.d"
+  "/root/repo/src/opt/pass.cc" "src/opt/CMakeFiles/disc_opt.dir/pass.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/pass.cc.o.d"
+  "/root/repo/src/opt/shape_simplify.cc" "src/opt/CMakeFiles/disc_opt.dir/shape_simplify.cc.o" "gcc" "src/opt/CMakeFiles/disc_opt.dir/shape_simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/disc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/disc_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/disc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_opt.dir/canonicalize.cc.o"
+  "CMakeFiles/disc_opt.dir/canonicalize.cc.o.d"
+  "CMakeFiles/disc_opt.dir/constant_fold.cc.o"
+  "CMakeFiles/disc_opt.dir/constant_fold.cc.o.d"
+  "CMakeFiles/disc_opt.dir/cse.cc.o"
+  "CMakeFiles/disc_opt.dir/cse.cc.o.d"
+  "CMakeFiles/disc_opt.dir/dce.cc.o"
+  "CMakeFiles/disc_opt.dir/dce.cc.o.d"
+  "CMakeFiles/disc_opt.dir/layout_simplify.cc.o"
+  "CMakeFiles/disc_opt.dir/layout_simplify.cc.o.d"
+  "CMakeFiles/disc_opt.dir/pass.cc.o"
+  "CMakeFiles/disc_opt.dir/pass.cc.o.d"
+  "CMakeFiles/disc_opt.dir/shape_simplify.cc.o"
+  "CMakeFiles/disc_opt.dir/shape_simplify.cc.o.d"
+  "libdisc_opt.a"
+  "libdisc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

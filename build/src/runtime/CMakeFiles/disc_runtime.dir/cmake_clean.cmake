@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_runtime.dir/allocator.cc.o"
+  "CMakeFiles/disc_runtime.dir/allocator.cc.o.d"
+  "CMakeFiles/disc_runtime.dir/buffer_plan.cc.o"
+  "CMakeFiles/disc_runtime.dir/buffer_plan.cc.o.d"
+  "CMakeFiles/disc_runtime.dir/executable.cc.o"
+  "CMakeFiles/disc_runtime.dir/executable.cc.o.d"
+  "libdisc_runtime.a"
+  "libdisc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_serving.dir/serving.cc.o"
+  "CMakeFiles/disc_serving.dir/serving.cc.o.d"
+  "libdisc_serving.a"
+  "libdisc_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

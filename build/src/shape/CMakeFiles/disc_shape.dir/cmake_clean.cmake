@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_shape.dir/dim_expr.cc.o"
+  "CMakeFiles/disc_shape.dir/dim_expr.cc.o.d"
+  "CMakeFiles/disc_shape.dir/shape_analysis.cc.o"
+  "CMakeFiles/disc_shape.dir/shape_analysis.cc.o.d"
+  "CMakeFiles/disc_shape.dir/symbolic_dim.cc.o"
+  "CMakeFiles/disc_shape.dir/symbolic_dim.cc.o.d"
+  "libdisc_shape.a"
+  "libdisc_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_sim.dir/device.cc.o"
+  "CMakeFiles/disc_sim.dir/device.cc.o.d"
+  "libdisc_sim.a"
+  "libdisc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_support.dir/logging.cc.o"
+  "CMakeFiles/disc_support.dir/logging.cc.o.d"
+  "CMakeFiles/disc_support.dir/status.cc.o"
+  "CMakeFiles/disc_support.dir/status.cc.o.d"
+  "CMakeFiles/disc_support.dir/string_util.cc.o"
+  "CMakeFiles/disc_support.dir/string_util.cc.o.d"
+  "libdisc_support.a"
+  "libdisc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

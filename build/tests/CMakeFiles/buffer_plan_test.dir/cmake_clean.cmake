@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_plan_test.dir/buffer_plan_test.cpp.o"
+  "CMakeFiles/buffer_plan_test.dir/buffer_plan_test.cpp.o.d"
+  "buffer_plan_test"
+  "buffer_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

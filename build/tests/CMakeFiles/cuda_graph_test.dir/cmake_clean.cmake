@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_graph_test.dir/cuda_graph_test.cpp.o"
+  "CMakeFiles/cuda_graph_test.dir/cuda_graph_test.cpp.o.d"
+  "cuda_graph_test"
+  "cuda_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dim_expr_test.dir/dim_expr_test.cpp.o"
+  "CMakeFiles/dim_expr_test.dir/dim_expr_test.cpp.o.d"
+  "dim_expr_test"
+  "dim_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dim_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_analysis_test.dir/shape_analysis_test.cpp.o"
+  "CMakeFiles/shape_analysis_test.dir/shape_analysis_test.cpp.o.d"
+  "shape_analysis_test"
+  "shape_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

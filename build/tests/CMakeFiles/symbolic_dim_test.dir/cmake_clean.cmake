@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_dim_test.dir/symbolic_dim_test.cpp.o"
+  "CMakeFiles/symbolic_dim_test.dir/symbolic_dim_test.cpp.o.d"
+  "symbolic_dim_test"
+  "symbolic_dim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_dim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
