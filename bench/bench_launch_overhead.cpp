@@ -39,7 +39,16 @@ std::vector<ShapeSet> FullyDynamicTrace(int64_t n, int64_t hidden) {
 
 std::unique_ptr<Engine> MakeSystem(const std::string& name) {
   if (name == "DISC") {
-    return std::make_unique<DynamicCompilerEngine>(DynamicProfile::Disc());
+    // Plan cache off: the pre-memoization runtime (every query rebuilds
+    // its launch plan) — the baseline the plan-cache rows compare against.
+    DynamicProfile profile = DynamicProfile::Disc();
+    profile.use_plan_cache = false;
+    return std::make_unique<DynamicCompilerEngine>(profile);
+  }
+  if (name == "DISC+plan") {
+    DynamicProfile profile = DynamicProfile::Disc();
+    profile.name = "DISC+plan";
+    return std::make_unique<DynamicCompilerEngine>(profile);
   }
   if (name == "DISC+graph") {
     DynamicProfile profile = DynamicProfile::Disc();
@@ -70,8 +79,9 @@ int main() {
     std::printf("-- %s trace (%lld queries) --\n",
                 repeat_heavy ? "repeat-heavy" : "fully dynamic",
                 static_cast<long long>(kQueries));
-    bench::Table table({"system", "mean/query", "p99", "graph replays"});
-    for (const char* name : {"DISC", "DISC+graph", "XLA+graph"}) {
+    bench::Table table(
+        {"system", "mean/query", "p99", "plan hits", "graph replays"});
+    for (const char* name : {"DISC", "DISC+plan", "DISC+graph", "XLA+graph"}) {
       auto engine = MakeSystem(name);
       DISC_CHECK_OK(engine->Prepare(*model.graph, model.input_dim_labels));
       std::vector<double> latencies;
@@ -88,11 +98,15 @@ int main() {
         }
         prev = timing->device_us;
       }
-      table.AddRow({name, bench::FmtUs(bench::Mean(latencies)),
-                    bench::FmtUs(bench::Percentile(latencies, 99)),
-                    std::string(name == std::string("DISC") ? "n/a" : "~") +
-                        (name == std::string("DISC") ? "" :
-                         std::to_string(replays))});
+      const EngineStats& stats = engine->stats();
+      table.AddRow(
+          {name, bench::FmtUs(bench::Mean(latencies)),
+           bench::FmtUs(bench::Percentile(latencies, 99)),
+           stats.launch_plan_hits + stats.launch_plan_misses > 0
+               ? bench::Fmt("%.0f%%", stats.launch_plan_hit_rate() * 100)
+               : std::string("off"),
+           std::string(name == std::string("DISC") ? "n/a" : "~") +
+               (name == std::string("DISC") ? "" : std::to_string(replays))});
     }
     table.Print();
     std::printf("\n");
@@ -117,10 +131,48 @@ int main() {
                       bench::Fmt("%.1fus", spec.kernel_launch_us)});
   }
   dev_table.Print();
+
+  // Measured (wall-clock) host planning cost, cached vs uncached — the
+  // direct view of what the plan cache memoizes. The numbers above charge
+  // the *modeled* host cost; these are the runtime's real microseconds.
+  std::printf("\n-- measured host planning time (repeat-heavy trace) --\n");
+  {
+    auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+    DISC_CHECK_OK(exe.status());
+    auto trace = RepeatHeavyTrace(kQueries * 4, config.hidden);
+    double miss_us = 0, hit_us = 0;
+    int64_t misses = 0, hits = 0;
+    for (const ShapeSet& shapes : trace) {
+      auto r = (*exe)->RunWithShapes(shapes);
+      DISC_CHECK_OK(r.status());
+      if (r->profile.launch_plan_hit) {
+        hit_us += r->profile.host_plan_us;
+        ++hits;
+      } else {
+        miss_us += r->profile.host_plan_us;
+        ++misses;
+      }
+    }
+    double mean_miss = misses > 0 ? miss_us / static_cast<double>(misses) : 0;
+    double mean_hit = hits > 0 ? hit_us / static_cast<double>(hits) : 0;
+    bench::Table host_table({"path", "queries", "mean host plan"});
+    host_table.AddRow({"plan build (miss)",
+                       std::to_string(misses), bench::FmtUs(mean_miss)});
+    host_table.AddRow({"plan replay (hit)",
+                       std::to_string(hits), bench::FmtUs(mean_hit)});
+    host_table.Print();
+    std::printf("hit rate %.0f%%, plan build / replay = %.1fx\n",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses),
+                mean_hit > 0 ? mean_miss / mean_hit : 0.0);
+  }
   std::printf(
       "\nReading: graph replay helps only when signatures repeat; on the\n"
       "decode trace every step is a new shape, so DISC+graph == DISC while\n"
-      "XLA+graph still recompiles per step. The CPU target's near-zero\n"
-      "dispatch latency makes it competitive on tiny launch-bound steps.\n");
+      "XLA+graph still recompiles per step. The plan cache attacks the\n"
+      "complementary cost — the host-side symbolic work — and degrades to\n"
+      "a hash probe (not a stall) when shapes never repeat. The CPU\n"
+      "target's near-zero dispatch latency makes it competitive on tiny\n"
+      "launch-bound steps.\n");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/launch_plan.h"
 #include "support/string_util.h"
 
 namespace disc {
@@ -31,6 +32,7 @@ DynamicProfile DynamicProfile::TorchInductorDynamic() {
   profile.compile_options = options;
   profile.per_query_host_us = 40.0;  // Python guard re-evaluation per call
   profile.per_launch_host_us = 1.5;  // Python-side launcher per kernel
+  profile.use_plan_cache = false;    // guards are re-checked every call
   return profile;
 }
 
@@ -75,17 +77,24 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
 
   RunOptions options;
   options.device = device;
+  options.use_launch_plan_cache = profile_.use_plan_cache;
   if (profile_.use_cuda_graph) {
-    std::string signature;
-    for (const auto& dims : input_dims) {
-      signature += Join(dims, "x") + ";";
-    }
-    // Replay only an already-captured signature; capture this one for next
-    // time (capture itself runs at normal launch cost).
-    options.batch_launches = !captured_signatures_.insert(signature).second;
+    // CUDA-graph capture keys on the same canonical signature as the
+    // launch-plan cache: replay only an already-captured signature;
+    // capture this one for next time (capture itself runs at normal
+    // launch cost).
+    options.batch_launches =
+        !captured_signatures_.insert(ShapeSignature(input_dims)).second;
   }
   DISC_ASSIGN_OR_RETURN(RunResult result,
                         executable_->RunWithShapes(input_dims, options));
+  if (profile_.use_plan_cache) {
+    if (result.profile.launch_plan_hit) {
+      ++stats_.launch_plan_hits;
+    } else {
+      ++stats_.launch_plan_misses;
+    }
+  }
   EngineTiming timing;
   timing.device_us = result.profile.device_time_us;
   timing.kernel_launches =
@@ -93,7 +102,12 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   timing.bytes_moved =
       result.profile.bytes_read + result.profile.bytes_written;
   timing.peak_memory_bytes = result.profile.peak_memory_bytes;
-  timing.host_us = profile_.per_query_host_us +
+  // A replayed plan skips the per-query host shape program; only the
+  // signature lookup (and any per-launch dispatch) remains.
+  double per_query_host = result.profile.launch_plan_hit
+                              ? profile_.plan_hit_host_us
+                              : profile_.per_query_host_us;
+  timing.host_us = per_query_host +
                    profile_.per_launch_host_us *
                        static_cast<double>(timing.kernel_launches);
   timing.total_us = timing.device_us + timing.host_us;

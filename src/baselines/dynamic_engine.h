@@ -24,10 +24,18 @@ namespace disc {
 struct DynamicProfile {
   std::string name = "DISC";
   CompileOptions compile_options;
-  /// Host cost per query (guard re-evaluation etc.).
+  /// Host cost per query (guard re-evaluation etc.) when the launch plan
+  /// must be built — i.e. on a plan-cache miss or with the cache disabled.
   double per_query_host_us = 1.0;
+  /// Host cost per query when a memoized launch plan is replayed: the
+  /// symbol solve / guard eval / buffer planning is skipped, leaving a
+  /// signature hash lookup.
+  double plan_hit_host_us = 0.1;
   /// Additional host cost per kernel launch.
   double per_launch_host_us = 0.0;
+  /// Memoize launch plans per shape signature in the Executable (off for
+  /// archetypes that re-check guards on every call, e.g. Inductor).
+  bool use_plan_cache = true;
   /// When > 0: after this many queries, feed the observed dim-value
   /// frequencies back into a background recompilation so hot shapes get
   /// exact-shape speculative kernels (BladeDISC's shape speculation).

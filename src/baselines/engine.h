@@ -34,12 +34,26 @@ struct EngineTiming {
   int64_t peak_memory_bytes = 0;
 };
 
-/// Cumulative engine-lifetime counters.
+/// Cumulative engine-lifetime counters. One struct for every engine so
+/// the benches read hit rates uniformly instead of hand-rolling counters.
 struct EngineStats {
   int64_t queries = 0;
   int64_t compilations = 0;
   double total_compile_ms = 0.0;
+  /// Entries in the engine's per-shape executable cache (static engines).
   int64_t shape_cache_entries = 0;
+  /// Launch-plan cache hits/misses across all queries (engines that run a
+  /// shape-polymorphic Executable; zero for interpreters).
+  int64_t launch_plan_hits = 0;
+  int64_t launch_plan_misses = 0;
+
+  /// Fraction of plan lookups that hit; 0 when no lookups happened.
+  double launch_plan_hit_rate() const {
+    int64_t total = launch_plan_hits + launch_plan_misses;
+    return total > 0 ? static_cast<double>(launch_plan_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 /// \brief An inference system under test.

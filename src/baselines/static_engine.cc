@@ -1,10 +1,8 @@
 #include "baselines/static_engine.h"
 
-#include <sstream>
-
+#include "runtime/launch_plan.h"
 #include "support/logging.h"
 #include "support/math_util.h"
-#include "support/string_util.h"
 
 namespace disc {
 
@@ -51,6 +49,7 @@ StaticProfile StaticProfile::TensorRt() {
 Status StaticCompilerEngine::Prepare(
     const Graph& graph, std::vector<std::vector<std::string>> labels) {
   cache_.clear();
+  stats_.shape_cache_entries = 0;
   return PrepareCommon(graph, std::move(labels));
 }
 
@@ -83,10 +82,9 @@ Result<EngineTiming> StaticCompilerEngine::Query(
   EngineTiming timing;
 
   std::vector<std::vector<int64_t>> exec_dims = BucketDims(input_dims);
-  std::ostringstream key;
-  for (const auto& dims : exec_dims) key << Join(dims, "x") << ";";
+  const std::string key = ShapeSignature(exec_dims);
 
-  auto it = cache_.find(key.str());
+  auto it = cache_.find(key);
   if (it == cache_.end()) {
     // Cache miss: clone, pin the inputs static, compile. Static inputs make
     // every symbolic dim a constant, so specialization is maximal.
@@ -101,9 +99,9 @@ Result<EngineTiming> StaticCompilerEngine::Query(
     timing.compile_us = stall_ms * 1e3;
     ++stats_.compilations;
     stats_.total_compile_ms += stall_ms;
-    it = cache_.emplace(key.str(), std::move(exe)).first;
+    it = cache_.emplace(key, std::move(exe)).first;
+    stats_.shape_cache_entries = static_cast<int64_t>(cache_.size());
   }
-  stats_.shape_cache_entries = static_cast<int64_t>(cache_.size());
 
   RunOptions run_options;
   run_options.device = device;
@@ -115,6 +113,14 @@ Result<EngineTiming> StaticCompilerEngine::Query(
       profile_.use_cuda_graph && timing.compile_us == 0.0;
   DISC_ASSIGN_OR_RETURN(RunResult result,
                         it->second->RunWithShapes(exec_dims, run_options));
+  // Each per-shape executable has its own plan cache; after a shape's first
+  // query every repeat is a plan hit, so the aggregate hit rate tracks the
+  // shape-repeat rate just like the dynamic engine's.
+  if (result.profile.launch_plan_hit) {
+    ++stats_.launch_plan_hits;
+  } else {
+    ++stats_.launch_plan_misses;
+  }
 
   timing.device_us = result.profile.device_time_us;
   timing.kernel_launches =

@@ -64,8 +64,10 @@ class StaticCompilerEngine : public Engine {
   Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>& input_dims,
                              const DeviceSpec& device) override;
 
-  /// Test hook: the shape signatures currently cached.
-  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+  /// Test hook: the shape signatures currently cached. Reads the shared
+  /// EngineStats counter so the benches and this hook can never disagree
+  /// (the counter is maintained on every insert and reset by Prepare).
+  int64_t cache_size() const { return stats_.shape_cache_entries; }
 
  private:
   // Rounds each dynamic dim up to its bucket; static dims pass through.

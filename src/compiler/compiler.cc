@@ -173,6 +173,11 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
     exe->steps_.push_back(step);
   }
 
+  // 5b. Buffer liveness over the step schedule is shape-independent, so
+  // the release points are fixed once here; every Run (cached or not)
+  // replays them instead of re-deriving liveness.
+  exe->BuildReleaseSchedule();
+
   // 6. Compile-time buffer assignment over the device steps.
   {
     std::vector<PlanStep> plan_steps;

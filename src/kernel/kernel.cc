@@ -91,9 +91,16 @@ FusedKernel::FusedKernel(FusionGroup group, const ShapeAnalysis* analysis,
 
 Result<const KernelVariant*> FusedKernel::SelectVariant(
     const SymbolBindings& bindings) const {
-  for (const KernelVariant& variant : variants_) {
-    DISC_ASSIGN_OR_RETURN(bool admitted, variant.guard.Evaluate(bindings));
-    if (admitted) return &variant;
+  DISC_ASSIGN_OR_RETURN(int index, SelectVariantIndex(bindings));
+  return &variants_[index];
+}
+
+Result<int> FusedKernel::SelectVariantIndex(
+    const SymbolBindings& bindings) const {
+  for (size_t i = 0; i < variants_.size(); ++i) {
+    DISC_ASSIGN_OR_RETURN(bool admitted,
+                          variants_[i].guard.Evaluate(bindings));
+    if (admitted) return static_cast<int>(i);
   }
   return Status::Internal("no variant admitted (missing generic fallback?)");
 }

@@ -109,6 +109,11 @@ class FusedKernel {
   Result<const KernelVariant*> SelectVariant(
       const SymbolBindings& bindings) const;
 
+  /// \brief Index form of SelectVariant: the guard outcome as a recordable
+  /// decision. A launch plan stores this index so cache-hit runs replay
+  /// the dispatch without re-evaluating any guard.
+  Result<int> SelectVariantIndex(const SymbolBindings& bindings) const;
+
   /// \brief Executes the kernel on the CPU: reads group inputs from `env`,
   /// inserts the group outputs. Variant choice never changes numerics.
   Status Execute(const SymbolBindings& bindings,

@@ -1,5 +1,6 @@
 #include "runtime/executable.h"
 
+#include <chrono>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,6 +17,12 @@ namespace {
 // Per-node cost of replaying a captured CUDA graph (vs a full driver
 // launch): the GPU still schedules each kernel, the host does not.
 constexpr double kGraphReplayPerNodeUs = 0.4;
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 }  // namespace
 
 std::string RunProfile::ToString() const {
@@ -25,6 +32,7 @@ std::string RunProfile::ToString() const {
       device_time_us, static_cast<long long>(kernel_launches),
       static_cast<long long>(library_calls),
       (bytes_read + bytes_written) / 1e6, peak_memory_bytes / 1e6);
+  out << (launch_plan_hit ? " plan=hit" : " plan=miss");
   if (!variant_counts.empty()) {
     out << " variants{";
     bool first = true;
@@ -70,13 +78,160 @@ Result<RunResult> Executable::RunWithShapes(
   return RunInternal(input_dims, nullptr, timing_only);
 }
 
+void Executable::BuildReleaseSchedule() {
+  release_after_step_.assign(steps_.size(), {});
+  has_host_steps_ = false;
+  for (const Step& step : steps_) {
+    if (step.kind == Step::Kind::kHost) has_host_steps_ = true;
+  }
+
+  // Liveness: the last step consuming each value. Shape-independent, so it
+  // is computed once here instead of on every Run.
+  std::unordered_map<const Value*, size_t> last_use;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    if (step.kind == Step::Kind::kKernel) {
+      for (const Value* in : step.kernel->group().inputs) last_use[in] = s;
+    } else {
+      for (const Value* operand : step.node->operands()) last_use[operand] = s;
+    }
+  }
+
+  std::unordered_set<const Value*> graph_outputs(graph_->outputs().begin(),
+                                                 graph_->outputs().end());
+  auto schedule_release = [&](const Value* v, size_t def_step) {
+    if (graph_outputs.count(v)) return;  // outputs live to the end
+    if (v->producer() != nullptr &&
+        v->producer()->kind() == OpKind::kConstant) {
+      return;  // weights stay resident for the module's lifetime
+    }
+    auto lu = last_use.find(v);
+    size_t release =
+        lu == last_use.end() ? def_step : std::max(def_step, lu->second);
+    release_after_step_[release].push_back(v);
+  };
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    switch (step.kind) {
+      case Step::Kind::kConstant:
+        schedule_release(step.node->output(0), s);
+        break;
+      case Step::Kind::kLibrary:
+        for (const Value* out : step.node->outputs()) {
+          schedule_release(out, s);
+        }
+        break;
+      case Step::Kind::kKernel:
+        for (const Value* out : step.kernel->group().outputs) {
+          schedule_release(out, s);
+        }
+        break;
+      case Step::Kind::kHost:
+        break;  // host values are not device buffers
+    }
+  }
+}
+
+Result<LaunchPlan> Executable::BuildLaunchPlan(
+    const std::vector<std::vector<int64_t>>& input_dims) const {
+  LaunchPlan plan;
+  // Host-side shape computation: solve every symbolic dim once per
+  // signature.
+  DISC_ASSIGN_OR_RETURN(plan.bindings, analysis_->BindInputs(input_dims));
+  plan.steps.resize(steps_.size());
+
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    PlannedStep& ps = plan.steps[s];
+    auto record_alloc = [&](const Value* v) -> Status {
+      DISC_ASSIGN_OR_RETURN(std::vector<int64_t> dims,
+                            analysis_->EvaluateShape(v, plan.bindings));
+      ps.alloc_bytes.push_back(Product(dims) * DTypeSize(v->dtype()));
+      return Status::OK();
+    };
+    switch (step.kind) {
+      case Step::Kind::kConstant:
+        DISC_RETURN_IF_ERROR(record_alloc(step.node->output(0)));
+        break;
+      case Step::Kind::kHost:
+        break;  // results are data, recorded by the first data-mode run
+      case Step::Kind::kLibrary: {
+        DISC_ASSIGN_OR_RETURN(
+            ps.library_stats,
+            ComputeLibraryStats(*step.node, *analysis_, plan.bindings));
+        for (const Value* out : step.node->outputs()) {
+          DISC_RETURN_IF_ERROR(record_alloc(out));
+        }
+        break;
+      }
+      case Step::Kind::kKernel: {
+        const FusedKernel& kernel = *step.kernel;
+        DISC_ASSIGN_OR_RETURN(ps.variant_index,
+                              kernel.SelectVariantIndex(plan.bindings));
+        DISC_ASSIGN_OR_RETURN(
+            ps.kernel_stats,
+            kernel.ComputeStats(plan.bindings,
+                                kernel.variants()[ps.variant_index]));
+        for (const Value* out : kernel.group().outputs) {
+          DISC_RETURN_IF_ERROR(record_alloc(out));
+        }
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
 Result<RunResult> Executable::RunInternal(
     const std::vector<std::vector<int64_t>>& input_dims,
     const std::vector<Tensor>* inputs, const RunOptions& options) const {
-  // Host-side shape computation: solve every symbolic dim once per run.
-  DISC_ASSIGN_OR_RETURN(SymbolBindings bindings,
-                        analysis_->BindInputs(input_dims));
+  auto start = std::chrono::steady_clock::now();
+  const bool execute_data = inputs != nullptr;
 
+  std::string signature;
+  std::shared_ptr<const LaunchPlan> cached;
+  if (options.use_launch_plan_cache) {
+    signature = ShapeSignature(input_dims);
+    cached = plan_cache_.Lookup(signature);
+  }
+  const bool hit = cached != nullptr;
+
+  LaunchPlan fresh;
+  const LaunchPlan* plan = cached.get();
+  LaunchPlan* record_host = nullptr;
+  if (!hit) {
+    DISC_ASSIGN_OR_RETURN(fresh, BuildLaunchPlan(input_dims));
+    plan = &fresh;
+    if (execute_data && options.use_launch_plan_cache) record_host = &fresh;
+  } else if (execute_data && !cached->host_results_recorded &&
+             has_host_steps_) {
+    // The cached plan was built by a timing-only run; upgrade it once with
+    // the host shape-step results this data-mode run is about to compute.
+    fresh = *cached;
+    plan = &fresh;
+    record_host = &fresh;
+  }
+  const double host_plan_us = ElapsedUs(start);
+
+  DISC_ASSIGN_OR_RETURN(RunResult result,
+                        ExecutePlan(*plan, inputs, options, record_host));
+  result.profile.launch_plan_hit = hit;
+  result.profile.host_plan_us = host_plan_us;
+
+  // Publish only after a successful run, so failures never poison the
+  // cache; re-publishing an upgraded hit replaces the entry in place.
+  if (options.use_launch_plan_cache && (!hit || record_host != nullptr)) {
+    plan_cache_.Insert(signature,
+                       std::make_shared<const LaunchPlan>(std::move(fresh)));
+  }
+  return result;
+}
+
+Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
+                                          const std::vector<Tensor>* inputs,
+                                          const RunOptions& options,
+                                          LaunchPlan* record_host) const {
+  const SymbolBindings& bindings = plan.bindings;
   DeviceModel model(options.device);
   RunResult result;
   RunProfile& profile = result.profile;
@@ -90,52 +245,18 @@ Result<RunResult> Executable::RunInternal(
     }
   }
 
-  // Liveness: the last step consuming each value (for buffer release).
-  std::unordered_map<const Value*, size_t> last_use;
-  std::unordered_set<const Value*> graph_outputs(graph_->outputs().begin(),
-                                                 graph_->outputs().end());
-  for (size_t s = 0; s < steps_.size(); ++s) {
-    const Step& step = steps_[s];
-    auto mark = [&](const Node* node) {
-      for (const Value* operand : node->operands()) last_use[operand] = s;
-    };
-    if (step.kind == Step::Kind::kKernel) {
-      for (const Value* in : step.kernel->group().inputs) last_use[in] = s;
-    } else {
-      mark(step.node);
-    }
-  }
-
   std::unordered_map<const Value*, int64_t> block_of;
-  auto allocate_value = [&](const Value* v) -> Status {
-    DISC_ASSIGN_OR_RETURN(std::vector<int64_t> dims,
-                          analysis_->EvaluateShape(v, bindings));
-    block_of[v] = allocator.Allocate(Product(dims) * DTypeSize(v->dtype()));
-    return Status::OK();
-  };
-  auto release_dead = [&](size_t step_index) {
-    for (auto it = block_of.begin(); it != block_of.end();) {
-      const Value* v = it->first;
-      auto lu = last_use.find(v);
-      bool dead = (lu == last_use.end() || lu->second <= step_index) &&
-                  !graph_outputs.count(v) &&
-                  (v->producer() == nullptr ||
-                   v->producer()->kind() != OpKind::kConstant);
-      if (dead) {
-        allocator.Free(it->second);
-        it = block_of.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
   for (size_t s = 0; s < steps_.size(); ++s) {
     const Step& step = steps_[s];
+    const PlannedStep& ps = plan.steps[s];
+    size_t next_alloc = 0;
+    auto allocate_value = [&](const Value* v) {
+      block_of[v] = allocator.Allocate(ps.alloc_bytes[next_alloc++]);
+    };
     switch (step.kind) {
       case Step::Kind::kConstant: {
         // Weights are resident on device for the module's lifetime.
-        DISC_RETURN_IF_ERROR(allocate_value(step.node->output(0)));
+        allocate_value(step.node->output(0));
         if (execute_data) {
           env.emplace(step.node->output(0),
                       step.node->GetTensorAttr("value"));
@@ -144,25 +265,39 @@ Result<RunResult> Executable::RunInternal(
       }
       case Step::Kind::kHost: {
         // Shape computation runs on the host CPU alongside kernel
-        // launches; it contributes no device time.
-        if (execute_data) {
-          std::vector<Tensor> operand_values;
-          for (const Value* operand : step.node->operands()) {
-            operand_values.push_back(env.at(operand));
-          }
-          DISC_ASSIGN_OR_RETURN(std::vector<Tensor> values,
-                                EvaluateNode(*step.node, operand_values));
-          for (size_t i = 0; i < values.size(); ++i) {
+        // launches; it contributes no device time. Results are a pure
+        // function of the shape signature, so a plan that recorded them
+        // replays deep copies instead of re-evaluating the node.
+        if (!execute_data) break;
+        if (ps.has_host_results) {
+          for (size_t i = 0; i < ps.host_results.size(); ++i) {
             env.emplace(step.node->output(static_cast<int>(i)),
-                        std::move(values[i]));
+                        ps.host_results[i].Clone());
           }
+          break;
+        }
+        std::vector<Tensor> operand_values;
+        for (const Value* operand : step.node->operands()) {
+          operand_values.push_back(env.at(operand));
+        }
+        DISC_ASSIGN_OR_RETURN(std::vector<Tensor> values,
+                              EvaluateNode(*step.node, operand_values));
+        if (record_host != nullptr) {
+          PlannedStep& recorded = record_host->steps[s];
+          recorded.host_results.clear();
+          for (const Tensor& value : values) {
+            recorded.host_results.push_back(value.Clone());
+          }
+          recorded.has_host_results = true;
+        }
+        for (size_t i = 0; i < values.size(); ++i) {
+          env.emplace(step.node->output(static_cast<int>(i)),
+                      std::move(values[i]));
         }
         break;
       }
       case Step::Kind::kLibrary: {
-        DISC_ASSIGN_OR_RETURN(
-            LibraryCallStats stats,
-            ComputeLibraryStats(*step.node, *analysis_, bindings));
+        const LibraryCallStats& stats = ps.library_stats;
         KernelCost cost =
             model.EstimateLibrary(stats, options.library_efficiency);
         profile.device_time_us += options.batch_launches
@@ -172,9 +307,7 @@ Result<RunResult> Executable::RunInternal(
         profile.bytes_read += stats.bytes_read;
         profile.bytes_written += stats.bytes_written;
         if (cost.memory_bound) profile.memory_bound_launches += 1;
-        for (const Value* out : step.node->outputs()) {
-          DISC_RETURN_IF_ERROR(allocate_value(out));
-        }
+        for (const Value* out : step.node->outputs()) allocate_value(out);
         if (execute_data) {
           std::vector<Tensor> operand_values;
           for (const Value* operand : step.node->operands()) {
@@ -191,29 +324,35 @@ Result<RunResult> Executable::RunInternal(
       }
       case Step::Kind::kKernel: {
         const FusedKernel& kernel = *step.kernel;
-        DISC_ASSIGN_OR_RETURN(const KernelVariant* variant,
-                              kernel.SelectVariant(bindings));
-        DISC_ASSIGN_OR_RETURN(KernelStats stats,
-                              kernel.ComputeStats(bindings, *variant));
-        KernelCost cost = model.EstimateGenerated(stats, *variant);
+        const KernelVariant& variant = kernel.variants()[ps.variant_index];
+        const KernelStats& stats = ps.kernel_stats;
+        KernelCost cost = model.EstimateGenerated(stats, variant);
         profile.device_time_us += options.batch_launches
                                       ? cost.body_us + kGraphReplayPerNodeUs
                                       : cost.time_us;
         profile.kernel_launches += 1;
         profile.bytes_read += stats.bytes_read;
         profile.bytes_written += stats.bytes_written;
-        profile.variant_counts[kernel.name() + "/" + variant->name] += 1;
+        profile.variant_counts[kernel.name() + "/" + variant.name] += 1;
         if (cost.memory_bound) profile.memory_bound_launches += 1;
-        for (const Value* out : kernel.group().outputs) {
-          DISC_RETURN_IF_ERROR(allocate_value(out));
-        }
+        for (const Value* out : kernel.group().outputs) allocate_value(out);
         if (execute_data) {
           DISC_RETURN_IF_ERROR(kernel.Execute(bindings, &env));
         }
         break;
       }
     }
-    release_dead(s);
+    for (const Value* dead : release_after_step_[s]) {
+      auto it = block_of.find(dead);
+      if (it != block_of.end()) {
+        allocator.Free(it->second);
+        block_of.erase(it);
+      }
+    }
+  }
+
+  if (record_host != nullptr && execute_data) {
+    record_host->host_results_recorded = true;
   }
 
   if (options.batch_launches) {

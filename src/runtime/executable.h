@@ -7,6 +7,17 @@
 // guards to pick variants, computes launch dims, and executes — no
 // recompilation, mirroring the paper's compile-once design.
 //
+// Runs are split into two phases (see runtime/launch_plan.h):
+//   * plan build  — all host-side symbolic work (symbol solve, guard
+//     evaluation, launch geometry, library footprints, buffer sizes),
+//     a pure function of the input-shape signature;
+//   * plan execute — cost-model charging, buffer lifetime simulation and
+//     (in data mode) numeric execution from a finished plan.
+// Plans are memoized per signature in a bounded thread-safe LRU, so
+// repeated-shape Runs (decode loops, hot serving signatures) skip the
+// symbolic phase entirely. Cached runs are strictly observational: same
+// outputs bit-for-bit, same simulated device time — less host work.
+//
 // Two run modes:
 //   * data mode      — executes numerics on the CPU and simulates timing;
 //   * timing-only    — skips data movement entirely (shapes suffice), used
@@ -25,6 +36,7 @@
 #include "kernel/kernel.h"
 #include "runtime/allocator.h"
 #include "runtime/buffer_plan.h"
+#include "runtime/launch_plan.h"
 #include "sim/device.h"
 
 namespace disc {
@@ -42,6 +54,11 @@ struct RunOptions {
   /// the shape signature matches a previous capture (CUDA graphs are
   /// shape-static); engines gate this on their signature cache.
   bool batch_launches = false;
+  /// Memoize the host-side launch plan per shape signature. Cached plans
+  /// never change outputs or simulated device time (ablation knob for the
+  /// launch-overhead bench; Inductor-style engines that re-check guards
+  /// every call turn it off).
+  bool use_launch_plan_cache = true;
 };
 
 /// Counters collected during one Run.
@@ -57,6 +74,12 @@ struct RunProfile {
   /// path; misses map/reserve new memory).
   int64_t alloc_calls = 0;
   int64_t alloc_cache_hits = 0;
+  /// True when this Run replayed a memoized launch plan (signature hit).
+  bool launch_plan_hit = false;
+  /// Measured wall-clock host cost of obtaining the launch plan: symbol
+  /// solve + guard eval + launch geometry + buffer planning on a miss, a
+  /// hash lookup on a hit. Real time, not simulated.
+  double host_plan_us = 0.0;
   std::map<std::string, int64_t> variant_counts;  // per variant name
 
   std::string ToString() const;
@@ -107,6 +130,16 @@ class Executable {
   /// the plan documents it statically and is validated by tests.
   const BufferAssignment& buffer_plan() const { return buffer_plan_; }
 
+  /// \brief Hit/miss/eviction counters of the launch-plan LRU.
+  LaunchPlanCache::Stats plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+  /// \brief Bounds the launch-plan LRU (default 128 signatures). Shrinking
+  /// evicts oldest entries immediately; 0 disables caching.
+  void set_plan_cache_capacity(size_t capacity) const {
+    plan_cache_.set_capacity(capacity);
+  }
+
   std::string ToString() const;
 
  private:
@@ -124,13 +157,34 @@ class Executable {
       const std::vector<std::vector<int64_t>>& input_dims,
       const std::vector<Tensor>* inputs, const RunOptions& options) const;
 
+  /// Phase 1: all host-side symbolic work for one signature.
+  Result<LaunchPlan> BuildLaunchPlan(
+      const std::vector<std::vector<int64_t>>& input_dims) const;
+
+  /// Phase 2: charge the cost model and (optionally) execute numerics from
+  /// a finished plan. `record_host` (nullable) receives deep copies of the
+  /// host shape-step results so the plan can replay them on later hits.
+  Result<RunResult> ExecutePlan(const LaunchPlan& plan,
+                                const std::vector<Tensor>* inputs,
+                                const RunOptions& options,
+                                LaunchPlan* record_host) const;
+
+  /// Shape-independent buffer liveness: values to free after each step.
+  /// Computed once at compile time; both run phases consume it.
+  void BuildReleaseSchedule();
+
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<ShapeAnalysis> analysis_;
   FusionPlan plan_;
   std::vector<std::unique_ptr<FusedKernel>> kernels_;
   std::vector<Step> steps_;
+  std::vector<std::vector<const Value*>> release_after_step_;
+  bool has_host_steps_ = false;
   BufferAssignment buffer_plan_;
   CompileReport report_;
+  /// Signature -> launch plan. Logically a cache, hence mutable: Run stays
+  /// const and the cache is internally synchronized.
+  mutable LaunchPlanCache plan_cache_;
 };
 
 }  // namespace disc

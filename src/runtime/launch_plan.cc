@@ -1,0 +1,79 @@
+#include "runtime/launch_plan.h"
+
+namespace disc {
+
+std::string ShapeSignature(
+    const std::vector<std::vector<int64_t>>& input_dims) {
+  // "2x3;4x5;" — ';' terminates every input so "2;3;" and "2x3;" differ,
+  // and a rank-0 input contributes a bare ';'.
+  std::string signature;
+  signature.reserve(input_dims.size() * 8);
+  for (const std::vector<int64_t>& dims : input_dims) {
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (d > 0) signature += 'x';
+      signature += std::to_string(dims[d]);
+    }
+    signature += ';';
+  }
+  return signature;
+}
+
+std::shared_ptr<const LaunchPlan> LaunchPlanCache::Lookup(
+    const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->second;
+}
+
+void LaunchPlanCache::Insert(const std::string& signature,
+                             std::shared_ptr<const LaunchPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  ++stats_.insertions;
+  auto it = index_.find(signature);
+  if (it != index_.end()) {
+    // Replace in place (e.g. a plan upgraded with host results).
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(signature, std::move(plan));
+  index_[signature] = lru_.begin();
+  EvictIfNeededLocked();
+}
+
+void LaunchPlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictIfNeededLocked();
+}
+
+void LaunchPlanCache::EvictIfNeededLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+LaunchPlanCache::Stats LaunchPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.capacity = static_cast<int64_t>(capacity_);
+  return stats;
+}
+
+void LaunchPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace disc

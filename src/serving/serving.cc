@@ -25,9 +25,10 @@ const char* PadPolicyName(PadPolicy policy) {
 std::string ServingStats::ToString() const {
   return StrFormat(
       "p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus qps=%.0f "
-      "pad_waste=%.0f%% batches=%lld",
+      "pad_waste=%.0f%% batches=%lld plan_hits=%.0f%%",
       p50_us, p95_us, p99_us, mean_us, throughput_qps,
-      padded_token_fraction * 100, static_cast<long long>(batches));
+      padded_token_fraction * 100, static_cast<long long>(batches),
+      plan_hit_rate * 100);
 }
 
 std::vector<Batch> FormBatches(const std::vector<Request>& requests,
@@ -94,6 +95,8 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
   std::vector<Batch> batches = FormBatches(requests, options);
   ServingStats stats;
   stats.batches = static_cast<int64_t>(batches.size());
+  const int64_t hits_before = engine->stats().launch_plan_hits;
+  const int64_t misses_before = engine->stats().launch_plan_misses;
 
   double clock_us = 0.0;
   int64_t real_tokens = 0;
@@ -137,6 +140,12 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       padded_tokens > 0
           ? 1.0 - static_cast<double>(real_tokens) /
                       static_cast<double>(padded_tokens)
+          : 0.0;
+  const int64_t hits = engine->stats().launch_plan_hits - hits_before;
+  const int64_t misses = engine->stats().launch_plan_misses - misses_before;
+  stats.plan_hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
           : 0.0;
   return stats;
 }

@@ -68,6 +68,11 @@ struct ServingStats {
   double throughput_qps = 0.0;     // completed requests / simulated second
   double padded_token_fraction = 0.0;  // padding waste across all batches
   int64_t batches = 0;
+  /// Launch-plan cache hit rate over this simulation's queries (delta of
+  /// the engine's counters, so earlier traffic on the engine is excluded).
+  /// Under kBatchMax the padded shapes repeat heavily, so a plan-caching
+  /// engine serves most batches on the fast path.
+  double plan_hit_rate = 0.0;
 
   std::string ToString() const;
 };
