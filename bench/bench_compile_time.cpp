@@ -9,12 +9,15 @@
 #include "bench/bench_util.h"
 #include "compiler/compiler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disc;
+  // --trace=<file>: capture the compile-phase spans as Chrome-trace JSON.
+  bench::TraceFlag trace_flag(argc, argv);
   std::printf("== F5: compilation time per model ==\n\n");
 
   ModelConfig config;
   auto suite = BuildModelSuite(config);
+  std::vector<std::pair<std::string, std::string>> breakdowns;
   bench::Table table({"model", "graph nodes", "distinct shapes in trace",
                       "DISC compile (measured)", "XLA total stall",
                       "TVM total stall", "TensorRT total stall (bucketed)"});
@@ -48,8 +51,13 @@ int main() {
          bench::FmtUs(stall(200, 3, static_cast<int64_t>(distinct.size()))),
          bench::FmtUs(stall(2000, 40, static_cast<int64_t>(distinct.size()))),
          bench::FmtUs(stall(600, 6, static_cast<int64_t>(bucketed.size())))});
+    breakdowns.emplace_back(model.name, (*exe)->report().PhaseBreakdown());
   }
   table.Print();
+  std::printf("\n-- DISC per-phase compile breakdown --\n");
+  for (const auto& [name, breakdown] : breakdowns) {
+    std::printf("%s:\n%s", name.c_str(), breakdown.c_str());
+  }
   std::printf(
       "\nNote: XLA/TVM/TensorRT stalls use the archetype cost models of "
       "src/baselines\n(per-shape compilation is the mechanism; absolute "

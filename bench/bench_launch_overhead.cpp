@@ -65,8 +65,11 @@ std::unique_ptr<Engine> MakeSystem(const std::string& name) {
 }  // namespace
 }  // namespace disc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disc;
+  // --trace=<file>: capture per-query runtime spans (plan build/replay,
+  // kernel launches) as Chrome-trace JSON.
+  bench::TraceFlag trace_flag(argc, argv);
   std::printf("== F7 (extension): launch overhead & CUDA-Graph replay ==\n\n");
   ModelConfig config;
   Model model = BuildSeq2SeqStep(config);

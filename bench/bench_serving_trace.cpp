@@ -5,8 +5,11 @@
 #include "baselines/dynamic_engine.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disc;
+  // --trace=<file>: capture engine-query and runtime spans as Chrome-trace
+  // JSON while the latency distributions are measured.
+  bench::TraceFlag trace_flag(argc, argv);
   std::printf("== F6: serving latency distribution (trace of 64 queries) ==\n\n");
 
   ModelConfig config;

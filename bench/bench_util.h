@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -13,9 +14,48 @@
 #include "baselines/baselines.h"
 #include "models/models.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace disc {
 namespace bench {
+
+/// \brief Handles a `--trace=<file>` command-line flag: when present,
+/// enables the global TraceSession for the lifetime of the object and
+/// writes the Chrome-trace JSON at scope exit (end of main).
+///
+///   int main(int argc, char** argv) {
+///     bench::TraceFlag trace_flag(argc, argv);
+///     ...
+///   }
+class TraceFlag {
+ public:
+  TraceFlag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--trace=", 8) == 0) path_ = argv[i] + 8;
+    }
+    if (!path_.empty()) TraceSession::Global().Enable();
+  }
+
+  ~TraceFlag() {
+    if (path_.empty()) return;
+    TraceSession& session = TraceSession::Global();
+    session.Disable();
+    Status status = session.WriteJson(path_);
+    if (status.ok()) {
+      std::printf("\ntrace written to %s (%zu events, %lld dropped)\n",
+                  path_.c_str(), session.num_events(),
+                  static_cast<long long>(session.dropped_events()));
+    } else {
+      std::fprintf(stderr, "failed to write trace: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
 
 /// Simple fixed-width table printer.
 class Table {

@@ -4,6 +4,7 @@
 
 #include "runtime/launch_plan.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 
 namespace disc {
 
@@ -43,8 +44,7 @@ Status DynamicCompilerEngine::Prepare(
       executable_,
       DiscCompiler::Compile(graph, std::move(labels),
                             profile_.compile_options));
-  ++stats_.compilations;
-  stats_.total_compile_ms += executable_->report().compile_ms;
+  CountCompilation(executable_->report().compile_ms);
   return Status::OK();
 }
 
@@ -54,7 +54,8 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   if (executable_ == nullptr) {
     return Status::FailedPrecondition("Prepare was not called");
   }
-  ++stats_.queries;
+  TraceScope query_scope(profile_.name, "engine.query");
+  CountQuery();
 
   // Shape-speculation feedback: record observed dynamic dims per label and
   // recompile once with the hot values as hints (modeled as background
@@ -89,11 +90,7 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   DISC_ASSIGN_OR_RETURN(RunResult result,
                         executable_->RunWithShapes(input_dims, options));
   if (profile_.use_plan_cache) {
-    if (result.profile.launch_plan_hit) {
-      ++stats_.launch_plan_hits;
-    } else {
-      ++stats_.launch_plan_misses;
-    }
+    CountPlanLookup(result.profile.launch_plan_hit);
   }
   EngineTiming timing;
   timing.device_us = result.profile.device_time_us;
@@ -129,8 +126,7 @@ Status DynamicCompilerEngine::RecompileWithFeedback() {
   }
   DISC_ASSIGN_OR_RETURN(executable_,
                         DiscCompiler::Compile(*graph_, labels_, options));
-  ++stats_.compilations;
-  stats_.total_compile_ms += executable_->report().compile_ms;
+  CountCompilation(executable_->report().compile_ms);
   return Status::OK();
 }
 

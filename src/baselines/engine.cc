@@ -1,8 +1,30 @@
 #include "baselines/engine.h"
 
 #include "ir/eval.h"
+#include "support/metrics.h"
 
 namespace disc {
+
+void Engine::CountQuery() {
+  ++stats_.queries;
+  CountMetric("engine.queries");
+}
+
+void Engine::CountCompilation(double compile_ms) {
+  ++stats_.compilations;
+  stats_.total_compile_ms += compile_ms;
+  CountMetric("engine.compilations");
+}
+
+void Engine::CountPlanLookup(bool hit) {
+  if (hit) {
+    ++stats_.launch_plan_hits;
+    CountMetric("engine.plan_cache.hit");
+  } else {
+    ++stats_.launch_plan_misses;
+    CountMetric("engine.plan_cache.miss");
+  }
+}
 
 Status Engine::PrepareCommon(const Graph& graph,
                              std::vector<std::vector<std::string>> labels) {

@@ -85,6 +85,14 @@ class Engine {
   Status PrepareCommon(const Graph& graph,
                        std::vector<std::vector<std::string>> labels);
 
+  // Counter choke points: bump the EngineStats field and the matching
+  // global registry counter (engine.queries / engine.compilations /
+  // engine.plan_cache.{hit,miss}) together so the two views can never
+  // drift (asserted in metrics_test).
+  void CountQuery();
+  void CountCompilation(double compile_ms);
+  void CountPlanLookup(bool hit);
+
   std::unique_ptr<Graph> graph_;
   std::vector<std::vector<std::string>> labels_;
   EngineStats stats_;

@@ -9,6 +9,7 @@
 #include "runtime/allocator.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/trace.h"
 
 namespace disc {
 
@@ -308,12 +309,13 @@ Result<EngineTiming> InterpreterEngine::Query(
   if (analysis_ == nullptr) {
     return Status::FailedPrecondition("Prepare was not called");
   }
+  TraceScope query_scope(profile_.name, "engine.query");
   DISC_ASSIGN_OR_RETURN(SymbolBindings bindings,
                         analysis_->BindInputs(input_dims));
   DeviceModel model(device);
   EngineTiming timing;
   CachingAllocator allocator;
-  ++stats_.queries;
+  CountQuery();
 
   auto numel_of = [&](const Value* v) -> Result<int64_t> {
     DISC_ASSIGN_OR_RETURN(std::vector<int64_t> dims,

@@ -3,6 +3,7 @@
 #include "runtime/launch_plan.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/trace.h"
 
 namespace disc {
 
@@ -78,7 +79,8 @@ Result<EngineTiming> StaticCompilerEngine::Query(
   if (graph_ == nullptr) {
     return Status::FailedPrecondition("Prepare was not called");
   }
-  ++stats_.queries;
+  TraceScope query_scope(profile_.name, "engine.query");
+  CountQuery();
   EngineTiming timing;
 
   std::vector<std::vector<int64_t>> exec_dims = BucketDims(input_dims);
@@ -97,8 +99,8 @@ Result<EngineTiming> StaticCompilerEngine::Query(
                       profile_.compile_per_node_ms *
                           static_cast<double>(graph_->num_nodes());
     timing.compile_us = stall_ms * 1e3;
-    ++stats_.compilations;
-    stats_.total_compile_ms += stall_ms;
+    CountCompilation(stall_ms);
+    query_scope.AddArg("compile_stall", "true");
     it = cache_.emplace(key, std::move(exe)).first;
     stats_.shape_cache_entries = static_cast<int64_t>(cache_.size());
   }
@@ -116,11 +118,7 @@ Result<EngineTiming> StaticCompilerEngine::Query(
   // Each per-shape executable has its own plan cache; after a shape's first
   // query every repeat is a plan hit, so the aggregate hit rate tracks the
   // shape-repeat rate just like the dynamic engine's.
-  if (result.profile.launch_plan_hit) {
-    ++stats_.launch_plan_hits;
-  } else {
-    ++stats_.launch_plan_misses;
-  }
+  CountPlanLookup(result.profile.launch_plan_hit);
 
   timing.device_us = result.profile.device_time_us;
   timing.kernel_launches =

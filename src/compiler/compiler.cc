@@ -5,8 +5,37 @@
 #include <unordered_set>
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace disc {
+
+namespace {
+
+// Times one pipeline phase into CompileReport::phase_ms and emits a
+// compile-category trace span with the same name.
+class PhaseScope {
+ public:
+  PhaseScope(CompileReport* report, const char* name)
+      : report_(report),
+        name_(name),
+        trace_(name, "compile"),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseScope() {
+    report_->phase_ms.emplace_back(
+        name_, std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+  }
+
+ private:
+  CompileReport* report_;
+  const char* name_;
+  TraceScope trace_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 CompileOptions CompileOptions::NoFusion() {
   CompileOptions options;
@@ -31,41 +60,50 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
     const Graph& graph, std::vector<std::vector<std::string>> input_dim_labels,
     const CompileOptions& options) {
   auto start = std::chrono::steady_clock::now();
+  TraceScope compile_scope("compile", "compile");
+  compile_scope.AddArg("graph", graph.name());
+  CountMetric("compile.count");
 
   auto exe = std::unique_ptr<Executable>(new Executable());
   exe->report_.num_nodes_before = graph.num_nodes();
 
   // 1. Clone and optimize.
-  exe->graph_ = graph.Clone();
-  if (options.run_graph_passes) {
-    PassManager pm;
-    AddStandardPasses(&pm);
-    PassContext ctx;
-    ctx.input_dim_labels = input_dim_labels;
-    DISC_RETURN_IF_ERROR(pm.RunToFixpoint(exe->graph_.get(), ctx));
+  {
+    PhaseScope phase(&exe->report_, "graph-passes");
+    exe->graph_ = graph.Clone();
+    if (options.run_graph_passes) {
+      PassManager pm;
+      AddStandardPasses(&pm);
+      PassContext ctx;
+      ctx.input_dim_labels = input_dim_labels;
+      DISC_RETURN_IF_ERROR(pm.RunToFixpoint(exe->graph_.get(), ctx));
+    }
+    DISC_RETURN_IF_ERROR(exe->graph_->Verify());
+    exe->report_.num_nodes_after = exe->graph_->num_nodes();
   }
-  DISC_RETURN_IF_ERROR(exe->graph_->Verify());
-  exe->report_.num_nodes_after = exe->graph_->num_nodes();
 
   // 2. Symbolic shape analysis over the optimized graph.
-  exe->analysis_ = std::make_unique<ShapeAnalysis>(
-      exe->graph_.get(), std::move(input_dim_labels));
-  DISC_RETURN_IF_ERROR(exe->analysis_->Run());
+  {
+    PhaseScope phase(&exe->report_, "shape-analysis");
+    exe->analysis_ = std::make_unique<ShapeAnalysis>(
+        exe->graph_.get(), std::move(input_dim_labels));
+    DISC_RETURN_IF_ERROR(exe->analysis_->Run());
 
-  // 2b. Seed shape-speculation hints: map labels to their symbols via the
-  // seeded input shapes.
-  if (!options.likely_dim_values.empty()) {
-    const auto& graph_inputs = exe->graph_->inputs();
-    for (size_t i = 0; i < graph_inputs.size(); ++i) {
-      const SymShape& shape = exe->analysis_->GetShape(graph_inputs[i]);
-      for (size_t d = 0; d < shape.size(); ++d) {
-        if (!shape[d].IsSymbol()) continue;
-        const std::string& name =
-            exe->analysis_->manager().Info(shape[d].symbol()).name;
-        for (const auto& [label, values] : options.likely_dim_values) {
-          if (label != name) continue;
-          for (int64_t v : values) {
-            exe->analysis_->manager().AddLikelyValue(shape[d].symbol(), v);
+    // 2b. Seed shape-speculation hints: map labels to their symbols via the
+    // seeded input shapes.
+    if (!options.likely_dim_values.empty()) {
+      const auto& graph_inputs = exe->graph_->inputs();
+      for (size_t i = 0; i < graph_inputs.size(); ++i) {
+        const SymShape& shape = exe->analysis_->GetShape(graph_inputs[i]);
+        for (size_t d = 0; d < shape.size(); ++d) {
+          if (!shape[d].IsSymbol()) continue;
+          const std::string& name =
+              exe->analysis_->manager().Info(shape[d].symbol()).name;
+          for (const auto& [label, values] : options.likely_dim_values) {
+            if (label != name) continue;
+            for (int64_t v : values) {
+              exe->analysis_->manager().AddLikelyValue(shape[d].symbol(), v);
+            }
           }
         }
       }
@@ -73,21 +111,27 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
   }
 
   // 3. Fusion planning.
-  FusionPlanner planner(exe->graph_.get(), exe->analysis_.get(),
-                        options.fusion);
-  DISC_ASSIGN_OR_RETURN(exe->plan_, planner.Plan());
-  exe->report_.fusion = exe->plan_.GetStats();
+  {
+    PhaseScope phase(&exe->report_, "fusion-planning");
+    FusionPlanner planner(exe->graph_.get(), exe->analysis_.get(),
+                          options.fusion);
+    DISC_ASSIGN_OR_RETURN(exe->plan_, planner.Plan());
+    exe->report_.fusion = exe->plan_.GetStats();
+  }
 
   // 4. Kernel compilation + specialization.
   std::unordered_map<int, const FusedKernel*> kernel_of_group;
-  for (const FusionGroup& group : exe->plan_.groups) {
-    exe->kernels_.push_back(std::make_unique<FusedKernel>(
-        group, exe->analysis_.get(), options.specialize));
-    kernel_of_group[group.id] = exe->kernels_.back().get();
-    exe->report_.num_variants +=
-        static_cast<int64_t>(exe->kernels_.back()->variants().size());
+  {
+    PhaseScope phase(&exe->report_, "kernel-compile");
+    for (const FusionGroup& group : exe->plan_.groups) {
+      exe->kernels_.push_back(std::make_unique<FusedKernel>(
+          group, exe->analysis_.get(), options.specialize));
+      kernel_of_group[group.id] = exe->kernels_.back().get();
+      exe->report_.num_variants +=
+          static_cast<int64_t>(exe->kernels_.back()->variants().size());
+    }
+    exe->report_.num_kernels = static_cast<int64_t>(exe->kernels_.size());
   }
-  exe->report_.num_kernels = static_cast<int64_t>(exe->kernels_.size());
 
   // 5. Step scheduling: a topological order of the group *condensation*
   // (each fused group is one unit; ungrouped nodes are their own unit).
@@ -95,91 +139,95 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
   // an external consumer of an early group output can precede the group's
   // last member in node order. The planner's cycle check guarantees the
   // condensation is a DAG, so Kahn's algorithm applies.
-  std::vector<Node*> topo = exe->graph_->TopologicalOrder();
-  // Unit id: group ids stay as-is; ungrouped nodes get fresh ids.
-  int next_unit = static_cast<int>(exe->plan_.groups.size());
-  std::unordered_map<const Node*, int> unit_of;
-  std::unordered_map<int, std::vector<Node*>> unit_nodes;
-  std::vector<int> unit_order;  // discovery order (stable)
-  for (Node* node : topo) {
-    auto it = exe->plan_.group_of.find(node);
-    int unit = it != exe->plan_.group_of.end() ? it->second : next_unit++;
-    unit_of[node] = unit;
-    auto [nit, inserted] = unit_nodes.try_emplace(unit);
-    if (inserted) unit_order.push_back(unit);
-    nit->second.push_back(node);
-  }
-  // Indegrees over distinct unit edges.
-  std::unordered_map<int, std::unordered_set<int>> producers_of;
-  for (Node* node : topo) {
-    int unit = unit_of.at(node);
-    for (Value* operand : node->operands()) {
-      Node* producer = operand->producer();
-      if (producer == nullptr) continue;
-      int producer_unit = unit_of.at(producer);
-      if (producer_unit != unit) producers_of[unit].insert(producer_unit);
+  {
+    PhaseScope phase(&exe->report_, "step-schedule");
+    std::vector<Node*> topo = exe->graph_->TopologicalOrder();
+    // Unit id: group ids stay as-is; ungrouped nodes get fresh ids.
+    int next_unit = static_cast<int>(exe->plan_.groups.size());
+    std::unordered_map<const Node*, int> unit_of;
+    std::unordered_map<int, std::vector<Node*>> unit_nodes;
+    std::vector<int> unit_order;  // discovery order (stable)
+    for (Node* node : topo) {
+      auto it = exe->plan_.group_of.find(node);
+      int unit = it != exe->plan_.group_of.end() ? it->second : next_unit++;
+      unit_of[node] = unit;
+      auto [nit, inserted] = unit_nodes.try_emplace(unit);
+      if (inserted) unit_order.push_back(unit);
+      nit->second.push_back(node);
     }
-  }
-  std::unordered_map<int, int> pending;
-  for (int unit : unit_order) {
-    pending[unit] = static_cast<int>(producers_of[unit].size());
-  }
-  // Kahn, preferring earliest-discovered ready unit for determinism.
-  std::vector<int> emitted;
-  std::unordered_set<int> done;
-  while (emitted.size() < unit_order.size()) {
-    bool progressed = false;
-    for (int unit : unit_order) {
-      if (done.count(unit) || pending.at(unit) != 0) continue;
-      emitted.push_back(unit);
-      done.insert(unit);
-      progressed = true;
-      for (int other : unit_order) {
-        if (!done.count(other) && producers_of[other].count(unit)) {
-          --pending[other];
-        }
+    // Indegrees over distinct unit edges.
+    std::unordered_map<int, std::unordered_set<int>> producers_of;
+    for (Node* node : topo) {
+      int unit = unit_of.at(node);
+      for (Value* operand : node->operands()) {
+        Node* producer = operand->producer();
+        if (producer == nullptr) continue;
+        int producer_unit = unit_of.at(producer);
+        if (producer_unit != unit) producers_of[unit].insert(producer_unit);
       }
     }
-    if (!progressed) {
-      return Status::Internal("fused-group condensation has a cycle");
+    std::unordered_map<int, int> pending;
+    for (int unit : unit_order) {
+      pending[unit] = static_cast<int>(producers_of[unit].size());
     }
-  }
-  for (int unit : emitted) {
-    if (unit < static_cast<int>(exe->plan_.groups.size())) {
+    // Kahn, preferring earliest-discovered ready unit for determinism.
+    std::vector<int> emitted;
+    std::unordered_set<int> done;
+    while (emitted.size() < unit_order.size()) {
+      bool progressed = false;
+      for (int unit : unit_order) {
+        if (done.count(unit) || pending.at(unit) != 0) continue;
+        emitted.push_back(unit);
+        done.insert(unit);
+        progressed = true;
+        for (int other : unit_order) {
+          if (!done.count(other) && producers_of[other].count(unit)) {
+            --pending[other];
+          }
+        }
+      }
+      if (!progressed) {
+        return Status::Internal("fused-group condensation has a cycle");
+      }
+    }
+    for (int unit : emitted) {
+      if (unit < static_cast<int>(exe->plan_.groups.size())) {
+        Executable::Step step;
+        step.kind = Executable::Step::Kind::kKernel;
+        step.kernel = kernel_of_group.at(unit);
+        exe->steps_.push_back(step);
+        continue;
+      }
+      Node* node = unit_nodes.at(unit).front();
       Executable::Step step;
-      step.kind = Executable::Step::Kind::kKernel;
-      step.kernel = kernel_of_group.at(unit);
+      step.node = node;
+      if (node->kind() == OpKind::kConstant) {
+        step.kind = Executable::Step::Kind::kConstant;
+      } else if (node->op_class() == OpClass::kShape ||
+                 (IsIntegral(node->output(0)->dtype()) &&
+                  exe->analysis_->GetContent(node->output(0)) != nullptr)) {
+        // Shape computation placed on the host (RAL-style).
+        step.kind = Executable::Step::Kind::kHost;
+      } else if (node->op_class() == OpClass::kLibrary) {
+        step.kind = Executable::Step::Kind::kLibrary;
+      } else {
+        // A fusable op the planner left out of every group (does not happen
+        // with the current planner, but keep the executable total).
+        return Status::Internal(std::string("unscheduled node: ") +
+                                OpName(node->kind()));
+      }
       exe->steps_.push_back(step);
-      continue;
     }
-    Node* node = unit_nodes.at(unit).front();
-    Executable::Step step;
-    step.node = node;
-    if (node->kind() == OpKind::kConstant) {
-      step.kind = Executable::Step::Kind::kConstant;
-    } else if (node->op_class() == OpClass::kShape ||
-               (IsIntegral(node->output(0)->dtype()) &&
-                exe->analysis_->GetContent(node->output(0)) != nullptr)) {
-      // Shape computation placed on the host (RAL-style).
-      step.kind = Executable::Step::Kind::kHost;
-    } else if (node->op_class() == OpClass::kLibrary) {
-      step.kind = Executable::Step::Kind::kLibrary;
-    } else {
-      // A fusable op the planner left out of every group (does not happen
-      // with the current planner, but keep the executable total).
-      return Status::Internal(std::string("unscheduled node: ") +
-                              OpName(node->kind()));
-    }
-    exe->steps_.push_back(step);
-  }
 
-  // 5b. Buffer liveness over the step schedule is shape-independent, so
-  // the release points are fixed once here; every Run (cached or not)
-  // replays them instead of re-deriving liveness.
-  exe->BuildReleaseSchedule();
+    // 5b. Buffer liveness over the step schedule is shape-independent, so
+    // the release points are fixed once here; every Run (cached or not)
+    // replays them instead of re-deriving liveness.
+    exe->BuildReleaseSchedule();
+  }
 
   // 6. Compile-time buffer assignment over the device steps.
   {
+    PhaseScope phase(&exe->report_, "buffer-assignment");
     std::vector<PlanStep> plan_steps;
     for (const Executable::Step& step : exe->steps_) {
       PlanStep ps;

@@ -1,15 +1,24 @@
 #include "opt/pass.h"
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace disc {
 
 Result<bool> PassManager::RunOnce(Graph* graph, const PassContext& ctx) {
   bool changed = false;
   for (auto& pass : passes_) {
-    DISC_ASSIGN_OR_RETURN(bool pass_changed, pass->Run(graph, ctx));
+    bool pass_changed = false;
+    {
+      TraceScope scope(pass->name(), "opt.pass");
+      DISC_ASSIGN_OR_RETURN(pass_changed, pass->Run(graph, ctx));
+      scope.AddArg("changed", pass_changed ? "true" : "false");
+    }
+    CountMetric("opt.pass.runs");
     if (pass_changed) {
       changed = true;
+      CountMetric("opt.pass.changes");
       change_log_.emplace_back(pass->name(), 1);
       DISC_LOG(Debug) << "pass " << pass->name() << " changed the graph";
     }

@@ -9,7 +9,9 @@
 #include "kernel/library.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 
 namespace disc {
 
@@ -60,6 +62,15 @@ std::string CompileReport::ToString() const {
       static_cast<long long>(fusion.num_stitch_groups),
       static_cast<long long>(shapes.num_symbols),
       static_cast<long long>(shapes.num_classes));
+}
+
+std::string CompileReport::PhaseBreakdown() const {
+  std::ostringstream out;
+  for (const auto& [name, ms] : phase_ms) {
+    out << StrFormat("  %-18s %8.3fms (%2.0f%%)\n", name.c_str(), ms,
+                     compile_ms > 0 ? 100.0 * ms / compile_ms : 0.0);
+  }
+  return out.str();
 }
 
 Result<RunResult> Executable::Run(const std::vector<Tensor>& inputs,
@@ -134,6 +145,7 @@ void Executable::BuildReleaseSchedule() {
 
 Result<LaunchPlan> Executable::BuildLaunchPlan(
     const std::vector<std::vector<int64_t>>& input_dims) const {
+  DISC_TRACE_SCOPE("plan-build", "runtime");
   LaunchPlan plan;
   // Host-side shape computation: solve every symbolic dim once per
   // signature.
@@ -187,6 +199,8 @@ Result<RunResult> Executable::RunInternal(
     const std::vector<Tensor>* inputs, const RunOptions& options) const {
   auto start = std::chrono::steady_clock::now();
   const bool execute_data = inputs != nullptr;
+  TraceScope run_scope("executable-run", "runtime");
+  CountMetric("runtime.run.count");
 
   std::string signature;
   std::shared_ptr<const LaunchPlan> cached;
@@ -212,6 +226,19 @@ Result<RunResult> Executable::RunInternal(
     record_host = &fresh;
   }
   const double host_plan_us = ElapsedUs(start);
+  if (options.use_launch_plan_cache) {
+    CountMetric(hit ? "runtime.plan_cache.hit" : "runtime.plan_cache.miss");
+  }
+  ObserveMetric("runtime.host_plan_us", host_plan_us);
+  if (run_scope.active()) {
+    run_scope.AddArg("plan", options.use_launch_plan_cache
+                                 ? (hit ? "hit" : "miss")
+                                 : "cache-off");
+    run_scope.AddArg("signature", signature.empty()
+                                      ? ShapeSignature(input_dims)
+                                      : signature);
+    run_scope.AddArg("mode", execute_data ? "data" : "timing-only");
+  }
 
   DISC_ASSIGN_OR_RETURN(RunResult result,
                         ExecutePlan(*plan, inputs, options, record_host));
@@ -231,6 +258,7 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
                                           const std::vector<Tensor>* inputs,
                                           const RunOptions& options,
                                           LaunchPlan* record_host) const {
+  DISC_TRACE_SCOPE("plan-execute", "runtime");
   const SymbolBindings& bindings = plan.bindings;
   DeviceModel model(options.device);
   RunResult result;
@@ -269,6 +297,9 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         // function of the shape signature, so a plan that recorded them
         // replays deep copies instead of re-evaluating the node.
         if (!execute_data) break;
+        TraceScope step_scope("host-shape-op", "runtime.step");
+        step_scope.AddArg("op", OpName(step.node->kind()));
+        step_scope.AddArg("replayed", ps.has_host_results ? "true" : "false");
         if (ps.has_host_results) {
           for (size_t i = 0; i < ps.host_results.size(); ++i) {
             env.emplace(step.node->output(static_cast<int>(i)),
@@ -297,6 +328,8 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         break;
       }
       case Step::Kind::kLibrary: {
+        TraceScope step_scope(OpName(step.node->kind()), "runtime.step");
+        step_scope.AddArg("kind", "library-call");
         const LibraryCallStats& stats = ps.library_stats;
         KernelCost cost =
             model.EstimateLibrary(stats, options.library_efficiency);
@@ -326,6 +359,9 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         const FusedKernel& kernel = *step.kernel;
         const KernelVariant& variant = kernel.variants()[ps.variant_index];
         const KernelStats& stats = ps.kernel_stats;
+        TraceScope step_scope(kernel.name(), "runtime.step");
+        step_scope.AddArg("kind", "kernel-launch");
+        step_scope.AddArg("variant", variant.name);
         KernelCost cost = model.EstimateGenerated(stats, variant);
         profile.device_time_us += options.batch_launches
                                       ? cost.body_us + kGraphReplayPerNodeUs
@@ -362,6 +398,10 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
   profile.peak_memory_bytes = allocator.stats().peak_bytes_in_use;
   profile.alloc_calls = allocator.stats().alloc_calls;
   profile.alloc_cache_hits = allocator.stats().cache_hits;
+  // The registry mirrors the per-run allocator counters so profile fields
+  // and global metrics can never disagree (asserted in metrics_test).
+  CountMetric("runtime.alloc.calls", profile.alloc_calls);
+  CountMetric("runtime.alloc.cache_hits", profile.alloc_cache_hits);
 
   if (execute_data) {
     for (const Value* out : graph_->outputs()) {

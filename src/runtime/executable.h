@@ -93,6 +93,10 @@ struct RunResult {
 /// Summary of one compilation, for reporting and the compile-time bench.
 struct CompileReport {
   double compile_ms = 0.0;
+  /// Wall-clock per pipeline phase, in pipeline order (graph-passes,
+  /// shape-analysis, fusion-planning, kernel-compile, step-schedule,
+  /// buffer-assignment). Sums to ~compile_ms.
+  std::vector<std::pair<std::string, double>> phase_ms;
   int64_t num_nodes_before = 0;
   int64_t num_nodes_after = 0;
   FusionPlan::Stats fusion;
@@ -104,6 +108,8 @@ struct CompileReport {
   int64_t buffer_slots = 0;
 
   std::string ToString() const;
+  /// One line per phase: "graph-passes 0.42ms (31%)".
+  std::string PhaseBreakdown() const;
 };
 
 /// \brief A compiled, shape-polymorphic module. Create via DiscCompiler.

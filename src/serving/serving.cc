@@ -5,8 +5,10 @@
 
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 
 namespace disc {
 
@@ -97,10 +99,26 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
   stats.batches = static_cast<int64_t>(batches.size());
   const int64_t hits_before = engine->stats().launch_plan_hits;
   const int64_t misses_before = engine->stats().launch_plan_misses;
+  TraceSession& trace = TraceSession::Global();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* queue_wait_hist = registry.GetHistogram("serving.queue_wait_us");
+  Histogram* queue_depth_hist = registry.GetHistogram(
+      "serving.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128});
+  Histogram* batch_size_hist = registry.GetHistogram(
+      "serving.batch_size", {1, 2, 4, 8, 16, 32, 64});
+  Histogram* pad_waste_hist = registry.GetHistogram(
+      "serving.padding_waste_pct", {0, 5, 10, 20, 30, 40, 50, 75, 100});
+  CountMetric("serving.requests", static_cast<int64_t>(requests.size()));
+  CountMetric("serving.batches", stats.batches);
 
   double clock_us = 0.0;
   int64_t real_tokens = 0;
   int64_t padded_tokens = 0;
+  // Queue depth at batch launch = arrived - completed. Requests are sorted
+  // by arrival and batches finish in order, so both counts are running
+  // cursors over the simulated clock.
+  size_t arrived_cursor = 0;
+  int64_t completed = 0;
   std::vector<double> latencies;
   for (const Batch& batch : batches) {
     DISC_ASSIGN_OR_RETURN(
@@ -110,11 +128,69 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
     double start = std::max(clock_us, batch.ready_us);
     double done = start + timing.total_us;
     clock_us = done;
+
+    while (arrived_cursor < requests.size() &&
+           requests[arrived_cursor].arrival_us <= start) {
+      ++arrived_cursor;
+    }
+    queue_depth_hist->Observe(
+        static_cast<double>(static_cast<int64_t>(arrived_cursor) - completed));
+    batch_size_hist->Observe(static_cast<double>(batch.requests.size()));
+
+    int64_t batch_real_tokens = 0;
     for (const Request& r : batch.requests) {
       latencies.push_back(done - r.arrival_us);
       real_tokens += r.seq_len;
+      batch_real_tokens += r.seq_len;
+      queue_wait_hist->Observe(start - r.arrival_us);
     }
-    padded_tokens += batch.padded_batch * batch.padded_seq;
+    completed += static_cast<int64_t>(batch.requests.size());
+    const int64_t batch_padded_tokens = batch.padded_batch * batch.padded_seq;
+    padded_tokens += batch_padded_tokens;
+    const double batch_waste_pct =
+        batch_padded_tokens > 0
+            ? 100.0 * (1.0 - static_cast<double>(batch_real_tokens) /
+                                 static_cast<double>(batch_padded_tokens))
+            : 0.0;
+    pad_waste_hist->Observe(batch_waste_pct);
+
+    if (trace.enabled()) {
+      // Simulated-clock timeline (pid kSimPid): the batch execution span,
+      // and per request a span from arrival to completion split into
+      // batch-formation wait, device-queue wait, and execution.
+      trace.AddCompleteEvent(
+          "batch", "serving.batch", start, timing.total_us,
+          TraceSession::kSimPid, /*tid=*/0,
+          {{"shape", StrFormat("%lldx%lld",
+                               static_cast<long long>(batch.padded_batch),
+                               static_cast<long long>(batch.padded_seq))},
+           {"requests", std::to_string(batch.requests.size())},
+           {"pad_waste_pct", StrFormat("%.0f", batch_waste_pct)},
+           {"policy", PadPolicyName(options.pad)}});
+      for (const Request& r : batch.requests) {
+        // One row (tid) per in-flight slot keeps overlapping requests
+        // readable; rows cycle, the id arg disambiguates.
+        const int tid = 1 + static_cast<int>(r.id % 16);
+        std::vector<TraceArg> args = {
+            {"id", std::to_string(r.id)},
+            {"seq_len", std::to_string(r.seq_len)}};
+        trace.AddCompleteEvent("request", "serving.request", r.arrival_us,
+                               done - r.arrival_us, TraceSession::kSimPid,
+                               tid, std::move(args));
+        if (batch.ready_us > r.arrival_us) {
+          trace.AddCompleteEvent("batch-form", "serving.request",
+                                 r.arrival_us, batch.ready_us - r.arrival_us,
+                                 TraceSession::kSimPid, tid);
+        }
+        if (start > batch.ready_us) {
+          trace.AddCompleteEvent("queue", "serving.request", batch.ready_us,
+                                 start - batch.ready_us,
+                                 TraceSession::kSimPid, tid);
+        }
+        trace.AddCompleteEvent("execute", "serving.request", start,
+                               timing.total_us, TraceSession::kSimPid, tid);
+      }
+    }
   }
 
   std::sort(latencies.begin(), latencies.end());

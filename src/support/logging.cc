@@ -1,22 +1,13 @@
 #include "support/logging.h"
 
 #include <cstring>
+#include <mutex>
 
 namespace disc {
 
 namespace {
-LogLevel InitialLogLevel() {
-  const char* env = std::getenv("DISC_LOG");
-  if (env == nullptr) return LogLevel::kWarning;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  return LogLevel::kWarning;
-}
-
 LogLevel& MutableLogLevel() {
-  static LogLevel level = InitialLogLevel();
+  static LogLevel level = ParseLogLevel(std::getenv("DISC_LOG"));
   return level;
 }
 
@@ -38,6 +29,15 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return MutableLogLevel(); }
 void SetLogLevel(LogLevel level) { MutableLogLevel() = level; }
 
+LogLevel ParseLogLevel(const char* value) {
+  if (value == nullptr) return LogLevel::kWarning;
+  if (std::strcmp(value, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(value, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(value, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(value, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarning;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
@@ -52,7 +52,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // Concurrent Runs log from multiple threads; emit the whole formatted
+    // line in one guarded write so lines never interleave.
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    static std::mutex log_mu;
+    std::lock_guard<std::mutex> lock(log_mu);
+    std::cerr << line << std::flush;
   }
   if (fatal_) {
     std::abort();

@@ -19,6 +19,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// \brief Parses a DISC_LOG env value ("debug" / "info" / "warning" /
+/// "error"); anything else (including nullptr) yields kWarning.
+LogLevel ParseLogLevel(const char* value);
+
 namespace internal {
 
 class LogMessage {
@@ -58,7 +62,7 @@ class LogMessage {
   } while (false)
 
 #define DISC_CHECK_EQ(a, b) DISC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define DISC_CHECK_NE(a, b) DISC_CHECK((a) != (b))
+#define DISC_CHECK_NE(a, b) DISC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DISC_CHECK_LT(a, b) DISC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DISC_CHECK_LE(a, b) DISC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DISC_CHECK_GT(a, b) DISC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,130 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace disc {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose inclusive upper bound admits the value (the first
+  // bound >= value); past the last bound it lands in the overflow bucket.
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; keep it.
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << StrFormat("count=%lld mean=%.2f", static_cast<long long>(count()),
+                   mean());
+  std::vector<int64_t> counts = bucket_counts();
+  out << " buckets[";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) out << " ";
+    if (i < bounds_.size()) {
+      out << StrFormat("<=%g:%lld", bounds_[i],
+                       static_cast<long long>(counts[i]));
+    } else {
+      out << StrFormat(">%g:%lld", bounds_.empty() ? 0.0 : bounds_.back(),
+                       static_cast<long long>(counts[i]));
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  std::vector<double> bounds;
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) {
+      // Microsecond latencies: 1us .. ~4s.
+      bounds = Histogram::ExponentialBounds(1.0, 4.0, 12);
+    }
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> snapshot;
+  snapshot.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.emplace_back(name, counter->value());
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " = " << counter->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << " = " << histogram->ToString() << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetCountersForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+}
+
+void ObserveMetric(const std::string& name, double value) {
+  MetricsRegistry::Global().GetHistogram(name)->Observe(value);
+}
+
+}  // namespace disc

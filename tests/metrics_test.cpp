@@ -1,0 +1,196 @@
+#include "support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "baselines/dynamic_engine.h"
+#include "compiler/compiler.h"
+#include "models/models.h"
+#include "sim/device.h"
+
+namespace disc {
+namespace {
+
+TEST(CounterTest, IncrementValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 4.0, 16.0});
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // <= 1 (inclusive)
+  h.Observe(1.5);   // <= 4
+  h.Observe(4.0);   // <= 4 (inclusive)
+  h.Observe(16.0);  // <= 16 (inclusive)
+  h.Observe(16.5);  // overflow
+  h.Observe(1e9);   // overflow
+  std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 7);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h({10.0});
+  h.Observe(2.0);
+  h.Observe(4.0);
+  h.Observe(6.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 4.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+}
+
+TEST(HistogramTest, ConcurrentObserves) {
+  Histogram h({10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(5.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.bucket_counts()[0], kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 * kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, CountersAreStableAndNamed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.registry.a");
+  Counter* again = reg.GetCounter("test.registry.a");
+  EXPECT_EQ(a, again);  // stable pointer, cacheable
+  int64_t before = a->value();
+  CountMetric("test.registry.a", 3);
+  EXPECT_EQ(a->value(), before + 3);
+}
+
+TEST(MetricsRegistryTest, HistogramFirstRegistrationWinsBounds) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("test.registry.hist", {1.0, 2.0});
+  Histogram* again = reg.GetHistogram("test.registry.hist", {99.0});
+  EXPECT_EQ(h, again);
+  ASSERT_EQ(h->bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h->bounds()[1], 2.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsRegisteredCounter) {
+  CountMetric("test.registry.snapshot", 5);
+  auto snapshot = MetricsRegistry::Global().CounterSnapshot();
+  bool found = false;
+  for (const auto& [name, value] : snapshot) {
+    if (name == "test.registry.snapshot") {
+      found = true;
+      EXPECT_GE(value, 5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The satellite guarantee: EngineStats and the global registry are fed by
+// the same choke points, so their deltas can never disagree. Counters are
+// process-global, so compare deltas, not absolute values.
+TEST(MetricsAgreementTest, EngineStatsMatchRegistryCounters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* queries = reg.GetCounter("engine.queries");
+  Counter* plan_hits = reg.GetCounter("engine.plan_cache.hit");
+  Counter* plan_misses = reg.GetCounter("engine.plan_cache.miss");
+  Counter* compilations = reg.GetCounter("engine.compilations");
+  const int64_t q0 = queries->value();
+  const int64_t h0 = plan_hits->value();
+  const int64_t m0 = plan_misses->value();
+  const int64_t c0 = compilations->value();
+
+  ModelConfig config;
+  Model model = BuildMlp(config);
+  DynamicCompilerEngine engine(DynamicProfile::Disc());
+  ASSERT_TRUE(engine.Prepare(*model.graph, model.input_dim_labels).ok());
+  const DeviceSpec device = DeviceSpec::A10();
+  // Repeat shapes so the plan cache records both misses and hits.
+  std::vector<ShapeSet> trace = {model.trace[0], model.trace[1],
+                                 model.trace[0], model.trace[1],
+                                 model.trace[0]};
+  for (const ShapeSet& shapes : trace) {
+    ASSERT_TRUE(engine.Query(shapes, device).ok());
+  }
+
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(queries->value() - q0, stats.queries);
+  EXPECT_EQ(plan_hits->value() - h0, stats.launch_plan_hits);
+  EXPECT_EQ(plan_misses->value() - m0, stats.launch_plan_misses);
+  EXPECT_EQ(compilations->value() - c0, stats.compilations);
+  EXPECT_GT(stats.launch_plan_hits, 0);
+  EXPECT_GT(stats.launch_plan_misses, 0);
+}
+
+TEST(MetricsAgreementTest, RunProfileAllocatorCountersMatchRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* alloc_calls = reg.GetCounter("runtime.alloc.calls");
+  Counter* alloc_hits = reg.GetCounter("runtime.alloc.cache_hits");
+  Counter* run_count = reg.GetCounter("runtime.run.count");
+  const int64_t calls0 = alloc_calls->value();
+  const int64_t hits0 = alloc_hits->value();
+  const int64_t runs0 = run_count->value();
+
+  ModelConfig config;
+  Model model = BuildMlp(config);
+  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+  ASSERT_TRUE(exe.ok());
+  int64_t profile_calls = 0, profile_hits = 0, runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto r = (*exe)->RunWithShapes(model.trace[0]);
+    ASSERT_TRUE(r.ok());
+    profile_calls += r->profile.alloc_calls;
+    profile_hits += r->profile.alloc_cache_hits;
+    ++runs;
+  }
+  EXPECT_EQ(alloc_calls->value() - calls0, profile_calls);
+  EXPECT_EQ(alloc_hits->value() - hits0, profile_hits);
+  EXPECT_EQ(run_count->value() - runs0, runs);
+  EXPECT_GT(profile_calls, 0);
+}
+
+TEST(MetricsAgreementTest, PlanCacheStatsMatchRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* hits = reg.GetCounter("runtime.plan_cache.hit");
+  Counter* misses = reg.GetCounter("runtime.plan_cache.miss");
+  const int64_t h0 = hits->value();
+  const int64_t m0 = misses->value();
+
+  ModelConfig config;
+  Model model = BuildMlp(config);
+  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+  ASSERT_TRUE(exe.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*exe)->RunWithShapes(model.trace[0]).ok());
+  }
+  auto stats = (*exe)->plan_cache_stats();
+  EXPECT_EQ(hits->value() - h0, stats.hits);
+  EXPECT_EQ(misses->value() - m0, stats.misses);
+  EXPECT_EQ(stats.misses, 1);  // first run builds, the rest replay
+  EXPECT_EQ(stats.hits, 3);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/logging.h"
 #include "support/math_util.h"
 #include "support/rng.h"
 #include "support/status.h"
@@ -136,6 +137,35 @@ TEST(RngTest, UniformIntInRange) {
     EXPECT_GE(v, 5);
     EXPECT_LE(v, 9);
   }
+}
+
+TEST(LoggingTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  // Anything unrecognized — including no env var at all — falls back to
+  // the quiet default.
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel(nullptr), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrip) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, CheckNePrintsBothValues) {
+  EXPECT_DEATH({ DISC_CHECK_NE(3, 3) << "extra"; }, "\\(3 vs 3\\)");
+}
+
+TEST(LoggingDeathTest, CheckEqPrintsBothValues) {
+  EXPECT_DEATH({ DISC_CHECK_EQ(2, 5); }, "\\(2 vs 5\\)");
 }
 
 TEST(RngTest, CategoricalRespectsZeroWeight) {

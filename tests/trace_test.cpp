@@ -1,0 +1,249 @@
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace disc {
+namespace {
+
+// TraceSession::Global() is process-wide state shared across tests; every
+// test starts from a clean, disabled session.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::Global().Disable();
+    TraceSession::Global().set_capacity(1 << 16);
+    TraceSession::Global().Clear();
+  }
+  void TearDown() override {
+    TraceSession::Global().Disable();
+    TraceSession::Global().Clear();
+  }
+};
+
+// Minimal structural JSON validator: tracks brace/bracket balance while
+// honoring string literals and escapes. Enough to catch broken quoting,
+// unescaped control characters, and truncated output.
+bool IsStructurallyValidJson(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+std::string DumpJson() {
+  std::ostringstream os;
+  TraceSession::Global().WriteJson(os);
+  return os.str();
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  TraceSession& s = TraceSession::Global();
+  ASSERT_FALSE(s.enabled());
+  {
+    DISC_TRACE_SCOPE("should-not-appear", "test");
+    s.AddCompleteEvent("manual", "test", 0.0, 1.0, TraceSession::kWallPid, 0);
+    s.AddInstantEvent("instant", "test");
+  }
+  EXPECT_EQ(s.num_events(), 0u);
+  EXPECT_EQ(s.dropped_events(), 0);
+  // Empty sessions still export valid JSON.
+  std::string json = DumpJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledScopeIsInactive) {
+  TraceScope scope("never", "test");
+  EXPECT_FALSE(scope.active());
+  scope.AddArg("key", "value");  // must be a safe no-op
+}
+
+TEST_F(TraceTest, NestedSpansProduceWellFormedJson) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  {
+    DISC_TRACE_SCOPE("outer", "test");
+    {
+      DISC_TRACE_SCOPE("inner", "test");
+    }
+  }
+  s.Disable();
+  EXPECT_EQ(s.num_events(), 2u);
+  std::string json = DumpJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpanIsContainedInParent) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  s.AddCompleteEvent("parent", "test", 10.0, 100.0, TraceSession::kWallPid, 0);
+  s.AddCompleteEvent("child", "test", 20.0, 30.0, TraceSession::kWallPid, 0);
+  s.Disable();
+  // Chrome's renderer nests child under parent iff the child's interval is
+  // contained; verify the export preserves the explicit timestamps.
+  std::string json = DumpJson();
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":30"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ScopeArgsAndSpecialCharactersAreEscaped) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  {
+    TraceScope scope(std::string("na\"me\\with\nnasties"), "test");
+    ASSERT_TRUE(scope.active());
+    scope.AddArg("shape", "4x\t128");
+  }
+  s.Disable();
+  std::string json = DumpJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("na\\\"me\\\\with\\nnasties"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("4x\\t128"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, InstantEventsUsePhaseI) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  s.AddInstantEvent("tick", "test");
+  s.Disable();
+  EXPECT_EQ(s.num_events(), 1u);
+  std::string json = DumpJson();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, RingBufferDropsOldestAndCounts) {
+  TraceSession& s = TraceSession::Global();
+  s.set_capacity(4);
+  s.Enable();
+  for (int i = 0; i < 10; ++i) {
+    s.AddCompleteEvent("e" + std::to_string(i), "test",
+                       static_cast<double>(i), 1.0, TraceSession::kWallPid, 0);
+  }
+  s.Disable();
+  EXPECT_EQ(s.num_events(), 4u);
+  EXPECT_EQ(s.dropped_events(), 6);
+  std::string json = DumpJson();
+  // Oldest (e0..e5) dropped; newest four survive in order.
+  EXPECT_EQ(json.find("\"e5\""), std::string::npos);
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(json.find("\"e" + std::to_string(i) + "\""), std::string::npos)
+        << json;
+  }
+  EXPECT_LT(json.find("\"e6\""), json.find("\"e9\""));
+}
+
+TEST_F(TraceTest, SimulatedClockEventsKeepTheirPidAndTimes) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  s.AddCompleteEvent("request", "serving.request", 1234.5, 100.25,
+                     TraceSession::kSimPid, 3,
+                     {{"id", "7"}, {"seq_len", "64"}});
+  s.Disable();
+  std::string json = DumpJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":1234.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":100.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":\"7\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromFourThreads) {
+  TraceSession& s = TraceSession::Global();
+  s.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceScope scope("t" + std::to_string(t), "test.concurrent");
+        scope.AddArg("i", std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  s.Disable();
+  EXPECT_EQ(s.num_events(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(s.dropped_events(), 0);
+  std::string json = DumpJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json)) << json;
+  // Every thread's spans made it through intact.
+  for (int t = 0; t < kThreads; ++t) {
+    std::string needle = "\"t" + std::to_string(t) + "\"";
+    size_t count = 0;
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++count;
+    }
+    EXPECT_EQ(count, static_cast<size_t>(kSpansPerThread)) << needle;
+  }
+}
+
+TEST_F(TraceTest, ThreadIdsAreDensePerThread) {
+  TraceSession& s = TraceSession::Global();
+  int main_tid = s.CurrentThreadTid();
+  EXPECT_EQ(main_tid, s.CurrentThreadTid());  // stable for the same thread
+  int other_tid = -1;
+  std::thread t([&] { other_tid = s.CurrentThreadTid(); });
+  t.join();
+  EXPECT_NE(other_tid, -1);
+  EXPECT_NE(other_tid, main_tid);
+}
+
+TEST_F(TraceTest, ClearResetsEventsAndDropCounter) {
+  TraceSession& s = TraceSession::Global();
+  s.set_capacity(2);
+  s.Enable();
+  for (int i = 0; i < 5; ++i) s.AddInstantEvent("x", "test");
+  EXPECT_GT(s.dropped_events(), 0);
+  s.Clear();
+  EXPECT_EQ(s.num_events(), 0u);
+  EXPECT_EQ(s.dropped_events(), 0);
+  EXPECT_TRUE(s.enabled());  // Clear leaves the enabled flag alone
+  s.Disable();
+}
+
+TEST_F(TraceTest, WriteJsonToFileReportsBadPath) {
+  Status bad = TraceSession::Global().WriteJson(
+      "/nonexistent-dir-for-trace-test/out.json");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace disc
