@@ -32,9 +32,10 @@ std::unique_ptr<Graph> RowReduce() {
   return g;
 }
 
-void Sweep(const char* title, const Graph& graph,
+void Sweep(const char* title, const char* id, const Graph& graph,
            const std::vector<std::vector<std::string>>& labels,
-           const std::vector<ShapeSet>& shape_sets) {
+           const std::vector<ShapeSet>& shape_sets,
+           bench::JsonReporter* report) {
   auto specialized = DiscCompiler::Compile(graph, labels);
   auto generic = DiscCompiler::Compile(graph, labels,
                                        CompileOptions::NoSpecialization());
@@ -55,6 +56,10 @@ void Sweep(const char* title, const Graph& graph,
     }
     std::string shape_str;
     for (const auto& dims : shapes) shape_str += "[" + Join(dims, "x") + "]";
+    report->AddMetric(std::string(id) + "." + shape_str + ".generic_us",
+                      rg->profile.device_time_us, "us");
+    report->AddMetric(std::string(id) + "." + shape_str + ".specialized_us",
+                      rs->profile.device_time_us, "us");
     table.AddRow({shape_str, bench::FmtUs(rg->profile.device_time_us),
                   bench::FmtUs(rs->profile.device_time_us), variant,
                   bench::Fmt("%.2fx", rg->profile.device_time_us /
@@ -67,29 +72,32 @@ void Sweep(const char* title, const Graph& graph,
 }  // namespace
 }  // namespace disc
 
-int main() {
+int main(int argc, char** argv) {
   using disc::ShapeSet;
+  disc::bench::JsonReporter report("F3", argc, argv);
   std::printf("== F3: multi-version codegen vs generic kernels ==\n\n");
 
   auto ew = disc::Elementwise();
-  disc::Sweep("elementwise (vectorization + broadcast elimination)", *ew,
-              {{"B", "S"}, {"B", "S"}},
+  disc::Sweep("elementwise (vectorization + broadcast elimination)", "ew",
+              *ew, {{"B", "S"}, {"B", "S"}},
               {
                   ShapeSet{{1024, 1024}, {1024, 1024}},  // divisible -> vec4
                   ShapeSet{{1023, 1023}, {1023, 1023}},  // odd -> generic
                   ShapeSet{{64, 64}, {64, 64}},
                   ShapeSet{{7, 13}, {7, 13}},  // tiny + odd
-              });
+              },
+              &report);
 
   auto rr = disc::RowReduce();
   disc::Sweep("row reduction (schedule selection by runtime row length)",
-              *rr, {{"B", "S"}},
+              "reduce", *rr, {{"B", "S"}},
               {
                   ShapeSet{{4096, 64}},    // short rows -> warp per row
                   ShapeSet{{4096, 512}},   // medium -> warp per row
                   ShapeSet{{4096, 4096}},  // long rows -> block per row
                   ShapeSet{{16, 65536}},   // very long, few rows
-              });
+              },
+              &report);
 
   // Shape speculation: the hot shape gets an exact-shape variant; cold
   // shapes fall back to the guarded dynamic variants at zero cost.
@@ -119,6 +127,10 @@ int main() {
         if (count > 0) variant = name.substr(name.find('/') + 1);
       }
       std::string shape_str = "[" + Join(shapes[0], "x") + "]";
+      report.AddMetric("speculation." + shape_str + ".dynamic_us",
+                       rp->profile.device_time_us, "us");
+      report.AddMetric("speculation." + shape_str + ".speculative_us",
+                       rs->profile.device_time_us, "us");
       table.AddRow({shape_str, bench::FmtUs(rp->profile.device_time_us),
                     bench::FmtUs(rs->profile.device_time_us), variant,
                     bench::Fmt("%.2fx", rp->profile.device_time_us /

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace disc;
   // --trace=<file>: capture the compile-phase spans as Chrome-trace JSON.
   bench::TraceFlag trace_flag(argc, argv);
+  bench::JsonReporter report("F5", argc, argv);
   std::printf("== F5: compilation time per model ==\n\n");
 
   ModelConfig config;
@@ -44,6 +45,18 @@ int main(int argc, char** argv) {
                             static_cast<double>(model.graph->num_nodes())) *
              static_cast<double>(shapes) * 1e3;  // -> us
     };
+    // compile. prefix = real wall-clock on this machine, excluded from CI
+    // hard-fail; the stall estimates are deterministic cost models.
+    report.AddMetric("compile." + model.name + ".disc_compile_ms",
+                     (*exe)->report().compile_ms, "ms");
+    report.AddMetric(model.name + ".distinct_shapes",
+                     static_cast<double>(distinct.size()), "count");
+    report.AddMetric(
+        model.name + ".xla_stall_us",
+        stall(200, 3, static_cast<int64_t>(distinct.size())), "us");
+    report.AddMetric(
+        model.name + ".trt_stall_us",
+        stall(600, 6, static_cast<int64_t>(bucketed.size())), "us");
     table.AddRow(
         {model.name, std::to_string(model.graph->num_nodes()),
          std::to_string(distinct.size()),

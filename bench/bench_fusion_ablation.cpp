@@ -103,7 +103,17 @@ std::vector<Config> Configs() {
   return configs;
 }
 
-void RunWorkload(const Workload& w) {
+// JSON metric key: "<workload>.<config>.<metric>" with spaces flattened.
+std::string MetricKey(const std::string& workload, const std::string& config,
+                      const char* metric) {
+  std::string key = workload + "." + config + "." + metric;
+  for (char& c : key) {
+    if (c == ' ') c = '-';
+  }
+  return key;
+}
+
+void RunWorkload(const Workload& w, bench::JsonReporter* report) {
   std::printf("-- %s, input %s --\n", w.name.c_str(),
               [&] {
                 std::string s;
@@ -123,9 +133,16 @@ void RunWorkload(const Workload& w) {
     DISC_CHECK_OK(r.status());
     double t = r->profile.device_time_us;
     if (config.name == "no-fusion") base_time = t;
+    int64_t launches = r->profile.kernel_launches + r->profile.library_calls;
+    report->AddMetric(MetricKey(w.name, config.name, "device_us"), t, "us");
+    report->AddMetric(MetricKey(w.name, config.name, "launches"),
+                      static_cast<double>(launches), "count");
+    report->AddMetric(
+        MetricKey(w.name, config.name, "bytes_moved"),
+        static_cast<double>(r->profile.bytes_read + r->profile.bytes_written),
+        "bytes");
     table.AddRow({config.name,
-                  std::to_string(r->profile.kernel_launches +
-                                 r->profile.library_calls),
+                  std::to_string(launches),
                   bench::Fmt("%.2fMB", (r->profile.bytes_read +
                                         r->profile.bytes_written) /
                                            1e6),
@@ -138,11 +155,13 @@ void RunWorkload(const Workload& w) {
 }  // namespace
 }  // namespace disc
 
-int main() {
+int main(int argc, char** argv) {
+  disc::bench::JsonReporter report("F2", argc, argv);
+  report.AddMeta("device", "simulated");
   std::printf("== F2: fusion ablation (dynamic shapes throughout) ==\n\n");
-  disc::RunWorkload(disc::MakeSoftmax());
-  disc::RunWorkload(disc::MakeLayerNorm());
-  disc::RunWorkload(disc::MakeGeluGlue());
+  disc::RunWorkload(disc::MakeSoftmax(), &report);
+  disc::RunWorkload(disc::MakeLayerNorm(), &report);
+  disc::RunWorkload(disc::MakeGeluGlue(), &report);
 
   // Full model: BERT.
   disc::ModelConfig config;
@@ -164,6 +183,8 @@ int main() {
     }
     double mean = total / static_cast<double>(bert.trace.size());
     if (cfg.name == "no-fusion") base_time = mean;
+    report.AddMetric(disc::MetricKey("bert", cfg.name, "mean_device_us"),
+                     mean, "us");
     table.AddRow({cfg.name, disc::bench::FmtUs(mean),
                   disc::bench::Fmt("%.2fx", base_time / mean)});
   }

@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
   // --trace=<file>: capture per-query runtime spans (plan build/replay,
   // kernel launches) as Chrome-trace JSON.
   bench::TraceFlag trace_flag(argc, argv);
+  bench::JsonReporter report("F7", argc, argv);
+  report.AddMeta("device", "simulated T4 (device table: T4/A10/CPU)");
   std::printf("== F7 (extension): launch overhead & CUDA-Graph replay ==\n\n");
   ModelConfig config;
   Model model = BuildSeq2SeqStep(config);
@@ -102,6 +104,18 @@ int main(int argc, char** argv) {
         prev = timing->device_us;
       }
       const EngineStats& stats = engine->stats();
+      {
+        std::string prefix = std::string(repeat_heavy ? "repeat-heavy"
+                                                      : "fully-dynamic") +
+                             "." + name + ".";
+        report.AddMetric(prefix + "mean_us", bench::Mean(latencies), "us");
+        report.AddMetric(prefix + "p99_us",
+                         bench::Percentile(latencies, 99), "us");
+        if (stats.launch_plan_hits + stats.launch_plan_misses > 0) {
+          report.AddMetric(prefix + "plan_hit_rate",
+                           stats.launch_plan_hit_rate(), "ratio");
+        }
+      }
       table.AddRow(
           {name, bench::FmtUs(bench::Mean(latencies)),
            bench::FmtUs(bench::Percentile(latencies, 99)),
@@ -130,6 +144,8 @@ int main(int argc, char** argv) {
       DISC_CHECK_OK(timing.status());
       latencies.push_back(timing->total_us);
     }
+    report.AddMetric("device." + std::string(spec.name) + ".mean_us",
+                     bench::Mean(latencies), "us");
     dev_table.AddRow({spec.name, bench::FmtUs(bench::Mean(latencies)),
                       bench::Fmt("%.1fus", spec.kernel_launch_us)});
   }
@@ -164,6 +180,14 @@ int main(int argc, char** argv) {
     host_table.AddRow({"plan replay (hit)",
                        std::to_string(hits), bench::FmtUs(mean_hit)});
     host_table.Print();
+    // wall. prefix: real microseconds, machine-dependent — excluded from
+    // CI hard-fail comparison.
+    report.AddMetric("wall.host_plan_miss_us", mean_miss, "us");
+    report.AddMetric("wall.host_plan_hit_us", mean_hit, "us");
+    report.AddMetric("plan_cache_hit_rate",
+                     static_cast<double>(hits) /
+                         static_cast<double>(hits + misses),
+                     "ratio");
     std::printf("hit rate %.0f%%, plan build / replay = %.1fx\n",
                 100.0 * static_cast<double>(hits) /
                     static_cast<double>(hits + misses),

@@ -36,7 +36,7 @@ std::unique_ptr<Graph> GlueBlock() {
   return g;
 }
 
-void PrintSweep() {
+void PrintSweep(bench::JsonReporter* report) {
   auto graph = GlueBlock();
   std::vector<std::vector<std::string>> labels = {{"B", "S", ""}};
 
@@ -56,6 +56,13 @@ void PrintSweep() {
     auto td = (*disc_engine)->Query({{4, seq, 256}}, device);
     DISC_CHECK_OK(te.status());
     DISC_CHECK_OK(td.status());
+    std::string prefix = "seq" + std::to_string(seq) + ".";
+    report->AddMetric(prefix + "eager_us", te->total_us, "us");
+    report->AddMetric(prefix + "disc_us", td->total_us, "us");
+    report->AddMetric(prefix + "eager_launches",
+                      static_cast<double>(te->kernel_launches), "count");
+    report->AddMetric(prefix + "disc_launches",
+                      static_cast<double>(td->kernel_launches), "count");
     table.AddRow({std::to_string(seq), bench::Fmt("%.1f", te->total_us),
                   std::to_string(te->kernel_launches),
                   bench::Fmt("%.2f", te->bytes_moved / 1e6),
@@ -93,7 +100,8 @@ BENCHMARK(BM_HostDispatchPath)->Arg(32)->Arg(256)->Arg(1024);
 }  // namespace disc
 
 int main(int argc, char** argv) {
-  disc::PrintSweep();
+  disc::bench::JsonReporter report("F1", argc, argv);
+  disc::PrintSweep(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

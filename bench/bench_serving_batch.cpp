@@ -45,8 +45,9 @@ std::unique_ptr<Graph> EncoderBlock(int64_t hidden) {
 }  // namespace
 }  // namespace disc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disc;
+  bench::JsonReporter report("F8", argc, argv);
   const int64_t kHidden = 256;
   std::printf("== F8 (extension): dynamic batching under load ==\n\n");
 
@@ -92,6 +93,15 @@ int main() {
       auto stats = SimulateServing(engine->get(), shape_fn, requests,
                                    options, device);
       DISC_CHECK_OK(stats.status());
+      std::string prefix =
+          bench::Fmt("gap%.0f", mean_gap_us) + "." + config.label + ".";
+      for (char& c : prefix) {
+        if (c == ' ' || c == ',') c = '-';
+      }
+      report.AddMetric(prefix + "p99_us", stats->p99_us, "us");
+      report.AddMetric(prefix + "qps", stats->throughput_qps, "qps");
+      report.AddMetric(prefix + "pad_waste", stats->padded_token_fraction,
+                       "ratio");
       table.AddRow({config.label, bench::FmtUs(stats->p50_us),
                     bench::FmtUs(stats->p95_us), bench::FmtUs(stats->p99_us),
                     bench::Fmt("%.0f", stats->throughput_qps),

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   // --trace=<file>: capture engine-query and runtime spans as Chrome-trace
   // JSON while the latency distributions are measured.
   bench::TraceFlag trace_flag(argc, argv);
+  bench::JsonReporter report("F6", argc, argv);
   std::printf("== F6: serving latency distribution (trace of 64 queries) ==\n\n");
 
   ModelConfig config;
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
       auto latencies = bench::ReplayTrace(engine->get(), model, device);
       DISC_CHECK_OK(latencies.status());
       std::vector<double> l = *latencies;
+      std::string prefix = std::string(model_name) + "." + system + ".";
+      report.AddMetric(prefix + "p50_us", bench::Percentile(l, 50), "us");
+      report.AddMetric(prefix + "p99_us", bench::Percentile(l, 99), "us");
+      report.AddMetric(prefix + "mean_us", bench::Mean(l), "us");
       table.AddRow({system, bench::FmtUs(bench::Percentile(l, 50)),
                     bench::FmtUs(bench::Percentile(l, 95)),
                     bench::FmtUs(bench::Percentile(l, 99)),

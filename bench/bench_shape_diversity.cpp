@@ -34,8 +34,9 @@ std::vector<ShapeSet> DiverseTrace(int64_t n_distinct, int64_t queries,
 }  // namespace
 }  // namespace disc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disc;
+  bench::JsonReporter report("F4", argc, argv);
   std::printf("== F4: cumulative cost vs number of distinct shapes ==\n");
   std::printf("(BERT, 512-query trace; includes compile stalls)\n\n");
 
@@ -62,6 +63,13 @@ int main() {
         exec_us += timing->total_us - timing->compile_us;
       }
       double total = compile_us + exec_us;
+      std::string prefix =
+          "n" + std::to_string(n) + "." + system + ".";
+      report.AddMetric(prefix + "grand_total_us", total, "us");
+      report.AddMetric(prefix + "compile_stall_us", compile_us, "us");
+      report.AddMetric(prefix + "compilations",
+                       static_cast<double>((*engine)->stats().compilations),
+                       "count");
       table.AddRow({std::to_string(n), system,
                     std::to_string((*engine)->stats().compilations),
                     bench::FmtUs(compile_us), bench::FmtUs(exec_us),

@@ -13,6 +13,8 @@
 
 #include "baselines/baselines.h"
 #include "models/models.h"
+#include "support/artifact_dump.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/trace.h"
 
@@ -55,6 +57,77 @@ class TraceFlag {
 
  private:
   std::string path_;
+};
+
+/// \brief Machine-readable result sink shared by every bench binary: at
+/// scope exit (end of main) writes `BENCH_<id>.json` — or the path given
+/// by `--json-out=<file>` — with every recorded metric. The schema is
+/// documented in EXPERIMENTS.md; `examples/bench_compare.cpp` diffs two
+/// such files for CI regression gating.
+///
+/// Metric-name convention: purely simulated (deterministic) metrics use
+/// plain dotted names (`softmax.dynamic.kStitch.device_us`); wall-clock
+/// metrics carry a `wall.` or `compile.` prefix so CI can exclude them
+/// from hard-fail comparison (`bench_compare --exclude=wall.,compile.`).
+///
+///   int main(int argc, char** argv) {
+///     bench::JsonReporter report("F2", argc, argv);
+///     report.AddMetric("softmax.kStitch.device_us", us, "us");
+///     ...
+///   }
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_id, int argc, char** argv)
+      : bench_id_(std::move(bench_id)), path_("BENCH_" + bench_id_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json-out=", 11) == 0) path_ = argv[i] + 11;
+    }
+  }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { (void)Write(); }
+
+  /// \brief Records one scalar result. Re-adding a name overwrites (last
+  /// value wins — convenient for loops that refine an estimate).
+  void AddMetric(const std::string& name, double value,
+                 const std::string& unit = "") {
+    JsonValue::Object metric;
+    metric.emplace("value", JsonValue(value));
+    if (!unit.empty()) metric.emplace("unit", JsonValue(unit));
+    metrics_[name] = JsonValue(std::move(metric));
+  }
+
+  /// \brief Records a free-form string fact (configuration, not compared).
+  void AddMeta(const std::string& key, const std::string& value) {
+    meta_[key] = JsonValue(value);
+  }
+
+  const std::string& path() const { return path_; }
+
+  Status Write() const {
+    JsonValue::Object doc;
+    doc.emplace("bench", JsonValue(bench_id_));
+    doc.emplace("schema_version", JsonValue(static_cast<int64_t>(1)));
+    if (!meta_.empty()) doc.emplace("meta", JsonValue(meta_));
+    doc.emplace("metrics", JsonValue(metrics_));
+    Status status =
+        WriteStringToFile(path_, JsonValue(std::move(doc)).SerializePretty());
+    if (status.ok()) {
+      std::printf("\nresults written to %s (%zu metrics)\n", path_.c_str(),
+                  metrics_.size());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", path_.c_str(),
+                   status.ToString().c_str());
+    }
+    return status;
+  }
+
+ private:
+  std::string bench_id_;
+  std::string path_;
+  JsonValue::Object metrics_;  // sorted by name -> deterministic output
+  JsonValue::Object meta_;
 };
 
 /// Simple fixed-width table printer.

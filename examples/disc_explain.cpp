@@ -1,0 +1,276 @@
+// Compilation-introspection CLI: "why was (or wasn't) this pair fused,
+// and which shape constraint decided it?"
+//
+// Compiles a named model with decision recording on, optionally dumps the
+// full artifact set, and answers queries against the decision and
+// constraint logs:
+//
+//   $ disc_explain --model=bert --dump-dir=/tmp/bert_dump
+//   $ disc_explain --model=softmax --why-not-fused=3,5
+//   $ disc_explain --model=softmax --static-shapes-only --why-not-fused=3,5
+//   $ disc_explain --model=layernorm --decisions
+//   $ disc_explain --model=bert --constraints
+//
+// Node ids are the %N value ids shown in the IR dumps (module_*.ir) and in
+// `--decisions` output. Models: the F2 micro workloads (softmax, layernorm,
+// gelu-glue) plus the full model suite (mlp, bert, seq2seq-step, crnn,
+// fastspeech2, dlrm, ...).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "models/models.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<Graph> graph;
+  std::vector<std::vector<std::string>> labels;
+};
+
+// The F2 micro workloads, built exactly as bench_fusion_ablation does, so
+// a why-not-fused answer here explains the corresponding F2 table row.
+Workload MakeSoftmax() {
+  Workload w;
+  w.name = "softmax";
+  w.graph = std::make_unique<Graph>("softmax");
+  GraphBuilder b(w.graph.get());
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  w.labels = {{"B", "S"}};
+  return w;
+}
+
+Workload MakeLayerNorm() {
+  Workload w;
+  w.name = "layernorm";
+  w.graph = std::make_unique<Graph>("layernorm");
+  GraphBuilder b(w.graph.get());
+  const int64_t kHidden = 512;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kHidden});
+  Value* scale = b.Constant(Tensor::F32({kHidden},
+                                        std::vector<float>(kHidden, 1.0f)));
+  Value* bias = b.Constant(Tensor::F32({kHidden},
+                                       std::vector<float>(kHidden, 0.0f)));
+  b.Output({b.LayerNorm(x, scale, bias)});
+  w.labels = {{"B", ""}};
+  return w;
+}
+
+Workload MakeGeluGlue() {
+  Workload w;
+  w.name = "gelu-glue";
+  w.graph = std::make_unique<Graph>("gelu_glue");
+  GraphBuilder b(w.graph.get());
+  const int64_t kHidden = 512;
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kHidden});
+  Value* h = b.Gelu(b.Add(x, b.Constant(Tensor::F32(
+                                 {kHidden},
+                                 std::vector<float>(kHidden, 0.5f)))));
+  b.Output({b.Mul(h, b.ScalarF32(1.1f))});
+  w.labels = {{"B", ""}};
+  return w;
+}
+
+Result<Workload> BuildWorkload(const std::string& name) {
+  if (name == "softmax") return MakeSoftmax();
+  if (name == "layernorm") return MakeLayerNorm();
+  if (name == "gelu-glue") return MakeGeluGlue();
+  ModelConfig config;
+  for (Model& m : BuildModelSuite(config)) {
+    if (m.name == name) {
+      Workload w;
+      w.name = m.name;
+      w.graph = std::move(m.graph);
+      w.labels = std::move(m.input_dim_labels);
+      return w;
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown model '" + name +
+      "'; available: softmax, layernorm, gelu-glue, plus the model suite "
+      "(mlp, bert, seq2seq-step, ...)");
+}
+
+// Finds the node whose output(0) value id is `id` (the %N in IR dumps).
+const Node* FindNode(const Graph& graph, int id) {
+  for (const Node* node : graph.nodes()) {
+    if (!node->outputs().empty() && node->output(0)->id() == id) return node;
+  }
+  return nullptr;
+}
+
+// Explains one node's standing when no recorded decision covers the pair:
+// the planner never *considered* it, and the reason is structural.
+void ExplainStanding(const Executable& exe, const Node* node, int id) {
+  if (node == nullptr) {
+    std::printf("  %%%d: no such node in the optimized graph (note: the "
+                "pass pipeline renumbers; read ids from module_optimized.ir "
+                "or --decisions)\n",
+                id);
+    return;
+  }
+  auto it = exe.plan().group_of.find(node);
+  if (it == exe.plan().group_of.end()) {
+    const char* why = "not fusable compute";
+    switch (node->op_class()) {
+      case OpClass::kLibrary:
+        why = "library op (matmul/conv dispatch to vendor kernels)";
+        break;
+      case OpClass::kShape:
+        why = "host shape computation, never a device kernel";
+        break;
+      case OpClass::kCreation:
+        why = "materialized constant, baked as a kernel parameter";
+        break;
+      default:
+        break;
+    }
+    std::printf("  %%%d (%s): outside every fusion group — %s\n", id,
+                OpName(node->kind()), why);
+  } else {
+    std::printf("  %%%d (%s): in group#%d (%s)\n", id, OpName(node->kind()),
+                it->second,
+                FusionKindName(exe.plan().groups[it->second].kind));
+  }
+}
+
+void WhyNotFused(const Executable& exe, int a, int b) {
+  const Node* na = FindNode(exe.graph(), a);
+  const Node* nb = FindNode(exe.graph(), b);
+  std::printf("why-not-fused %%%d, %%%d:\n", a, b);
+
+  if (na != nullptr && nb != nullptr) {
+    auto ga = exe.plan().group_of.find(na);
+    auto gb = exe.plan().group_of.find(nb);
+    if (ga != exe.plan().group_of.end() && gb != exe.plan().group_of.end() &&
+        ga->second == gb->second) {
+      std::printf("  they ARE fused: both in group#%d (%s)\n", ga->second,
+                  FusionKindName(exe.plan().groups[ga->second].kind));
+    }
+  }
+  auto decisions = exe.plan().DecisionsFor(a, b);
+  if (!decisions.empty()) {
+    for (const FusionDecision* d : decisions) {
+      std::printf("  decision: %s\n", d->ToString().c_str());
+    }
+    return;
+  }
+  // No direct decision: the pair shares no producer->consumer edge, or one
+  // side was structurally excluded before planning.
+  std::printf("  no producer->consumer decision was recorded for this pair "
+              "(fusion only merges adjacent nodes; non-adjacent nodes join "
+              "a group only transitively). Standing of each node:\n");
+  ExplainStanding(exe, na, a);
+  ExplainStanding(exe, nb, b);
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  using namespace disc;
+  std::string model_name = "softmax";
+  std::string dump_dir;
+  std::string filter;
+  std::string why_pair;
+  bool static_only = false;
+  bool list_decisions = false;
+  bool list_constraints = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--model=", 8) == 0) {
+      model_name = arg + 8;
+    } else if (std::strncmp(arg, "--dump-dir=", 11) == 0) {
+      dump_dir = arg + 11;
+    } else if (std::strncmp(arg, "--dump-filter=", 14) == 0) {
+      filter = arg + 14;
+    } else if (std::strncmp(arg, "--why-not-fused=", 16) == 0) {
+      why_pair = arg + 16;
+    } else if (std::strcmp(arg, "--static-shapes-only") == 0) {
+      static_only = true;
+    } else if (std::strcmp(arg, "--decisions") == 0) {
+      list_decisions = true;
+    } else if (std::strcmp(arg, "--constraints") == 0) {
+      list_constraints = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: disc_explain --model=<name> [--dump-dir=<dir>]\n"
+          "           [--dump-filter=<substr>] [--why-not-fused=A,B]\n"
+          "           [--static-shapes-only] [--decisions] [--constraints]\n");
+      return 2;
+    }
+  }
+
+  auto workload = BuildWorkload(model_name);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+
+  CompileOptions options =
+      static_only ? CompileOptions::NoSymbolicShapes() : CompileOptions();
+  options.dump.dir = dump_dir;
+  options.dump.filter = filter;
+  auto exe = DiscCompiler::Compile(*workload->graph, workload->labels,
+                                   options);
+  if (!exe.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 exe.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("model %s%s: %zu nodes -> %zu fusion groups\n",
+              workload->name.c_str(),
+              static_only ? " (static-shapes-only ablation)" : "",
+              (*exe)->graph().nodes().size(), (*exe)->plan().groups.size());
+  if (!dump_dir.empty()) {
+    std::printf("artifacts dumped to %s/\n", dump_dir.c_str());
+  }
+  std::printf("\n");
+
+  if (list_decisions || (why_pair.empty() && !list_constraints)) {
+    std::printf("== fusion decisions (final verdict per considered pair) ==\n");
+    for (const FusionDecision& d : (*exe)->plan().decisions) {
+      std::printf("  %s\n", d.ToString().c_str());
+    }
+    if ((*exe)->plan().decisions.empty()) {
+      std::printf("  (none — fusion disabled or nothing adjacent)\n");
+    }
+    std::printf("\n== fusion groups ==\n%s\n",
+                (*exe)->plan().ToString().c_str());
+  }
+
+  if (list_constraints) {
+    std::printf("== excavated shape constraints (discovery order) ==\n");
+    for (const ConstraintRecord& r : (*exe)->analysis().constraint_log()) {
+      std::printf("  %s\n", r.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!why_pair.empty()) {
+    size_t comma = why_pair.find(',');
+    if (comma == std::string::npos) {
+      std::fprintf(stderr, "--why-not-fused wants two ids: A,B\n");
+      return 2;
+    }
+    // Accept both "3,5" and the IR-dump spelling "%3,%5".
+    auto parse_id = [](std::string s) {
+      if (!s.empty() && s[0] == '%') s.erase(0, 1);
+      return std::atoi(s.c_str());
+    };
+    int a = parse_id(why_pair.substr(0, comma));
+    int b = parse_id(why_pair.substr(comma + 1));
+    WhyNotFused(**exe, a, b);
+  }
+  return 0;
+}

@@ -8,8 +8,14 @@
 // then prints the per-phase compile breakdown and the global metrics
 // registry. Load the output in chrome://tracing or https://ui.perfetto.dev.
 //
-//   $ ./build/examples/trace_inspect [out.trace.json]
+//   $ ./build/examples/trace_inspect [out.trace.json] [--dump-dir=<dir>]
+//
+// --dump-dir additionally writes the compilation-introspection artifacts
+// (IR snapshots per pass, pipeline_summary.json, shape_constraints.json,
+// fusion_decisions.json) next to the trace — the per-pass times in
+// pipeline_summary.json are joined from the very trace being captured.
 #include <cstdio>
+#include <cstring>
 
 #include "baselines/baselines.h"
 #include "compiler/compiler.h"
@@ -22,7 +28,15 @@
 using namespace disc;
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "trace_inspect.trace.json";
+  const char* out_path = "trace_inspect.trace.json";
+  std::string dump_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
+      dump_dir = argv[i] + 11;
+    } else {
+      out_path = argv[i];
+    }
+  }
   TraceSession& session = TraceSession::Global();
   session.Enable();
 
@@ -30,7 +44,10 @@ int main(int argc, char** argv) {
   // and per graph pass.
   ModelConfig config;
   Model model = BuildSeq2SeqStep(config);
-  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+  CompileOptions options;
+  options.dump.dir = dump_dir;
+  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels,
+                                   options);
   if (!exe.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
                  exe.status().ToString().c_str());
@@ -40,6 +57,9 @@ int main(int argc, char** argv) {
               (*exe)->report().ToString().c_str());
   std::printf("per-phase breakdown:\n%s\n",
               (*exe)->report().PhaseBreakdown().c_str());
+  if (!dump_dir.empty()) {
+    std::printf("compilation artifacts dumped to %s/\n", dump_dir.c_str());
+  }
 
   // 2. Replay a shape trace through the executable: the first run of each
   // signature builds its launch plan (plan=miss spans), repeats replay the

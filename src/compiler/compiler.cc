@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "support/artifact_dump.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/string_util.h"
 #include "support/trace.h"
 
 namespace disc {
@@ -67,19 +69,25 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
   auto exe = std::unique_ptr<Executable>(new Executable());
   exe->report_.num_nodes_before = graph.num_nodes();
 
+  ArtifactDumper dumper(options.dump);
+
   // 1. Clone and optimize.
   {
     PhaseScope phase(&exe->report_, "graph-passes");
     exe->graph_ = graph.Clone();
+    (void)dumper.Write("module_input.ir", exe->graph_->ToString());
     if (options.run_graph_passes) {
       PassManager pm;
       AddStandardPasses(&pm);
       PassContext ctx;
       ctx.input_dim_labels = input_dim_labels;
+      ctx.dump = options.dump;
       DISC_RETURN_IF_ERROR(pm.RunToFixpoint(exe->graph_.get(), ctx));
+      (void)dumper.Write("pipeline_summary.json", pm.PipelineSummaryJson());
     }
     DISC_RETURN_IF_ERROR(exe->graph_->Verify());
     exe->report_.num_nodes_after = exe->graph_->num_nodes();
+    (void)dumper.Write("module_optimized.ir", exe->graph_->ToString());
   }
 
   // 2. Symbolic shape analysis over the optimized graph.
@@ -104,10 +112,21 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
             for (int64_t v : values) {
               exe->analysis_->manager().AddLikelyValue(shape[d].symbol(), v);
             }
+            ConstraintRecord record;
+            record.kind = "likely-value";
+            record.detail =
+                name + " in {" +
+                JoinMapped(values, ", ",
+                           [](int64_t v) { return std::to_string(v); }) +
+                "}";
+            record.source = "user-hint";
+            exe->analysis_->RecordConstraint(std::move(record));
           }
         }
       }
     }
+    (void)dumper.Write("shape_constraints.json",
+                       exe->analysis_->ConstraintsJson());
   }
 
   // 3. Fusion planning.
@@ -117,6 +136,8 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
                           options.fusion);
     DISC_ASSIGN_OR_RETURN(exe->plan_, planner.Plan());
     exe->report_.fusion = exe->plan_.GetStats();
+    (void)dumper.Write("fusion_decisions.json", exe->plan_.DecisionsJson());
+    (void)dumper.Write("fusion_plan.txt", exe->plan_.ToString());
   }
 
   // 4. Kernel compilation + specialization.

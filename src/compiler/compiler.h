@@ -19,6 +19,7 @@
 #include "kernel/kernel.h"
 #include "opt/pass.h"
 #include "runtime/executable.h"
+#include "support/artifact_dump.h"
 
 namespace disc {
 
@@ -27,6 +28,10 @@ struct CompileOptions {
   bool run_graph_passes = true;
   FusionOptions fusion;
   SpecializeOptions specialize;
+  /// Introspection-artifact dumping (IR snapshots, decision provenance).
+  /// Disabled unless `dump.dir` is set. See support/artifact_dump.h for
+  /// the directory layout.
+  DumpOptions dump;
   /// Likely runtime values per input-dim label ("shape speculation" hints,
   /// from profiling feedback or the user). Seeded into the symbolic
   /// constraint store before kernel specialization; kernels then emit

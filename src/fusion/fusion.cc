@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 
@@ -34,6 +35,65 @@ std::string FusionGroup::ToString() const {
                     [](const Node* n) { return OpName(n->kind()); });
   out << "]";
   return out.str();
+}
+
+std::string FusionDecision::ToString() const {
+  std::ostringstream out;
+  out << "%" << producer << " (" << producer_op << ") -> %" << consumer
+      << " (" << consumer_op << "): " << (fused ? "FUSED" : "not fused")
+      << " [" << phase << "] " << reason;
+  if (!constraint.empty()) out << "  :: " << constraint;
+  return out.str();
+}
+
+std::vector<const FusionDecision*> FusionPlan::DecisionsFor(int a,
+                                                            int b) const {
+  std::vector<const FusionDecision*> found;
+  for (const FusionDecision& d : decisions) {
+    if ((d.producer == a && d.consumer == b) ||
+        (d.producer == b && d.consumer == a)) {
+      found.push_back(&d);
+    }
+  }
+  return found;
+}
+
+std::string FusionPlan::DecisionsJson() const {
+  JsonValue::Array records;
+  for (const FusionDecision& d : decisions) {
+    JsonValue::Object entry;
+    entry.emplace("producer", JsonValue(static_cast<int64_t>(d.producer)));
+    entry.emplace("producer_op", JsonValue(d.producer_op));
+    entry.emplace("consumer", JsonValue(static_cast<int64_t>(d.consumer)));
+    entry.emplace("consumer_op", JsonValue(d.consumer_op));
+    entry.emplace("phase", JsonValue(d.phase));
+    entry.emplace("fused", JsonValue(d.fused));
+    entry.emplace("reason", JsonValue(d.reason));
+    entry.emplace("constraint", JsonValue(d.constraint));
+    records.emplace_back(std::move(entry));
+  }
+  JsonValue::Array group_records;
+  for (const FusionGroup& g : groups) {
+    JsonValue::Object entry;
+    entry.emplace("id", JsonValue(static_cast<int64_t>(g.id)));
+    entry.emplace("kind", JsonValue(FusionKindName(g.kind)));
+    entry.emplace("root",
+                  JsonValue(static_cast<int64_t>(
+                      g.root != nullptr ? g.root->output(0)->id() : -1)));
+    JsonValue::Array nodes;
+    for (const Node* n : g.nodes) {
+      JsonValue::Object node;
+      node.emplace("node", JsonValue(static_cast<int64_t>(n->output(0)->id())));
+      node.emplace("op", JsonValue(std::string(OpName(n->kind()))));
+      nodes.emplace_back(std::move(node));
+    }
+    entry.emplace("nodes", JsonValue(std::move(nodes)));
+    group_records.emplace_back(std::move(entry));
+  }
+  JsonValue::Object doc;
+  doc.emplace("decisions", JsonValue(std::move(records)));
+  doc.emplace("groups", JsonValue(std::move(group_records)));
+  return JsonValue(std::move(doc)).SerializePretty();
 }
 
 FusionPlan::Stats FusionPlan::GetStats() const {
@@ -123,45 +183,140 @@ bool FusionPlanner::ShapeEqual(const Value* a, const Value* b) const {
          a->type() == b->type();
 }
 
+std::string FusionPlanner::NumElementsText(const Value* v) const {
+  const SymbolicDimManager& m = analysis_->manager();
+  SymShape canon = m.Canonicalize(analysis_->GetShape(v));
+  return "numel" + SymShapeToString(canon) + " = " +
+         m.Canonicalize(SymShapeNumElements(canon)).ToString();
+}
+
+void FusionPlanner::RecordDecision(const Node* producer, const Node* consumer,
+                                   const char* phase, bool fused,
+                                   std::string reason,
+                                   std::string constraint) {
+  if (!options_.record_decisions) return;
+  FusionDecision decision;
+  decision.producer = producer->output(0)->id();
+  decision.consumer = consumer->output(0)->id();
+  decision.producer_op = OpName(producer->kind());
+  decision.consumer_op = OpName(consumer->kind());
+  decision.phase = phase;
+  decision.fused = fused;
+  decision.reason = std::move(reason);
+  decision.constraint = std::move(constraint);
+  int64_t key = (static_cast<int64_t>(decision.producer) << 32) |
+                static_cast<uint32_t>(decision.consumer);
+  auto [it, inserted] = decision_index_.try_emplace(key, decisions_.size());
+  if (inserted) {
+    decisions_.push_back(std::move(decision));
+  } else {
+    // Last verdict wins: a pair rejected in an early sweep/phase but merged
+    // later reads as fused (and vice versa never happens — merged pairs
+    // are not reconsidered).
+    decisions_[it->second] = std::move(decision);
+  }
+}
+
 namespace {
 bool SameNumElementsStatic(const Value* a, const Value* b) {
   return a->type().IsFullyStatic() && b->type().IsFullyStatic() &&
          a->type().NumElements() == b->type().NumElements();
 }
+
+void SetOut(std::string* out, std::string value) {
+  if (out != nullptr) *out = std::move(value);
+}
 }  // namespace
 
 bool FusionPlanner::ShapesAllowLoopFusion(const Value* producer_out,
-                                          const Node* consumer) const {
+                                          const Node* consumer,
+                                          std::string* reason,
+                                          std::string* constraint) const {
   // Injective consumers absorb any producer through an index map.
-  if (consumer->op_class() == OpClass::kInjective) return true;
+  if (consumer->op_class() == OpClass::kInjective) {
+    SetOut(reason, "injective-consumer-absorbs-producer");
+    SetOut(constraint, std::string(OpName(consumer->kind())) +
+                           " reads the producer through an index map; no "
+                           "shape relation needed");
+    return true;
+  }
   const Value* consumer_out = consumer->output(0);
   if (options_.use_symbolic_shapes) {
     const SymbolicDimManager& m = analysis_->manager();
     const SymShape& ps = analysis_->GetShape(producer_out);
     const SymShape& cs = analysis_->GetShape(consumer_out);
-    if (m.IsSameNumElements(ps, cs)) return true;
+    if (m.IsSameNumElements(ps, cs)) {
+      SetOut(reason, "same-num-elements-proven");
+      SetOut(constraint,
+             NumElementsText(producer_out) + " == " +
+                 NumElementsText(consumer_out));
+      return true;
+    }
     // Scalar producer.
     DimExpr pn = m.Canonicalize(SymShapeNumElements(ps));
-    if (pn.IsConstValue(1)) return true;
+    if (pn.IsConstValue(1)) {
+      SetOut(reason, "scalar-producer");
+      SetOut(constraint, NumElementsText(producer_out) + " == 1");
+      return true;
+    }
     // Broadcast-compatible: right-aligned, every producer dim equals the
     // consumer dim or is the constant 1.
     if (ps.size() <= cs.size()) {
       size_t offset = cs.size() - ps.size();
       bool compatible = true;
+      std::string relation;
+      std::string blocking;
       for (size_t i = 0; i < ps.size(); ++i) {
         DimExpr pd = m.Canonicalize(ps[i]);
-        if (pd.IsConstValue(1)) continue;
+        if (pd.IsConstValue(1)) {
+          if (!relation.empty()) relation += ", ";
+          relation += "dim" + std::to_string(i) + "=1 (broadcast)";
+          continue;
+        }
+        DimExpr cd = m.Canonicalize(cs[offset + i]);
         if (!m.IsDimEqual(ps[i], cs[offset + i])) {
           compatible = false;
+          blocking = "dim" + std::to_string(i) + ": " + pd.ToString() +
+                     " != " + cd.ToString() + " (no equality fact)";
           break;
         }
+        if (!relation.empty()) relation += ", ";
+        relation += "dim" + std::to_string(i) + ": " + pd.ToString() +
+                    " == " + cd.ToString();
       }
-      if (compatible) return true;
+      if (compatible) {
+        SetOut(reason, "broadcast-compatible-dims");
+        SetOut(constraint, relation.empty() ? "scalar into any space"
+                                            : relation);
+        return true;
+      }
+      SetOut(reason, "blocked:no-proven-shape-relation");
+      SetOut(constraint, NumElementsText(producer_out) + " vs " +
+                             NumElementsText(consumer_out) + "; " + blocking);
+      return false;
     }
+    SetOut(reason, "blocked:no-proven-shape-relation");
+    SetOut(constraint,
+           NumElementsText(producer_out) + " vs " +
+               NumElementsText(consumer_out) +
+               "; producer rank exceeds consumer rank (not a broadcast)");
     return false;
   }
   // Without symbolic information only static equality is provable.
-  return SameNumElementsStatic(producer_out, consumer_out);
+  if (SameNumElementsStatic(producer_out, consumer_out)) {
+    SetOut(reason, "static-num-elements-equal");
+    SetOut(constraint, producer_out->type().ToString() + " == " +
+                           consumer_out->type().ToString() +
+                           " (statically known)");
+    return true;
+  }
+  SetOut(reason, "blocked:static-shape-unknown");
+  SetOut(constraint,
+         producer_out->type().ToString() + " vs " +
+             consumer_out->type().ToString() +
+             "; dynamic dims carry no value, and without symbolic "
+             "relations equality cannot be proven");
+  return false;
 }
 
 bool FusionPlanner::MergeWouldCreateCycle(int ga, int gb) {
@@ -196,15 +351,28 @@ bool FusionPlanner::MergeWouldCreateCycle(int ga, int gb) {
   return false;
 }
 
-bool FusionPlanner::TryMergeGroups(int ga, int gb) {
+bool FusionPlanner::TryMergeGroups(int ga, int gb,
+                                   std::string* block_reason) {
   ga = Find(ga);
   gb = Find(gb);
-  if (ga == gb) return false;
-  if (static_cast<int64_t>(members_[ga].size() + members_[gb].size()) >
-      options_.max_group_size) {
+  if (ga == gb) {
+    SetOut(block_reason, "already-same-group");
     return false;
   }
-  if (MergeWouldCreateCycle(ga, gb)) return false;
+  if (static_cast<int64_t>(members_[ga].size() + members_[gb].size()) >
+      options_.max_group_size) {
+    SetOut(block_reason,
+           StrFormat("blocked:max-group-size (%zu + %zu > %lld)",
+                     members_[ga].size(), members_[gb].size(),
+                     static_cast<long long>(options_.max_group_size)));
+    return false;
+  }
+  if (MergeWouldCreateCycle(ga, gb)) {
+    SetOut(block_reason,
+           "blocked:would-create-cycle (a path through outside nodes "
+           "re-enters the merged group)");
+    return false;
+  }
   // Merge smaller into larger.
   if (members_[ga].size() < members_[gb].size()) std::swap(ga, gb);
   parent_[gb] = ga;
@@ -229,11 +397,18 @@ void FusionPlanner::RunLoopFusion() {
           continue;
         }
         if (GroupOf(producer) == GroupOf(consumer)) continue;
-        if (!ShapesAllowLoopFusion(operand, consumer)) continue;
+        std::string reason;
+        std::string constraint;
+        if (!ShapesAllowLoopFusion(operand, consumer, &reason, &constraint)) {
+          RecordDecision(producer, consumer, "loop", false, std::move(reason),
+                         std::move(constraint));
+          continue;
+        }
         // Multi-output constraint: any value of the producer group still
         // used outside after the merge must be writable by the consumer
         // loop, i.e. same element count as the consumer's output.
         bool outputs_ok = true;
+        std::string outputs_blocking;
         int pg = GroupOf(producer);
         int cg = GroupOf(consumer);
         for (Node* member : members_[pg]) {
@@ -249,17 +424,40 @@ void FusionPlanner::RunLoopFusion() {
               if (go == out) external = true;
             }
             if (!external) continue;
-            if (options_.use_symbolic_shapes) {
-              if (!analysis_->IsSameNumElements(out, consumer->output(0))) {
-                outputs_ok = false;
-              }
-            } else if (!SameNumElementsStatic(out, consumer->output(0))) {
+            bool writable =
+                options_.use_symbolic_shapes
+                    ? analysis_->IsSameNumElements(out, consumer->output(0))
+                    : SameNumElementsStatic(out, consumer->output(0));
+            if (!writable) {
               outputs_ok = false;
+              outputs_blocking =
+                  "externally-used %" + std::to_string(out->id()) + ": " +
+                  (options_.use_symbolic_shapes
+                       ? NumElementsText(out) + " != " +
+                             NumElementsText(consumer->output(0))
+                       : out->type().ToString() + " vs " +
+                             consumer->output(0)->type().ToString() +
+                             " (static proof unavailable)");
             }
           }
         }
-        if (!outputs_ok) continue;
-        if (TryMergeGroups(pg, cg)) changed = true;
+        if (!outputs_ok) {
+          RecordDecision(producer, consumer, "loop", false,
+                         "blocked:secondary-output-not-writable",
+                         std::move(outputs_blocking));
+          continue;
+        }
+        std::string merge_block;
+        if (TryMergeGroups(pg, cg, &merge_block)) {
+          changed = true;
+          RecordDecision(producer, consumer, "loop", true, std::move(reason),
+                         std::move(constraint));
+        } else {
+          RecordDecision(producer, consumer, "loop", false,
+                         std::move(merge_block),
+                         "shapes allowed the fusion (" + constraint +
+                             ") but the group merge was refused");
+        }
       }
     }
   }
@@ -280,6 +478,7 @@ void FusionPlanner::RunInputFusion() {
     // element count as the reduce *input*) so the kInput kernel can write
     // them while it streams the input.
     bool outputs_ok = true;
+    std::string blocking;
     for (Node* member : members_[pg]) {
       for (Value* out : member->outputs()) {
         bool external = false;
@@ -291,17 +490,41 @@ void FusionPlanner::RunInputFusion() {
           if (go == out) external = true;
         }
         if (!external) continue;
-        if (options_.use_symbolic_shapes) {
-          if (!analysis_->IsSameNumElements(out, reduce->operand(0))) {
-            outputs_ok = false;
-          }
-        } else if (!SameNumElementsStatic(out, reduce->operand(0))) {
+        bool full_shaped =
+            options_.use_symbolic_shapes
+                ? analysis_->IsSameNumElements(out, reduce->operand(0))
+                : SameNumElementsStatic(out, reduce->operand(0));
+        if (!full_shaped) {
           outputs_ok = false;
+          blocking = "externally-used %" + std::to_string(out->id()) +
+                     " is not full-shaped: " +
+                     (options_.use_symbolic_shapes
+                          ? NumElementsText(out) + " != " +
+                                NumElementsText(reduce->operand(0))
+                          : out->type().ToString() + " vs " +
+                                reduce->operand(0)->type().ToString() +
+                                " (static proof unavailable)");
         }
       }
     }
-    if (!outputs_ok) continue;
-    TryMergeGroups(pg, rg);
+    if (!outputs_ok) {
+      RecordDecision(producer, reduce, "input", false,
+                     "blocked:secondary-output-not-full-shaped",
+                     std::move(blocking));
+      continue;
+    }
+    std::string merge_block;
+    if (TryMergeGroups(pg, rg, &merge_block)) {
+      RecordDecision(producer, reduce, "input", true,
+                     "input-fusion:reduce-consumes-producer",
+                     "the reduction streams " +
+                         NumElementsText(reduce->operand(0)) +
+                         " elements produced in-register by its operand "
+                         "group");
+    } else {
+      RecordDecision(producer, reduce, "input", false, std::move(merge_block),
+                     "");
+    }
   }
 }
 
@@ -324,7 +547,8 @@ bool ReducesTrailingDims(const Node* reduce) {
 
 }  // namespace
 
-bool FusionPlanner::StitchCompatible(int ga, int gb) {
+bool FusionPlanner::StitchCompatible(int ga, int gb, std::string* reason,
+                                     std::string* constraint) {
   // Gather all reduces across both groups.
   std::vector<const Node*> reduces;
   std::vector<const Node*> all;
@@ -333,22 +557,52 @@ bool FusionPlanner::StitchCompatible(int ga, int gb) {
   for (const Node* n : all) {
     if (IsReduce(n)) reduces.push_back(n);
   }
-  if (reduces.empty()) return false;
+  if (reduces.empty()) {
+    SetOut(reason, "blocked:no-reduce-to-stitch-around");
+    SetOut(constraint, "");
+    return false;
+  }
   const SymbolicDimManager& m = analysis_->manager();
 
   // All reduces must be trailing-dim row reductions over the same row space.
   const Node* first = reduces[0];
-  if (!ReducesTrailingDims(first)) return false;
+  if (!ReducesTrailingDims(first)) {
+    SetOut(reason, "blocked:not-trailing-row-reduction");
+    SetOut(constraint, "%" + std::to_string(first->output(0)->id()) +
+                           " reduces non-trailing dims; rows cannot be "
+                           "staged in shared memory");
+    return false;
+  }
   const SymShape& full = analysis_->GetShape(first->operand(0));
   for (const Node* r : reduces) {
-    if (!ReducesTrailingDims(r)) return false;
+    if (!ReducesTrailingDims(r)) {
+      SetOut(reason, "blocked:not-trailing-row-reduction");
+      SetOut(constraint, "%" + std::to_string(r->output(0)->id()) +
+                             " reduces non-trailing dims");
+      return false;
+    }
     if (options_.use_symbolic_shapes) {
       if (!m.IsShapeEqual(analysis_->GetShape(r->operand(0)), full)) {
+        SetOut(reason, "blocked:row-space-mismatch");
+        SetOut(constraint,
+               "reduce %" + std::to_string(r->output(0)->id()) +
+                   " streams " +
+                   SymShapeToString(
+                       m.Canonicalize(analysis_->GetShape(r->operand(0)))) +
+                   " but the stitch row space is " +
+                   SymShapeToString(m.Canonicalize(full)) +
+                   "; no shape-equality fact unifies them");
         return false;
       }
     } else if (!(r->operand(0)->type().IsFullyStatic() &&
                  first->operand(0)->type().IsFullyStatic() &&
                  r->operand(0)->type() == first->operand(0)->type())) {
+      SetOut(reason, "blocked:static-shape-unknown");
+      SetOut(constraint,
+             "reduce inputs " + r->operand(0)->type().ToString() + " vs " +
+                 first->operand(0)->type().ToString() +
+                 "; dynamic dims cannot be proven row-compatible without "
+                 "symbolic relations");
       return false;
     }
   }
@@ -369,7 +623,16 @@ bool FusionPlanner::StitchCompatible(int ga, int gb) {
           m.IsDimEqual(SymShapeNumElements(s), rows) ||
           m.IsSameNumElements(
               s, analysis_->GetShape(reduces[0]->output(0)));
-      if (!is_full && !is_row) return false;
+      if (!is_full && !is_row) {
+        SetOut(reason, "blocked:intermediate-not-row-or-full-shaped");
+        SetOut(constraint,
+               "%" + std::to_string(out->id()) + " has " +
+                   NumElementsText(out) + "; stitch needs the full space " +
+                   SymShapeToString(m.Canonicalize(full)) +
+                   " or the row space (" + m.Canonicalize(rows).ToString() +
+                   " rows)");
+        return false;
+      }
       if (is_full) ++full_shaped_intermediates;
     }
   }
@@ -378,10 +641,26 @@ bool FusionPlanner::StitchCompatible(int ga, int gb) {
   if (row_ub.has_value()) {
     int64_t bytes = *row_ub * 4 * std::max<int64_t>(
                                       1, full_shaped_intermediates / 2);
-    if (bytes > options_.stitch_shared_memory_bytes) return false;
+    if (bytes > options_.stitch_shared_memory_bytes) {
+      SetOut(reason, "blocked:shared-memory-budget");
+      SetOut(constraint,
+             StrFormat("row extent %s has proven upper bound %lld -> %lld "
+                       "bytes of staging > %lld budget",
+                       m.Canonicalize(row_extent).ToString().c_str(),
+                       static_cast<long long>(*row_ub),
+                       static_cast<long long>(bytes),
+                       static_cast<long long>(
+                           options_.stitch_shared_memory_bytes)));
+      return false;
+    }
   }
   // Unknown upper bound: optimistically stitch; the generated kernel keeps
   // a block-reduce schedule variant that handles long rows.
+  SetOut(reason, "stitch:row-synchronized-reduces");
+  SetOut(constraint,
+         "all reduces stream " + SymShapeToString(m.Canonicalize(full)) +
+             " row-wise (" + m.Canonicalize(rows).ToString() +
+             " rows); every intermediate is row- or full-shaped");
   return true;
 }
 
@@ -403,8 +682,24 @@ void FusionPlanner::RunStitchFusion() {
         for (Node* n : members_[pg]) has_reduce |= IsReduce(n);
         for (Node* n : members_[cg]) has_reduce |= IsReduce(n);
         if (!has_reduce) continue;
-        if (!StitchCompatible(pg, cg)) continue;
-        if (TryMergeGroups(pg, cg)) changed = true;
+        std::string reason;
+        std::string constraint;
+        if (!StitchCompatible(pg, cg, &reason, &constraint)) {
+          RecordDecision(producer, consumer, "stitch", false,
+                         std::move(reason), std::move(constraint));
+          continue;
+        }
+        std::string merge_block;
+        if (TryMergeGroups(pg, cg, &merge_block)) {
+          changed = true;
+          RecordDecision(producer, consumer, "stitch", true,
+                         std::move(reason), std::move(constraint));
+        } else {
+          RecordDecision(producer, consumer, "stitch", false,
+                         std::move(merge_block),
+                         "row spaces were compatible (" + constraint +
+                             ") but the group merge was refused");
+        }
       }
     }
   }
@@ -415,6 +710,8 @@ Result<FusionPlan> FusionPlanner::Plan() {
   node_index_.clear();
   parent_.clear();
   members_.clear();
+  decisions_.clear();
+  decision_index_.clear();
   for (Node* node : topo_) {
     if (!IsFusableCompute(node)) continue;
     int idx = static_cast<int>(parent_.size());
@@ -433,6 +730,24 @@ Result<FusionPlan> FusionPlanner::Plan() {
 
 Result<FusionPlan> FusionPlanner::Finalize() {
   FusionPlan plan;
+  // Reconcile stale verdicts: a pair can be rejected on direct
+  // consideration yet end up in one group transitively (merges through
+  // other edges), and merged pairs are never re-evaluated. Rewrite those
+  // to fused, keeping the historical reason as provenance.
+  std::unordered_map<int, const Node*> node_of_id;
+  for (const auto& [node, idx] : node_index_) {
+    node_of_id[node->output(0)->id()] = node;
+  }
+  for (FusionDecision& d : decisions_) {
+    if (d.fused) continue;
+    auto pit = node_of_id.find(d.producer);
+    auto cit = node_of_id.find(d.consumer);
+    if (pit == node_of_id.end() || cit == node_of_id.end()) continue;
+    if (GroupOf(pit->second) != GroupOf(cit->second)) continue;
+    d.fused = true;
+    d.reason = "merged-transitively (direct attempt: " + d.reason + ")";
+  }
+  plan.decisions = std::move(decisions_);
   std::unordered_map<const Node*, int> topo_pos;
   for (size_t i = 0; i < topo_.size(); ++i) topo_pos[topo_[i]] = i;
 

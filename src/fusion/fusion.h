@@ -54,12 +54,47 @@ struct FusionGroup {
   std::string ToString() const;
 };
 
+/// \brief Provenance for one considered producer->consumer fusion edge:
+/// the verdict, the phase that decided it, and the shape constraint that
+/// proved (or the missing constraint that blocked) the merge. The planner
+/// keeps the *final* decision per pair — a pair rejected by loop fusion
+/// but stitched later reads as fused. Serialized to
+/// `fusion_decisions.json`; queried by `disc_explain --why-not-fused`.
+struct FusionDecision {
+  /// Node ids are the output(0) value ids, matching `%N` in IR dumps.
+  int producer = -1;
+  int consumer = -1;
+  std::string producer_op;
+  std::string consumer_op;
+  /// Which planning phase issued the final verdict: "loop"|"input"|"stitch".
+  std::string phase;
+  bool fused = false;
+  /// Verdict label, e.g. "same-num-elements-proven",
+  /// "broadcast-compatible-dims", "blocked:static-shape-unknown",
+  /// "blocked:would-create-cycle".
+  std::string reason;
+  /// The shape relation behind the verdict, in symbolic-dim terms, e.g.
+  /// "numel[s0, 512] = (512*s0) == numel[(s0*512)] = (512*s0)".
+  std::string constraint;
+
+  std::string ToString() const;
+};
+
 /// Result of planning: a partition of the graph's fusable compute nodes.
 /// Library ops (matmul/conv), constants and host shape ops are NOT in any
 /// group — they are handled per-node by the compiler.
 struct FusionPlan {
   std::vector<FusionGroup> groups;
   std::unordered_map<const Node*, int> group_of;  // node -> group id
+  /// Final decision per considered producer->consumer pair, in first-
+  /// consideration order (deterministic). Empty when
+  /// FusionOptions::record_decisions is off.
+  std::vector<FusionDecision> decisions;
+
+  /// \brief Decisions involving this node-id pair in either direction.
+  std::vector<const FusionDecision*> DecisionsFor(int a, int b) const;
+  /// \brief The decision log as pretty JSON (`fusion_decisions.json`).
+  std::string DecisionsJson() const;
 
   struct Stats {
     int64_t num_groups = 0;
@@ -92,6 +127,9 @@ struct FusionOptions {
   /// Shared-memory budget per stitch kernel (bytes); rows whose proven
   /// upper bound exceeds this are not stitched.
   int64_t stitch_shared_memory_bytes = 48 * 1024;
+  /// Record a FusionDecision (verdict + constraint provenance) for every
+  /// considered producer->consumer pair into FusionPlan::decisions.
+  bool record_decisions = true;
 };
 
 /// \brief Plans fusion groups for a graph. `analysis` must have Run().
@@ -109,20 +147,32 @@ class FusionPlanner {
 
   // Legality of fusing across the producer->consumer edge, by shape
   // relations (or static equality when use_symbolic_shapes is off).
-  bool ShapesAllowLoopFusion(const Value* producer_out,
-                             const Node* consumer) const;
+  // `reason`/`constraint` (optional) receive the verdict provenance.
+  bool ShapesAllowLoopFusion(const Value* producer_out, const Node* consumer,
+                             std::string* reason = nullptr,
+                             std::string* constraint = nullptr) const;
   bool ShapeEqual(const Value* a, const Value* b) const;
 
   // Group bookkeeping over a mutable union-find.
   int GroupOf(const Node* node);
-  bool TryMergeGroups(int ga, int gb);
+  // `block_reason` (optional) receives why a merge was refused.
+  bool TryMergeGroups(int ga, int gb, std::string* block_reason = nullptr);
   bool MergeWouldCreateCycle(int ga, int gb);
 
   // Phases.
   void RunLoopFusion();
   void RunInputFusion();
   void RunStitchFusion();
-  bool StitchCompatible(int ga, int gb);
+  bool StitchCompatible(int ga, int gb, std::string* reason = nullptr,
+                        std::string* constraint = nullptr);
+
+  // Renders "numel[shape] = (expr)" for constraint messages.
+  std::string NumElementsText(const Value* v) const;
+  // Records the latest verdict for a producer->consumer pair (last wins
+  // across fixpoint sweeps and phases). No-op unless record_decisions.
+  void RecordDecision(const Node* producer, const Node* consumer,
+                      const char* phase, bool fused, std::string reason,
+                      std::string constraint);
 
   Result<FusionPlan> Finalize();
 
@@ -136,6 +186,11 @@ class FusionPlanner {
   std::vector<int> parent_;
   int Find(int x);
   std::vector<std::vector<Node*>> members_;  // root index -> nodes
+
+  // Decision log: final verdict per (producer, consumer) node-id pair,
+  // in first-consideration order.
+  std::vector<FusionDecision> decisions_;
+  std::unordered_map<int64_t, size_t> decision_index_;
 };
 
 }  // namespace disc

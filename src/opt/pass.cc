@@ -1,26 +1,67 @@
 #include "opt/pass.h"
 
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/string_util.h"
 #include "support/trace.h"
 
 namespace disc {
 
 Result<bool> PassManager::RunOnce(Graph* graph, const PassContext& ctx) {
+  ArtifactDumper dumper(ctx.dump);
+  if (pass_stats_.empty()) {
+    for (const auto& pass : passes_) {
+      pass_stats_.push_back({pass->name(), 0, 0, 0.0});
+    }
+  }
   bool changed = false;
-  for (auto& pass : passes_) {
+  for (size_t i = 0; i < passes_.size(); ++i) {
+    Pass* pass = passes_[i].get();
+    // Snapshot before the pass so a change can be dumped as a
+    // before/after pair. Only taken when dumping is on — ToString is not
+    // free — and only for passes the filter admits.
+    std::string before;
+    bool want_snapshot = dumper.Matches(pass->name());
+    if (want_snapshot) before = graph->ToString();
     bool pass_changed = false;
+    auto start = std::chrono::steady_clock::now();
     {
       TraceScope scope(pass->name(), "opt.pass");
       DISC_ASSIGN_OR_RETURN(pass_changed, pass->Run(graph, ctx));
       scope.AddArg("changed", pass_changed ? "true" : "false");
     }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    pass_stats_[i].runs += 1;
+    pass_stats_[i].total_ms += ms;
     CountMetric("opt.pass.runs");
     if (pass_changed) {
       changed = true;
+      pass_stats_[i].changes += 1;
       CountMetric("opt.pass.changes");
-      change_log_.emplace_back(pass->name(), 1);
+      // Merge counts per pass name: repeated changes across fixpoint
+      // sweeps accumulate into one row instead of appending duplicates.
+      auto it = std::find_if(
+          change_log_.begin(), change_log_.end(),
+          [&](const auto& entry) { return entry.first == pass->name(); });
+      if (it != change_log_.end()) {
+        ++it->second;
+      } else {
+        change_log_.emplace_back(pass->name(), 1);
+      }
       DISC_LOG(Debug) << "pass " << pass->name() << " changed the graph";
+      if (want_snapshot) {
+        std::string stem = StrFormat("passes/%04d.%s", dump_seq_++,
+                                     pass->name());
+        (void)dumper.Write(stem + ".before.ir", before);
+        (void)dumper.Write(stem + ".after.ir", graph->ToString());
+      }
     }
   }
   return changed;
@@ -38,6 +79,44 @@ Status PassManager::RunToFixpoint(Graph* graph, const PassContext& ctx,
   DISC_LOG(Warning) << "pass pipeline did not reach fixpoint in " << max_iters
                     << " iterations";
   return Status::OK();
+}
+
+std::string PassManager::PipelineSummaryJson() const {
+  // Join the tracer's opt.pass spans by pass name (empty when tracing was
+  // off during the run — the summary then carries only pass_stats times).
+  std::unordered_map<std::string, std::pair<int64_t, double>> spans;
+  if (TraceSession::Global().enabled()) {
+    for (const TraceEvent& event : TraceSession::Global().Snapshot("opt.pass")) {
+      auto& [count, total_us] = spans[event.name];
+      ++count;
+      total_us += event.dur_us;
+    }
+  }
+  JsonValue::Array passes;
+  for (const PassStat& stat : pass_stats_) {
+    JsonValue::Object entry;
+    entry.emplace("name", JsonValue(stat.name));
+    entry.emplace("runs", JsonValue(stat.runs));
+    entry.emplace("changes", JsonValue(stat.changes));
+    entry.emplace("total_ms", JsonValue(stat.total_ms));
+    auto it = spans.find(stat.name);
+    if (it != spans.end()) {
+      entry.emplace("trace_spans", JsonValue(it->second.first));
+      entry.emplace("trace_total_ms", JsonValue(it->second.second / 1000.0));
+    }
+    passes.emplace_back(std::move(entry));
+  }
+  JsonValue::Object summary;
+  summary.emplace("passes", JsonValue(std::move(passes)));
+  JsonValue::Array changes;
+  for (const auto& [name, count] : change_log_) {
+    JsonValue::Object entry;
+    entry.emplace("name", JsonValue(name));
+    entry.emplace("changes", JsonValue(static_cast<int64_t>(count)));
+    changes.emplace_back(std::move(entry));
+  }
+  summary.emplace("change_log", JsonValue(std::move(changes)));
+  return JsonValue(std::move(summary)).SerializePretty();
 }
 
 void AddStandardPasses(PassManager* pm) {

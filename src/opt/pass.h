@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "support/artifact_dump.h"
 #include "support/status.h"
 
 namespace disc {
@@ -17,6 +18,12 @@ struct PassContext {
   std::vector<std::vector<std::string>> input_dim_labels;
   /// Upper bound on elements materialized by constant folding.
   int64_t max_fold_elements = 1 << 16;
+  /// When enabled, the PassManager snapshots the textual IR before/after
+  /// every pass application that changed the graph into
+  /// `<dump.dir>/passes/NNNN.<pass>.{before,after}.ir` (numbered in
+  /// execution order; deterministic). `dump.filter` selects passes by
+  /// substring. The compiler threads CompileOptions::dump through here.
+  DumpOptions dump;
 };
 
 /// \brief A graph-to-graph transformation.
@@ -43,13 +50,35 @@ class PassManager {
                        int max_iters = 10);
 
   /// \brief Per-pass cumulative change counts (for reporting/tests).
+  /// One entry per pass name in first-change order; repeated changes
+  /// across RunToFixpoint sweeps accumulate into that pass's single entry.
   const std::vector<std::pair<std::string, int>>& change_log() const {
     return change_log_;
   }
 
+  /// Cumulative per-pass execution record (every run counted, changed or
+  /// not), in registration order.
+  struct PassStat {
+    std::string name;
+    int64_t runs = 0;
+    int64_t changes = 0;  // runs that reported a change
+    double total_ms = 0;  // wall-clock inside Pass::Run
+  };
+  const std::vector<PassStat>& pass_stats() const { return pass_stats_; }
+
+  /// \brief Machine-readable pipeline summary: one record per pass with
+  /// runs/changes/total_ms (from pass_stats) plus, when the global tracer
+  /// is enabled, the matching `opt.pass` span count and total duration
+  /// joined from TraceSession — the cross-check that the dump and the
+  /// PR 2 trace agree. Deterministic key order; values include timings,
+  /// so the summary itself is excluded from byte-identity tests.
+  std::string PipelineSummaryJson() const;
+
  private:
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<std::pair<std::string, int>> change_log_;
+  std::vector<PassStat> pass_stats_;
+  int dump_seq_ = 0;  // numbering for IR snapshot files
 };
 
 // --- standard passes --------------------------------------------------------

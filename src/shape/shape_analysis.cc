@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 
@@ -14,6 +15,48 @@ DimExpr Sub(const DimExpr& a, const DimExpr& b) {
 }
 
 }  // namespace
+
+std::string ConstraintRecord::ToString() const {
+  std::string from = node_id >= 0
+                         ? "%" + std::to_string(node_id) + " (" + source + ")"
+                         : source;
+  return kind + ": " + detail + "  <- " + from;
+}
+
+void ShapeAnalysis::Excavated(const char* kind, std::string detail) {
+  ConstraintRecord record;
+  record.kind = kind;
+  record.detail = std::move(detail);
+  if (current_node_ != nullptr) {
+    record.node_id = current_node_->output(0)->id();
+    record.source = OpName(current_node_->kind());
+  } else {
+    record.source = "input";
+  }
+  constraint_log_.push_back(std::move(record));
+}
+
+std::string ShapeAnalysis::ConstraintsJson() const {
+  JsonValue::Array records;
+  for (const ConstraintRecord& record : constraint_log_) {
+    JsonValue::Object entry;
+    entry.emplace("kind", JsonValue(record.kind));
+    entry.emplace("constraint", JsonValue(record.detail));
+    entry.emplace("node", JsonValue(static_cast<int64_t>(record.node_id)));
+    entry.emplace("source", JsonValue(record.source));
+    records.emplace_back(std::move(entry));
+  }
+  JsonValue::Object doc;
+  doc.emplace("constraints", JsonValue(std::move(records)));
+  SymbolicDimManager::Stats stats = manager_.GetStats();
+  JsonValue::Object stats_obj;
+  stats_obj.emplace("num_symbols", JsonValue(stats.num_symbols));
+  stats_obj.emplace("num_classes", JsonValue(stats.num_classes));
+  stats_obj.emplace("num_known_constants", JsonValue(stats.num_known_constants));
+  stats_obj.emplace("num_product_facts", JsonValue(stats.num_product_facts));
+  doc.emplace("stats", JsonValue(std::move(stats_obj)));
+  return JsonValue(std::move(doc)).SerializePretty();
+}
 
 ShapeAnalysis::ShapeAnalysis(
     const Graph* graph, std::vector<std::vector<std::string>> input_dim_labels)
@@ -73,7 +116,10 @@ Status ShapeAnalysis::Run() {
   }
 
   for (const Node* node : graph_->TopologicalOrder()) {
-    DISC_RETURN_IF_ERROR(ProcessNode(node));
+    current_node_ = node;
+    Status status = ProcessNode(node);
+    current_node_ = nullptr;
+    DISC_RETURN_IF_ERROR(status);
   }
   ran_ = true;
   return Status::OK();
@@ -96,14 +142,17 @@ Result<DimExpr> ShapeAnalysis::CombineBroadcastDims(const DimExpr& a,
   // Excavation: non-1 dims of an elementwise op must agree at runtime.
   if (ca.IsSymbol() && cb.IsSymbol()) {
     DISC_RETURN_IF_ERROR(manager_.MergeSymbols(ca.symbol(), cb.symbol()));
+    Excavated("merge-symbols", ca.ToString() + " == " + cb.ToString());
     return manager_.Canonicalize(ca);
   }
   if (ca.IsSymbol() && cb.IsConst()) {
     DISC_RETURN_IF_ERROR(manager_.SetValue(ca.symbol(), cb.const_value()));
+    Excavated("set-value", ca.ToString() + " == " + cb.ToString());
     return cb;
   }
   if (cb.IsSymbol() && ca.IsConst()) {
     DISC_RETURN_IF_ERROR(manager_.SetValue(cb.symbol(), ca.const_value()));
+    Excavated("set-value", cb.ToString() + " == " + ca.ToString());
     return ca;
   }
   // Compound expressions we cannot unify; keep one side (they must be equal
@@ -352,6 +401,8 @@ Status ShapeAnalysis::ProcessNode(const Node* node) {
       }
       // The defining reshape fact: element counts agree.
       manager_.AddProductEqual(in, target);
+      Excavated("product-equal",
+                SymShapeToString(in) + " ~ " + SymShapeToString(target));
       SetShape(out, target);
       // Reshaping a tracked 1-D shape tensor keeps its contents.
       if (const auto* c = GetContent(node->operand(0));

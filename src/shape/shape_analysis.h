@@ -31,6 +31,24 @@ namespace disc {
 /// Concrete symbol values solved from runtime input shapes.
 using SymbolBindings = std::unordered_map<SymbolId, int64_t>;
 
+/// \brief Provenance of one excavated symbolic-dim constraint: what was
+/// learned and which IR op forced it. Serialized into the
+/// `shape_constraints.json` artifact and queried by `disc_explain`.
+struct ConstraintRecord {
+  /// "merge-symbols" | "set-value" | "product-equal" | "likely-value".
+  std::string kind;
+  /// The constraint itself, canonical text, e.g. "s1 == s3",
+  /// "s0 == 768", "[s0, s1, 64] ~ [(s0*s1), 64]", "s1 in {64, 128}".
+  std::string detail;
+  /// Node that introduced it (its output(0) value id as shown in IR
+  /// dumps), or -1 for input seeding / user hints.
+  int node_id = -1;
+  /// Op name ("add", "reshape", "matmul", ...) or "input" / "user-hint".
+  std::string source;
+
+  std::string ToString() const;
+};
+
 /// \brief Runs and stores the symbolic shape analysis for one graph.
 class ShapeAnalysis {
  public:
@@ -57,6 +75,20 @@ class ShapeAnalysis {
 
   /// \brief Symbolic contents of an i64 shape-carrying value, if tracked.
   const std::vector<DimExpr>* GetContent(const Value* v) const;
+
+  // --- constraint provenance ----------------------------------------------
+  /// \brief Every excavated constraint in discovery order (deterministic:
+  /// follows the topological walk). Records appended by the analysis
+  /// itself; external seeders (e.g. likely-value hints from
+  /// CompileOptions) may append via RecordConstraint.
+  const std::vector<ConstraintRecord>& constraint_log() const {
+    return constraint_log_;
+  }
+  void RecordConstraint(ConstraintRecord record) {
+    constraint_log_.push_back(std::move(record));
+  }
+  /// \brief The log as pretty JSON (the `shape_constraints.json` artifact).
+  std::string ConstraintsJson() const;
 
   // --- relational queries used by fusion/codegen ---------------------------
   bool IsShapeEqual(const Value* a, const Value* b) const;
@@ -92,11 +124,17 @@ class ShapeAnalysis {
   void SetShape(const Value* v, SymShape shape);
   void SetContent(const Value* v, std::vector<DimExpr> content);
 
+  // Appends a provenance record attributed to the node currently being
+  // processed (or "input" when outside ProcessNode).
+  void Excavated(const char* kind, std::string detail);
+
   const Graph* graph_;
   std::vector<std::vector<std::string>> input_dim_labels_;
   SymbolicDimManager manager_;
   std::unordered_map<const Value*, SymShape> shapes_;
   std::unordered_map<const Value*, std::vector<DimExpr>> contents_;
+  std::vector<ConstraintRecord> constraint_log_;
+  const Node* current_node_ = nullptr;  // provenance attribution cursor
   bool ran_ = false;
 };
 

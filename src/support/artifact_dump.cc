@@ -1,0 +1,62 @@
+#include "support/artifact_dump.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/logging.h"
+
+namespace disc {
+
+namespace fs = std::filesystem;
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  fs::path p(path);
+  if (p.has_parent_path()) {
+    DISC_RETURN_IF_ERROR(EnsureDirectory(p.parent_path().string()));
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+bool ArtifactDumper::Matches(const std::string& name) const {
+  if (!enabled()) return false;
+  if (options_.filter.empty()) return true;
+  return name.find(options_.filter) != std::string::npos;
+}
+
+Status ArtifactDumper::Write(const std::string& name,
+                             const std::string& content) const {
+  if (!Matches(name)) return Status::OK();
+  std::string path = options_.dir + "/" + name;
+  Status status = WriteStringToFile(path, content);
+  if (!status.ok()) {
+    DISC_LOG(Warning) << "artifact dump failed: " << status.ToString();
+  }
+  return status;
+}
+
+}  // namespace disc

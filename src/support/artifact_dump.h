@@ -1,0 +1,81 @@
+// Compilation-artifact dumping — the `--xla_dump_to` /
+// `--mlir-print-ir-after-all` pattern for this compiler.
+//
+// A DumpOptions{dir, filter} threaded through CompileOptions/PassContext
+// turns one compile into a directory of introspection artifacts:
+//
+//   <dir>/
+//     module_input.ir           the graph as handed to the compiler
+//     module_optimized.ir       after the pass pipeline
+//     passes/0000.<pass>.before.ir   numbered IR snapshot pairs, one pair
+//     passes/0000.<pass>.after.ir    per pass application that changed IR
+//     pipeline_summary.json     per-pass runs/changes/time, joined with
+//                               the tracer's opt.pass spans when enabled
+//     shape_constraints.json    which IR op introduced each symbolic-dim
+//                               constraint (ShapeAnalysis provenance)
+//     fusion_decisions.json     verdict + reason + proving/blocking
+//                               constraint for every considered pair
+//     fusion_plan.txt           the final groups
+//
+// Everything except pipeline_summary.json (which contains wall-clock
+// times) is deterministic: compiling the same graph twice produces
+// byte-identical artifacts (tests/artifact_dump_test.cpp).
+#ifndef DISC_SUPPORT_ARTIFACT_DUMP_H_
+#define DISC_SUPPORT_ARTIFACT_DUMP_H_
+
+#include <string>
+
+#include "support/status.h"
+
+namespace disc {
+
+/// \brief Where (and what) to dump. Default-constructed = disabled.
+struct DumpOptions {
+  /// Target directory (created on demand, missing parents included).
+  /// Empty disables all dumping.
+  std::string dir;
+  /// Substring filter on artifact names ("" = everything). E.g. "cse"
+  /// keeps only the CSE pass snapshots; "fusion" keeps the decision log.
+  /// Mirrors --mlir-print-ir-after-all's pass filtering.
+  std::string filter;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// \brief Writes named artifacts under DumpOptions::dir. Copyable, cheap;
+/// a disabled dumper turns every call into a no-op.
+class ArtifactDumper {
+ public:
+  ArtifactDumper() = default;
+  explicit ArtifactDumper(DumpOptions options) : options_(std::move(options)) {}
+
+  bool enabled() const { return options_.enabled(); }
+  const DumpOptions& options() const { return options_; }
+
+  /// \brief True when `name` passes the filter (substring match; an empty
+  /// filter matches everything). Disabled dumpers match nothing.
+  bool Matches(const std::string& name) const;
+
+  /// \brief Writes `content` to `<dir>/<name>` if the dumper is enabled
+  /// and `name` passes the filter. `name` may contain '/' — intermediate
+  /// directories are created. Returns OK (a skip is not an error);
+  /// filesystem failures are logged and returned.
+  Status Write(const std::string& name, const std::string& content) const;
+
+ private:
+  DumpOptions options_;
+};
+
+/// \brief Creates `dir` and any missing parents. OK if it already exists.
+Status EnsureDirectory(const std::string& dir);
+
+/// \brief Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes `content` to `path` (truncating), creating parent
+/// directories as needed.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_ARTIFACT_DUMP_H_

@@ -1,0 +1,98 @@
+// Minimal JSON value type, parser and deterministic writer.
+//
+// The introspection subsystem (artifact dumps, fusion/shape provenance,
+// BENCH_*.json results) writes machine-readable JSON and the regression
+// checker reads it back. The writer is deterministic — object keys are
+// kept in sorted order (std::map) and doubles render via "%.17g" so that
+// identical in-memory values serialize byte-identically, which the
+// artifact-determinism tests and the committed bench baselines rely on.
+//
+// Scope: the full JSON grammar minus \uXXXX surrogate pairs (escapes are
+// decoded for the BMP subset the repo emits). Not performance-critical —
+// parsed files are a few KB.
+#ifndef DISC_SUPPORT_JSON_H_
+#define DISC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace disc {
+
+/// \brief A parsed JSON value (null / bool / number / string / array /
+/// object). Value semantics; copies are deep.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;  // sorted => deterministic
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// \brief Object member lookup; returns nullptr when absent or when this
+  /// value is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// \brief Serializes compactly (no whitespace). Deterministic: object
+  /// keys are sorted, doubles use shortest-roundtrip-ish "%.17g" (integers
+  /// under 2^53 print without a decimal point).
+  std::string Serialize() const;
+  /// \brief Pretty-printed with 2-space indentation (same determinism).
+  std::string SerializePretty() const;
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// \brief Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// \brief Escapes a string for inclusion in a JSON document (no quotes
+/// added). Shared with the trace writer's conventions.
+std::string JsonEscape(const std::string& s);
+
+/// \brief Formats a double the way the serializer does (integral values
+/// without a decimal point, otherwise "%.17g").
+std::string JsonNumberToString(double v);
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_JSON_H_

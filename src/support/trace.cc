@@ -1,6 +1,7 @@
 #include "support/trace.h"
 
 #include <fstream>
+#include <string_view>
 
 namespace disc {
 
@@ -189,6 +190,20 @@ size_t TraceSession::num_events() const {
 int64_t TraceSession::dropped_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+std::vector<TraceEvent> TraceSession::Snapshot(const char* category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    const TraceEvent& event = ring_[(head_ + i) % capacity_];
+    if (category != nullptr && std::string_view(event.category) != category) {
+      continue;
+    }
+    events.push_back(event);
+  }
+  return events;
 }
 
 void TraceSession::Clear() {

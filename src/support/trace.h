@@ -97,6 +97,11 @@ class TraceSession {
   /// Events overwritten because the ring buffer was full.
   int64_t dropped_events() const;
 
+  /// \brief Copy of the buffered events, oldest first, optionally filtered
+  /// by category (nullptr = all). Used by the introspection layer to join
+  /// per-pass span times into the pipeline summary.
+  std::vector<TraceEvent> Snapshot(const char* category = nullptr) const;
+
   /// \brief Drops all buffered events and the dropped counter (the
   /// enabled flag and thread ids are untouched).
   void Clear();

@@ -1,0 +1,274 @@
+// Tests for the compilation-introspection subsystem: artifact dumping
+// (determinism, numbering, filtering), the JSON round-trip, and the
+// pipeline summary's agreement with the tracer.
+#include "support/artifact_dump.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "support/json.h"
+#include "support/trace.h"
+
+namespace disc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DumpDir {
+ public:
+  explicit DumpDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("disc_artifact_test_" + name + "_" +
+                std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~DumpDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+  std::vector<std::string> Files() const {
+    std::vector<std::string> names;
+    if (!fs::exists(path_)) return names;
+    for (const auto& entry : fs::recursive_directory_iterator(path_)) {
+      if (entry.is_regular_file()) {
+        names.push_back(fs::relative(entry.path(), path_).string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  std::string Read(const std::string& name) const {
+    auto content = ReadFileToString((fs::path(path_) / name).string());
+    EXPECT_TRUE(content.ok()) << name;
+    return content.ok() ? *content : std::string();
+  }
+
+ private:
+  std::string path_;
+};
+
+// A dynamic graph whose pipeline actually changes IR (foldable constants,
+// dead code), whose fusion runs all three phases, and whose two inputs
+// carry *distinct* dim symbols so the elementwise join has to excavate a
+// merge-symbols constraint.
+std::unique_ptr<Graph> TestGraph() {
+  auto g = std::make_unique<Graph>("dump_test");
+  GraphBuilder b(g.get());
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* x2 = b.Input("x2", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* dead = b.Exp(x);
+  (void)dead;
+  Value* y = b.Add(b.Mul(x, b.ScalarF32(1.0f)), b.ScalarF32(0.0f));
+  b.Output({b.Softmax(b.Tanh(b.Add(y, x2)))});
+  return g;
+}
+
+Status CompileWithDump(const std::string& dir, const std::string& filter = "") {
+  auto graph = TestGraph();
+  CompileOptions options;
+  options.dump.dir = dir;
+  options.dump.filter = filter;
+  return DiscCompiler::Compile(*graph, {{"B", "S"}, {"B2", "S2"}}, options)
+      .status();
+}
+
+TEST(ArtifactDumpTest, DumperDisabledWritesNothing) {
+  ArtifactDumper dumper;  // no dir
+  EXPECT_FALSE(dumper.enabled());
+  EXPECT_FALSE(dumper.Matches("anything"));
+  EXPECT_TRUE(dumper.Write("x.txt", "content").ok());
+}
+
+TEST(ArtifactDumpTest, FilterIsSubstringMatch) {
+  DumpOptions options;
+  options.dir = "/tmp/unused";
+  options.filter = "cse";
+  ArtifactDumper dumper(options);
+  EXPECT_TRUE(dumper.Matches("passes/0003.cse.before.ir"));
+  EXPECT_TRUE(dumper.Matches("cse"));
+  EXPECT_FALSE(dumper.Matches("fusion_decisions.json"));
+}
+
+TEST(ArtifactDumpTest, CompileDumpsExpectedArtifactSet) {
+  DumpDir dir("set");
+  ASSERT_TRUE(CompileWithDump(dir.path()).ok());
+  std::vector<std::string> files = dir.Files();
+  auto has = [&](const std::string& name) {
+    return std::find(files.begin(), files.end(), name) != files.end();
+  };
+  EXPECT_TRUE(has("module_input.ir"));
+  EXPECT_TRUE(has("module_optimized.ir"));
+  EXPECT_TRUE(has("pipeline_summary.json"));
+  EXPECT_TRUE(has("shape_constraints.json"));
+  EXPECT_TRUE(has("fusion_decisions.json"));
+  EXPECT_TRUE(has("fusion_plan.txt"));
+  // At least one pass changed the graph -> numbered before/after pairs.
+  int snapshots = 0;
+  for (const std::string& f : files) {
+    if (f.rfind("passes/", 0) == 0) ++snapshots;
+  }
+  EXPECT_GT(snapshots, 0);
+  EXPECT_EQ(snapshots % 2, 0) << "snapshots come in before/after pairs";
+}
+
+TEST(ArtifactDumpTest, PassSnapshotsAreNumberedAndPaired) {
+  DumpDir dir("pairs");
+  ASSERT_TRUE(CompileWithDump(dir.path()).ok());
+  std::vector<std::string> befores;
+  for (const std::string& f : dir.Files()) {
+    if (f.rfind("passes/", 0) == 0 &&
+        f.find(".before.ir") != std::string::npos) {
+      befores.push_back(f);
+    }
+  }
+  ASSERT_FALSE(befores.empty());
+  for (size_t i = 0; i < befores.size(); ++i) {
+    // passes/NNNN.<pass>.before.ir — sequence numbers dense from 0 (the
+    // sorted order of zero-padded numbers IS the application order).
+    std::string seq = befores[i].substr(7, 4);
+    EXPECT_EQ(seq, (i < 10 ? "000" : "00") + std::to_string(i)) << befores[i];
+    std::string after = befores[i];
+    after.replace(after.find(".before.ir"), 10, ".after.ir");
+    std::string before_ir = dir.Read(befores[i]);
+    std::string after_ir = dir.Read(after);
+    EXPECT_NE(before_ir, after_ir)
+        << befores[i] << " dumped but IR did not change";
+  }
+}
+
+TEST(ArtifactDumpTest, TwoCompilesProduceByteIdenticalArtifacts) {
+  DumpDir dir1("det1");
+  DumpDir dir2("det2");
+  ASSERT_TRUE(CompileWithDump(dir1.path()).ok());
+  ASSERT_TRUE(CompileWithDump(dir2.path()).ok());
+  std::vector<std::string> files1 = dir1.Files();
+  ASSERT_EQ(files1, dir2.Files());
+  for (const std::string& f : files1) {
+    if (f == "pipeline_summary.json") continue;  // contains wall times
+    EXPECT_EQ(dir1.Read(f), dir2.Read(f)) << f << " differs across compiles";
+  }
+}
+
+TEST(ArtifactDumpTest, FilterRestrictsArtifacts) {
+  DumpDir dir("filter");
+  ASSERT_TRUE(CompileWithDump(dir.path(), "fusion").ok());
+  for (const std::string& f : dir.Files()) {
+    EXPECT_NE(f.find("fusion"), std::string::npos) << f;
+  }
+  std::vector<std::string> files = dir.Files();
+  EXPECT_TRUE(std::find(files.begin(), files.end(), "fusion_decisions.json") !=
+              files.end());
+}
+
+TEST(ArtifactDumpTest, DecisionJsonParsesAndNamesConstraints) {
+  DumpDir dir("json");
+  ASSERT_TRUE(CompileWithDump(dir.path()).ok());
+  auto doc = ParseJson(dir.Read("fusion_decisions.json"));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* decisions = doc->Find("decisions");
+  ASSERT_NE(decisions, nullptr);
+  ASSERT_TRUE(decisions->is_array());
+  ASSERT_FALSE(decisions->as_array().empty());
+  bool some_fused_with_constraint = false;
+  for (const JsonValue& d : decisions->as_array()) {
+    ASSERT_NE(d.Find("producer"), nullptr);
+    ASSERT_NE(d.Find("reason"), nullptr);
+    if (d.Find("fused")->as_bool() &&
+        !d.Find("constraint")->as_string().empty()) {
+      some_fused_with_constraint = true;
+    }
+  }
+  EXPECT_TRUE(some_fused_with_constraint);
+
+  auto constraints = ParseJson(dir.Read("shape_constraints.json"));
+  ASSERT_TRUE(constraints.ok());
+  const JsonValue* list = constraints->Find("constraints");
+  ASSERT_NE(list, nullptr);
+  ASSERT_FALSE(list->as_array().empty());
+  // Elementwise ops over two dynamic inputs excavate merge-symbols facts
+  // attributed to real nodes.
+  bool attributed = false;
+  for (const JsonValue& r : list->as_array()) {
+    if (r.Find("node")->as_number() >= 0) attributed = true;
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(ArtifactDumpTest, PipelineSummaryAgreesWithTraceSpans) {
+  TraceSession& session = TraceSession::Global();
+  session.Enable();
+  DumpDir dir("trace");
+  ASSERT_TRUE(CompileWithDump(dir.path()).ok());
+  session.Disable();
+
+  auto summary = ParseJson(dir.Read("pipeline_summary.json"));
+  ASSERT_TRUE(summary.ok());
+  const JsonValue* passes = summary->Find("passes");
+  ASSERT_NE(passes, nullptr);
+  ASSERT_FALSE(passes->as_array().empty());
+  for (const JsonValue& p : passes->as_array()) {
+    // Tracing was on during the compile, so every pass row joins its
+    // opt.pass spans; span count equals the manager's own run count and
+    // the two independent clocks agree on the total time.
+    const JsonValue* spans = p.Find("trace_spans");
+    ASSERT_NE(spans, nullptr)
+        << p.Find("name")->as_string() << " missing trace join";
+    EXPECT_GE(spans->as_number(), p.Find("runs")->as_number())
+        << p.Find("name")->as_string();
+    double own_ms = p.Find("total_ms")->as_number();
+    double trace_ms = p.Find("trace_total_ms")->as_number();
+    EXPECT_NEAR(own_ms, trace_ms, std::max(0.5, own_ms * 0.5))
+        << p.Find("name")->as_string();
+  }
+  // change_log rows are merged (satellite bugfix): at most one entry per
+  // pass name.
+  const JsonValue* change_log = summary->Find("change_log");
+  ASSERT_NE(change_log, nullptr);
+  std::vector<std::string> names;
+  for (const JsonValue& entry : change_log->as_array()) {
+    names.push_back(entry.Find("name")->as_string());
+  }
+  std::vector<std::string> unique = names;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(names.size(), unique.size());
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, -3], "b": {"nested": true, "s": "he\"llo\n"}, )"
+      R"("empty": [], "null": null})";
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("a")->as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(doc->Find("b")->Find("s")->as_string(), "he\"llo\n");
+  EXPECT_TRUE(doc->Find("null")->is_null());
+  // Serialize -> parse -> serialize is a fixpoint (determinism).
+  std::string once = doc->Serialize();
+  auto again = ParseJson(once);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(once, again->Serialize());
+  // Pretty form parses back to the same document.
+  auto pretty = ParseJson(doc->SerializePretty());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(pretty->Serialize(), once);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+}
+
+}  // namespace
+}  // namespace disc

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+
 #include "ir/builder.h"
 
 namespace disc {
@@ -281,6 +285,138 @@ TEST(FusionTest, MaxGroupSizeRespected) {
     EXPECT_LE(group.size(), 8);
   }
   EXPECT_GE(plan.groups.size(), 3u);
+}
+
+// ---- decision provenance -------------------------------------------------
+
+const FusionDecision* FindDecision(const FusionPlan& plan,
+                                   const std::string& reason_substr) {
+  for (const FusionDecision& d : plan.decisions) {
+    if (d.reason.find(reason_substr) != std::string::npos) return &d;
+  }
+  return nullptr;
+}
+
+TEST(FusionDecisionTest, FusedPairRecordsProvingConstraint) {
+  // Two dynamic inputs; the add's operand unification proves shape
+  // equality, so the fused verdict must carry the numel relation.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* y = b.Input("y", DType::kF32, {kDynamicDim, kDynamicDim});
+  Value* z = b.Tanh(b.Add(x, y));
+  b.Output({z});
+
+  FusionPlan plan = PlanFor(&g);
+  ASSERT_FALSE(plan.decisions.empty());
+  const FusionDecision* d = FindDecision(plan, "same-num-elements-proven");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->fused);
+  EXPECT_EQ(d->phase, "loop");
+  // The constraint names the symbolic element counts on both sides.
+  EXPECT_NE(d->constraint.find("numel"), std::string::npos) << d->constraint;
+  EXPECT_NE(d->constraint.find("=="), std::string::npos) << d->constraint;
+  // The ids in the record resolve against the plan's own query API.
+  EXPECT_FALSE(plan.DecisionsFor(d->producer, d->consumer).empty());
+}
+
+TEST(FusionDecisionTest, RowSpaceMismatchRecordsBlockingConstraint) {
+  // Two row reductions over DIFFERENT row spaces ([B,512] vs [B,256])
+  // joined by an add: the second reduce cannot be stitched into the
+  // group, and the decision must name the mismatched row spaces.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 512});
+  Value* y = b.Input("y", DType::kF32, {kDynamicDim, 256});
+  Value* rx = b.ReduceSum(x, {1});
+  Value* ry = b.ReduceSum(y, {1});
+  b.Output({b.Add(rx, ry)});
+
+  FusionPlan plan = PlanFor(&g, {}, {{"B", ""}, {"B", ""}});
+  const FusionDecision* blocked =
+      FindDecision(plan, "blocked:row-space-mismatch");
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_FALSE(blocked->fused);
+  EXPECT_EQ(blocked->phase, "stitch");
+  // The constraint text names both row spaces.
+  EXPECT_NE(blocked->constraint.find("512"), std::string::npos)
+      << blocked->constraint;
+  EXPECT_NE(blocked->constraint.find("256"), std::string::npos)
+      << blocked->constraint;
+  // One of the reduces did stitch with the add.
+  EXPECT_NE(FindDecision(plan, "stitch:row-synchronized-reduces"), nullptr);
+}
+
+TEST(FusionDecisionTest, StaticOnlyAblationRecordsMissingKnowledge) {
+  // The F2 "static-only shapes" config on a dynamic softmax: a
+  // shape-value-based planner cannot prove anything, and each blocked
+  // verdict says exactly that.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+
+  FusionOptions options;
+  options.use_symbolic_shapes = false;
+  FusionPlan plan = PlanFor(&g, options);
+  const FusionDecision* blocked =
+      FindDecision(plan, "blocked:static-shape-unknown");
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_FALSE(blocked->fused);
+  EXPECT_NE(blocked->constraint.find("symbolic"), std::string::npos)
+      << blocked->constraint;
+  // With symbolic shapes the same graph has no such verdict.
+  FusionPlan symbolic = PlanFor(&g);
+  EXPECT_EQ(FindDecision(symbolic, "blocked:static-shape-unknown"), nullptr);
+}
+
+TEST(FusionDecisionTest, LastVerdictWinsAcrossPhases) {
+  // softmax: sub/exp/div reject loop-fusion against the reduces early
+  // (reduce producers are skipped), but stitch later merges everything —
+  // every surviving decision involving the reduces must read fused.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+
+  FusionPlan plan = PlanFor(&g);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  // Exactly one decision per (producer, consumer) pair.
+  std::set<std::pair<int, int>> pairs;
+  for (const FusionDecision& d : plan.decisions) {
+    EXPECT_TRUE(pairs.emplace(d.producer, d.consumer).second)
+        << "duplicate decision for %" << d.producer << "->%" << d.consumer;
+  }
+  // All nodes ended in one group, so no decision may stand as a final
+  // blocked verdict between two grouped nodes *unless* the pair was merged
+  // transitively; for softmax every considered edge eventually fused.
+  for (const FusionDecision& d : plan.decisions) {
+    EXPECT_TRUE(d.fused) << d.ToString();
+  }
+}
+
+TEST(FusionDecisionTest, RecordingCanBeDisabled) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  FusionOptions options;
+  options.record_decisions = false;
+  FusionPlan plan = PlanFor(&g, options);
+  EXPECT_TRUE(plan.decisions.empty());
+  EXPECT_EQ(plan.groups.size(), 1u);  // planning itself is unaffected
+}
+
+TEST(FusionDecisionTest, DecisionsJsonIsWellFormed) {
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Softmax(x)});
+  FusionPlan plan = PlanFor(&g);
+  std::string json = plan.DecisionsJson();
+  EXPECT_NE(json.find("\"decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"groups\""), std::string::npos);
+  EXPECT_NE(json.find("\"constraint\""), std::string::npos);
 }
 
 TEST(FusionTest, StatsAreConsistent) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "ir/builder.h"
 #include "ir/eval.h"
 #include "support/rng.h"
@@ -376,6 +380,58 @@ TEST(PassManagerTest, PipelineReachesFixpointAndPreservesSemantics) {
   EXPECT_EQ(CountOps(g, OpKind::kBroadcastTo), 0);
   EXPECT_EQ(CountOps(g, OpKind::kMul), 0);
   EXPECT_TRUE(g.Verify().ok());
+}
+
+TEST(PassManagerTest, ChangeLogMergesRepeatedPassEntries) {
+  // A graph that needs multiple fixpoint sweeps: canonicalize folds the
+  // plain identities in sweep 1, constant folding then collapses
+  // Add(0.5, 0.5) into the scalar 1.0, and only in sweep 2 can
+  // canonicalize fold the exposed Mul(y, 1.0) identity. The change log
+  // must still carry ONE row per pass name with accumulated counts, not
+  // one row per sweep.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 8});
+  Value* y = b.Mul(b.Add(x, b.ScalarF32(0.0f)), b.ScalarF32(1.0f));
+  Value* one = b.Add(b.ScalarF32(0.5f), b.ScalarF32(0.5f));
+  b.Output({b.Tanh(b.Mul(y, one))});
+
+  PassManager pm;
+  AddStandardPasses(&pm);
+  PassContext ctx;
+  ASSERT_TRUE(pm.RunToFixpoint(&g, ctx).ok());
+
+  const auto& log = pm.change_log();
+  ASSERT_FALSE(log.empty());
+  std::vector<std::string> names;
+  int64_t total_changes = 0;
+  for (const auto& [name, count] : log) {
+    names.push_back(name);
+    EXPECT_GE(count, 1) << name;
+    total_changes += count;
+  }
+  std::vector<std::string> unique = names;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(names.size(), unique.size()) << "duplicate change_log rows";
+
+  // canonicalize changed in two different sweeps, so its single merged row
+  // accumulated both.
+  auto canon = std::find_if(log.begin(), log.end(), [](const auto& entry) {
+    return entry.first == std::string("canonicalize");
+  });
+  ASSERT_NE(canon, log.end());
+  EXPECT_GE(canon->second, 2);
+
+  // pass_stats agrees with the merged log.
+  for (const auto& stat : pm.pass_stats()) {
+    auto it = std::find_if(log.begin(), log.end(), [&](const auto& entry) {
+      return entry.first == stat.name;
+    });
+    int64_t logged = it != log.end() ? it->second : 0;
+    EXPECT_EQ(stat.changes, logged) << stat.name;
+  }
+  EXPECT_GE(total_changes, 2);
 }
 
 }  // namespace
