@@ -24,6 +24,7 @@
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "models/models.h"
+#include "support/failpoint.h"
 #include "support/string_util.h"
 
 namespace disc {
@@ -225,6 +226,13 @@ int main(int argc, char** argv) {
   if (!exe.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
                  exe.status().ToString().c_str());
+    // A failed compile with failpoints armed is usually the failpoint
+    // firing — say so, with hit/fire counts.
+    std::string failpoints = FailpointRegistry::Global().Summary();
+    if (!failpoints.empty()) {
+      std::fprintf(stderr, "active failpoints (DISC_FAILPOINTS):\n%s",
+                   failpoints.c_str());
+    }
     return 1;
   }
 
@@ -271,6 +279,12 @@ int main(int argc, char** argv) {
     int a = parse_id(why_pair.substr(0, comma));
     int b = parse_id(why_pair.substr(comma + 1));
     WhyNotFused(**exe, a, b);
+  }
+
+  std::string failpoints = FailpointRegistry::Global().Summary();
+  if (!failpoints.empty()) {
+    std::printf("\n== active failpoints (DISC_FAILPOINTS) ==\n%s",
+                failpoints.c_str());
   }
   return 0;
 }

@@ -18,10 +18,14 @@
 #include <cstring>
 
 #include "baselines/baselines.h"
+#include "baselines/dynamic_engine.h"
+#include "baselines/fallback_chain.h"
+#include "baselines/interpreter_engine.h"
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "models/models.h"
 #include "serving/serving.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -64,27 +68,44 @@ int main(int argc, char** argv) {
   // 2. Replay a shape trace through the executable: the first run of each
   // signature builds its launch plan (plan=miss spans), repeats replay the
   // memoized plan (plan=hit) — both visible per run in the trace.
+  int64_t run_failures = 0;
   for (const ShapeSet& shapes : model.trace) {
     auto r = (*exe)->RunWithShapes(shapes);
     if (!r.ok()) {
-      std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
-      return 1;
+      // The raw executable has no fallback leg — under an armed
+      // DISC_FAILPOINTS schedule these fail loudly but the demo keeps
+      // going so the serving/breaker sections below stay reachable.
+      if (++run_failures == 1) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     r.status().ToString().c_str());
+      }
     }
   }
   auto cache_stats = (*exe)->plan_cache_stats();
-  std::printf("replayed %zu-query shape trace: %lld plan hits, %lld misses\n",
+  std::printf("replayed %zu-query shape trace: %lld plan hits, %lld misses",
               model.trace.size(), static_cast<long long>(cache_stats.hits),
               static_cast<long long>(cache_stats.misses));
+  if (run_failures > 0) {
+    std::printf(" (%lld runs failed via injected faults)",
+                static_cast<long long>(run_failures));
+  }
+  std::printf("\n");
 
   // 3. Serve a synthetic request stream: per-request spans (batch
   // formation -> queue wait -> execution) land on the simulated-clock
-  // timeline, plus queue-depth and padding-waste histograms.
-  auto engine = MakeBaseline("DISC");
-  if (!engine.ok() ||
-      !(*engine)->Prepare(*model.graph, model.input_dim_labels).ok()) {
+  // timeline, plus queue-depth and padding-waste histograms. Serving runs
+  // through the DISC->interpreter fallback chain — fault-free it is a
+  // pass-through, and with DISC_FAILPOINTS armed the degraded route and
+  // breaker transitions land in the same trace (categories "failpoint"
+  // and "serving.breaker").
+  EngineFallbackChain chain(
+      std::make_unique<DynamicCompilerEngine>(DynamicProfile::Disc()),
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()));
+  if (!chain.Prepare(*model.graph, model.input_dim_labels).ok()) {
     std::fprintf(stderr, "engine setup failed\n");
     return 1;
   }
+  Engine* engine_ptr = &chain;
   auto shape_fn = [&](int64_t batch, int64_t seq) {
     std::vector<std::vector<int64_t>> dims;
     for (const Value* in : model.graph->inputs()) {
@@ -100,7 +121,7 @@ int main(int argc, char** argv) {
   };
   auto requests = SyntheticRequestStream(64, 25.0, 7);
   BatcherOptions batcher;
-  auto stats = SimulateServing(engine->get(), shape_fn, requests, batcher,
+  auto stats = SimulateServing(engine_ptr, shape_fn, requests, batcher,
                                DeviceSpec::A10());
   if (!stats.ok()) {
     std::fprintf(stderr, "serving failed: %s\n",
@@ -109,6 +130,14 @@ int main(int argc, char** argv) {
   }
   std::printf("served %zu requests: %s\n", requests.size(),
               stats->ToString().c_str());
+  if (!chain.breaker_transitions().empty()) {
+    std::printf("\n== circuit-breaker transitions (simulated clock) ==\n");
+    for (const BreakerTransition& t : chain.breaker_transitions()) {
+      std::printf("  t=%.0fus  %s -> %s  (%s)\n", t.sim_time_us,
+                  BreakerStateName(t.from), BreakerStateName(t.to),
+                  t.reason.c_str());
+    }
+  }
 
   // 4. Export + metrics dump.
   session.Disable();
@@ -121,6 +150,11 @@ int main(int argc, char** argv) {
       "\nwrote %zu trace events to %s (load in chrome://tracing or "
       "ui.perfetto.dev)\n",
       session.num_events(), out_path);
+  std::string failpoints = FailpointRegistry::Global().Summary();
+  if (!failpoints.empty()) {
+    std::printf("\n== active failpoints (DISC_FAILPOINTS) ==\n%s",
+                failpoints.c_str());
+  }
   std::printf("\n== metrics registry ==\n%s",
               MetricsRegistry::Global().ToString().c_str());
   return 0;

@@ -46,6 +46,10 @@ struct EngineStats {
   /// shape-polymorphic Executable; zero for interpreters).
   int64_t launch_plan_hits = 0;
   int64_t launch_plan_misses = 0;
+  /// Queries served on a degraded path (EngineFallbackChain's interpreter
+  /// leg); zero for plain engines. The serving simulator reads the delta
+  /// per batch to attribute degraded requests.
+  int64_t fallback_queries = 0;
 
   /// Fraction of plan lookups that hit; 0 when no lookups happened.
   double launch_plan_hit_rate() const {
@@ -78,6 +82,13 @@ class Engine {
   /// identical math; the default runs the reference evaluator.
   virtual Result<std::vector<Tensor>> Execute(
       const std::vector<Tensor>& inputs);
+
+  /// \brief The serving simulator announces its simulated clock before
+  /// each Query. Default no-op; engines with time-based internal state
+  /// (the fallback chain's circuit-breaker cooldown) override it so that
+  /// state advances on the *simulated* timeline, keeping replays
+  /// deterministic.
+  virtual void SetSimulatedTimeUs(double now_us) { (void)now_us; }
 
   virtual const EngineStats& stats() const { return stats_; }
 

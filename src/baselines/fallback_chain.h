@@ -1,0 +1,125 @@
+// EngineFallbackChain: compiled fast path + interpreter fallback behind a
+// circuit breaker.
+//
+// Nimble splits a dynamic model into a compiled fast path and a fallback
+// executor; a robust server needs the same split as a *degradation*
+// structure. The chain serves every query from the primary engine (DISC)
+// while it is healthy. When the primary fails — a compilation error on the
+// serving path, a kernel fault, allocator exhaustion — the query transpar-
+// ently falls back to the interpreter leg (identical math, slower), and a
+// circuit breaker decides when to stop even trying the primary:
+//
+//   kClosed    — primary first; K consecutive failures open the breaker.
+//   kOpen      — fallback only: a poisoned shape bucket must not re-stall
+//                every batch with a doomed compile. After `cooldown_us` of
+//                *simulated* time the breaker half-opens.
+//   kHalfOpen  — the next query probes the primary once: success closes
+//                the breaker, failure re-opens it for another cooldown.
+//
+// The breaker clock is the serving simulator's clock (SetSimulatedTimeUs),
+// so chaos replays are bit-reproducible. Every transition is recorded (for
+// tests), counted (serving.breaker.* metrics) and emitted as an instant
+// trace event on the simulated timeline.
+//
+// The primary is (re)compiled lazily on the query path: if Prepare's
+// compile failed, each closed/half-open query retries it, modelling the
+// shape-cache-miss compile stall the paper's runtime pays. The measured
+// stall is charged to the query's compile_us (or a fixed simulated stall
+// when `compile_stall_us >= 0`, which the deterministic benches use).
+#ifndef DISC_BASELINES_FALLBACK_CHAIN_H_
+#define DISC_BASELINES_FALLBACK_CHAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/engine.h"
+
+namespace disc {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+/// One recorded breaker state change (chronological).
+struct BreakerTransition {
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  double sim_time_us = 0.0;
+  std::string reason;
+};
+
+struct FallbackChainOptions {
+  /// Consecutive primary failures that open the breaker.
+  int64_t failure_threshold = 3;
+  /// Simulated time the breaker stays open before a half-open probe.
+  double cooldown_us = 20000.0;
+  /// When >= 0: charge this fixed simulated stall per compile attempt on
+  /// the query path instead of the measured wall-clock compile time.
+  /// Deterministic benches set it so BENCH_F9.json is runner-independent.
+  double compile_stall_us = -1.0;
+};
+
+class EngineFallbackChain : public Engine {
+ public:
+  /// `primary` is the compiled fast path, `fallback` the always-available
+  /// degraded path (typically an InterpreterEngine — its Prepare never
+  /// compiles, so it cannot fail the way the primary can).
+  EngineFallbackChain(std::unique_ptr<Engine> primary,
+                      std::unique_ptr<Engine> fallback,
+                      FallbackChainOptions options = {});
+
+  const std::string& name() const override { return name_; }
+
+  /// \brief Prepares the fallback eagerly (must succeed) and attempts the
+  /// primary's compile. A primary failure does NOT fail Prepare — it
+  /// counts toward the breaker and the compile is retried on the query
+  /// path.
+  Status Prepare(const Graph& graph,
+                 std::vector<std::vector<std::string>> labels) override;
+
+  Result<EngineTiming> Query(
+      const std::vector<std::vector<int64_t>>& input_dims,
+      const DeviceSpec& device) override;
+
+  /// \brief Routes like Query: primary when the breaker allows and the
+  /// compile is live, otherwise the fallback. Faults only ever change the
+  /// route, never the numerics.
+  Result<std::vector<Tensor>> Execute(
+      const std::vector<Tensor>& inputs) override;
+
+  void SetSimulatedTimeUs(double now_us) override;
+
+  BreakerState breaker_state() const { return state_; }
+  const std::vector<BreakerTransition>& breaker_transitions() const {
+    return transitions_;
+  }
+  int64_t consecutive_failures() const { return consecutive_failures_; }
+  bool primary_prepared() const { return primary_prepared_; }
+
+  Engine* primary() { return primary_.get(); }
+  Engine* fallback() { return fallback_.get(); }
+
+ private:
+  /// Compiles the primary if it is not live; adds the stall to *stall_us.
+  Status EnsurePrimaryPrepared(double* stall_us);
+  void OnPrimaryFailure(const Status& status);
+  void OnPrimarySuccess();
+  void Transition(BreakerState to, const std::string& reason);
+
+  std::unique_ptr<Engine> primary_;
+  std::unique_ptr<Engine> fallback_;
+  FallbackChainOptions options_;
+  std::string name_;
+
+  bool primary_prepared_ = false;
+  BreakerState state_ = BreakerState::kClosed;
+  int64_t consecutive_failures_ = 0;
+  double opened_at_us_ = 0.0;
+  double sim_now_us_ = 0.0;
+  std::vector<BreakerTransition> transitions_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_FALLBACK_CHAIN_H_

@@ -338,7 +338,8 @@ Result<EngineTiming> InterpreterEngine::Query(
       case Unit::Kind::kConstant: {
         const Value* out = unit.nodes[0]->output(0);
         DISC_ASSIGN_OR_RETURN(int64_t n, numel_of(out));
-        block_of[out] = allocator.Allocate(n * DTypeSize(out->dtype()));
+        DISC_ASSIGN_OR_RETURN(block_of[out],
+                              allocator.Allocate(n * DTypeSize(out->dtype())));
         break;
       }
       case Unit::Kind::kHost: {
@@ -420,7 +421,8 @@ Result<EngineTiming> InterpreterEngine::Query(
         unit.kind != Unit::Kind::kHost) {
       for (const Value* out : unit.outputs) {
         DISC_ASSIGN_OR_RETURN(int64_t n, numel_of(out));
-        block_of[out] = allocator.Allocate(n * DTypeSize(out->dtype()));
+        DISC_ASSIGN_OR_RETURN(block_of[out],
+                              allocator.Allocate(n * DTypeSize(out->dtype())));
       }
     }
     for (auto it = block_of.begin(); it != block_of.end();) {
@@ -431,7 +433,7 @@ Result<EngineTiming> InterpreterEngine::Query(
                   (v->producer() == nullptr ||
                    v->producer()->kind() != OpKind::kConstant);
       if (dead) {
-        allocator.Free(it->second);
+        DISC_RETURN_IF_ERROR(allocator.Free(it->second));
         it = block_of.erase(it);
       } else {
         ++it;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "support/artifact_dump.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/string_util.h"
@@ -65,6 +66,10 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
   TraceScope compile_scope("compile", "compile");
   compile_scope.AddArg("graph", graph.name());
   CountMetric("compile.count");
+  // Fault seam: compilation happens on the serving path under dynamic
+  // shapes (a shape-cache miss triggers it), so a chaos schedule can fail
+  // it here and the fallback chain above must degrade, not die.
+  DISC_INJECT_FAILPOINT("compiler.compile");
 
   auto exe = std::unique_ptr<Executable>(new Executable());
   exe->report_.num_nodes_before = graph.num_nodes();

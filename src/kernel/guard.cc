@@ -1,5 +1,6 @@
 #include "kernel/guard.h"
 
+#include "support/failpoint.h"
 #include "support/string_util.h"
 
 namespace disc {
@@ -38,6 +39,10 @@ std::string DimPredicate::ToString() const {
 }
 
 Result<bool> Guard::Evaluate(const SymbolBindings& bindings) const {
+  // Fault seam: guard evaluation is the runtime's admission check for
+  // specialized variants; an injected failure here models a corrupted
+  // binding table and must surface as a failed Run, not a wrong variant.
+  DISC_INJECT_FAILPOINT("kernel.guard");
   for (const DimPredicate& p : predicates) {
     DISC_ASSIGN_OR_RETURN(bool ok, p.Evaluate(bindings));
     if (!ok) return false;

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 
-#include "support/logging.h"
+#include "support/failpoint.h"
 #include "support/math_util.h"
+#include "support/string_util.h"
 
 namespace disc {
 
-int64_t CachingAllocator::Allocate(int64_t bytes) {
-  DISC_CHECK_GE(bytes, 0);
+Result<int64_t> CachingAllocator::Allocate(int64_t bytes) {
+  if (bytes < 0) {
+    return Status::InvalidArgument(
+        StrFormat("negative allocation size %lld",
+                  static_cast<long long>(bytes)));
+  }
   int64_t size = std::max<int64_t>(RoundUp(bytes, 256), 256);
   ++stats_.alloc_calls;
+
+  if (Status injected = CheckFailpoint("runtime.alloc"); !injected.ok()) {
+    ++stats_.failed_allocs;
+    return injected;
+  }
+  if (memory_limit_bytes_ > 0 &&
+      stats_.bytes_in_use + size > memory_limit_bytes_) {
+    ++stats_.failed_allocs;
+    return Status::ResourceExhausted(StrFormat(
+        "allocating %lld B would exceed the %lld B device limit "
+        "(%lld B in use)",
+        static_cast<long long>(size),
+        static_cast<long long>(memory_limit_bytes_),
+        static_cast<long long>(stats_.bytes_in_use)));
+  }
 
   auto it = free_lists_.find(size);
   int64_t block_id;
@@ -24,7 +44,10 @@ int64_t CachingAllocator::Allocate(int64_t bytes) {
     stats_.bytes_reserved += size;
   }
   Block& block = blocks_[block_id];
-  DISC_CHECK(!block.in_use);
+  if (block.in_use) {
+    return Status::Internal(StrFormat("free-list block %lld is in use",
+                                      static_cast<long long>(block_id)));
+  }
   block.in_use = true;
   stats_.bytes_in_use += size;
   stats_.peak_bytes_in_use =
@@ -34,14 +57,20 @@ int64_t CachingAllocator::Allocate(int64_t bytes) {
   return block_id;
 }
 
-void CachingAllocator::Free(int64_t block_id) {
-  DISC_CHECK_GE(block_id, 0);
-  DISC_CHECK_LT(block_id, static_cast<int64_t>(blocks_.size()));
+Status CachingAllocator::Free(int64_t block_id) {
+  if (block_id < 0 || block_id >= static_cast<int64_t>(blocks_.size())) {
+    return Status::InvalidArgument(StrFormat(
+        "unknown block id %lld", static_cast<long long>(block_id)));
+  }
   Block& block = blocks_[block_id];
-  DISC_CHECK(block.in_use) << "double free of block " << block_id;
+  if (!block.in_use) {
+    return Status::InvalidArgument(StrFormat(
+        "double free of block %lld", static_cast<long long>(block_id)));
+  }
   block.in_use = false;
   stats_.bytes_in_use -= block.size;
   free_lists_[block.size].push_back(block_id);
+  return Status::OK();
 }
 
 void CachingAllocator::TrimCache() {

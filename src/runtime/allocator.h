@@ -7,12 +7,20 @@
 // device memory exists in the simulation, so this class tracks bytes only —
 // but the cache-hit dynamics under changing shapes are real, which is what
 // the memory experiments measure.
+//
+// Exhaustion is a *runtime* event under dynamic shapes (the footprint is a
+// function of the symbolic dims each request binds), so Allocate reports it
+// as Status::ResourceExhausted for the serving layer to retry or shed —
+// never as a process abort. Misuse (negative sizes, double frees) also
+// surfaces as Status so a single bad request cannot take the server down.
 #ifndef DISC_RUNTIME_ALLOCATOR_H_
 #define DISC_RUNTIME_ALLOCATOR_H_
 
 #include <cstdint>
 #include <map>
 #include <vector>
+
+#include "support/status.h"
 
 namespace disc {
 
@@ -25,19 +33,30 @@ class CachingAllocator {
     int64_t bytes_reserved = 0;  // in-use + cached free blocks
     int64_t peak_bytes_in_use = 0;
     int64_t peak_bytes_reserved = 0;
+    int64_t failed_allocs = 0;  // limit exceeded or fault injected
   };
 
-  /// \brief Allocates `bytes` (rounded up to a 256-B-aligned size class);
-  /// returns an opaque block id.
-  int64_t Allocate(int64_t bytes);
+  CachingAllocator() = default;
+  /// \brief Caps bytes_in_use at `memory_limit_bytes` (device capacity);
+  /// 0 = unlimited.
+  explicit CachingAllocator(int64_t memory_limit_bytes)
+      : memory_limit_bytes_(memory_limit_bytes) {}
 
-  /// \brief Returns the block to its size-class free list.
-  void Free(int64_t block_id);
+  /// \brief Allocates `bytes` (rounded up to a 256-B-aligned size class);
+  /// returns an opaque block id. ResourceExhausted when the allocation
+  /// would push bytes_in_use past the memory limit (or the `runtime.alloc`
+  /// failpoint fires); InvalidArgument for negative sizes.
+  Result<int64_t> Allocate(int64_t bytes);
+
+  /// \brief Returns the block to its size-class free list. InvalidArgument
+  /// on an unknown id or double free.
+  Status Free(int64_t block_id);
 
   /// \brief Releases all cached free blocks (cudaEmptyCache analog).
   void TrimCache();
 
   const Stats& stats() const { return stats_; }
+  int64_t memory_limit_bytes() const { return memory_limit_bytes_; }
 
  private:
   struct Block {
@@ -47,6 +66,7 @@ class CachingAllocator {
   std::vector<Block> blocks_;
   std::map<int64_t, std::vector<int64_t>> free_lists_;  // size -> block ids
   Stats stats_;
+  int64_t memory_limit_bytes_ = 0;
 };
 
 }  // namespace disc

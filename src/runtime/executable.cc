@@ -7,6 +7,7 @@
 
 #include "ir/eval.h"
 #include "kernel/library.h"
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 #include "support/metrics.h"
@@ -246,10 +247,18 @@ Result<RunResult> Executable::RunInternal(
   result.profile.host_plan_us = host_plan_us;
 
   // Publish only after a successful run, so failures never poison the
-  // cache; re-publishing an upgraded hit replaces the entry in place.
+  // cache; re-publishing an upgraded hit replaces the entry in place. A
+  // failed insertion (fault-injected here; allocation failure in a real
+  // runtime) is not an error — the run already succeeded, the signature
+  // just stays uncached and later runs rebuild the plan.
   if (options.use_launch_plan_cache && (!hit || record_host != nullptr)) {
-    plan_cache_.Insert(signature,
-                       std::make_shared<const LaunchPlan>(std::move(fresh)));
+    if (Status inject = CheckFailpoint("runtime.plan_cache.insert");
+        !inject.ok()) {
+      CountMetric("runtime.plan_cache.insert_dropped");
+    } else {
+      plan_cache_.Insert(
+          signature, std::make_shared<const LaunchPlan>(std::move(fresh)));
+    }
   }
   return result;
 }
@@ -263,7 +272,7 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
   DeviceModel model(options.device);
   RunResult result;
   RunProfile& profile = result.profile;
-  CachingAllocator allocator;
+  CachingAllocator allocator(options.memory_limit_bytes);
   const bool execute_data = inputs != nullptr;
 
   std::unordered_map<const Value*, Tensor> env;
@@ -278,13 +287,15 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
     const Step& step = steps_[s];
     const PlannedStep& ps = plan.steps[s];
     size_t next_alloc = 0;
-    auto allocate_value = [&](const Value* v) {
-      block_of[v] = allocator.Allocate(ps.alloc_bytes[next_alloc++]);
+    auto allocate_value = [&](const Value* v) -> Status {
+      DISC_ASSIGN_OR_RETURN(block_of[v],
+                            allocator.Allocate(ps.alloc_bytes[next_alloc++]));
+      return Status::OK();
     };
     switch (step.kind) {
       case Step::Kind::kConstant: {
         // Weights are resident on device for the module's lifetime.
-        allocate_value(step.node->output(0));
+        DISC_RETURN_IF_ERROR(allocate_value(step.node->output(0)));
         if (execute_data) {
           env.emplace(step.node->output(0),
                       step.node->GetTensorAttr("value"));
@@ -340,7 +351,9 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         profile.bytes_read += stats.bytes_read;
         profile.bytes_written += stats.bytes_written;
         if (cost.memory_bound) profile.memory_bound_launches += 1;
-        for (const Value* out : step.node->outputs()) allocate_value(out);
+        for (const Value* out : step.node->outputs()) {
+          DISC_RETURN_IF_ERROR(allocate_value(out));
+        }
         if (execute_data) {
           std::vector<Tensor> operand_values;
           for (const Value* operand : step.node->operands()) {
@@ -356,6 +369,10 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         break;
       }
       case Step::Kind::kKernel: {
+        // Fault seam: a kernel launch failing at runtime (sticky device
+        // error, watchdog kill) surfaces as a Status the serving layer can
+        // retry or degrade on — never an abort.
+        DISC_INJECT_FAILPOINT("runtime.kernel");
         const FusedKernel& kernel = *step.kernel;
         const KernelVariant& variant = kernel.variants()[ps.variant_index];
         const KernelStats& stats = ps.kernel_stats;
@@ -371,7 +388,9 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         profile.bytes_written += stats.bytes_written;
         profile.variant_counts[kernel.name() + "/" + variant.name] += 1;
         if (cost.memory_bound) profile.memory_bound_launches += 1;
-        for (const Value* out : kernel.group().outputs) allocate_value(out);
+        for (const Value* out : kernel.group().outputs) {
+          DISC_RETURN_IF_ERROR(allocate_value(out));
+        }
         if (execute_data) {
           DISC_RETURN_IF_ERROR(kernel.Execute(bindings, &env));
         }
@@ -381,7 +400,7 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
     for (const Value* dead : release_after_step_[s]) {
       auto it = block_of.find(dead);
       if (it != block_of.end()) {
-        allocator.Free(it->second);
+        DISC_RETURN_IF_ERROR(allocator.Free(it->second));
         block_of.erase(it);
       }
     }

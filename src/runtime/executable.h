@@ -59,6 +59,11 @@ struct RunOptions {
   /// launch-overhead bench; Inductor-style engines that re-check guards
   /// every call turn it off).
   bool use_launch_plan_cache = true;
+  /// Device-memory capacity for this run's allocator; 0 = unlimited.
+  /// Dynamic shapes make the footprint a per-request quantity, so blowing
+  /// the limit returns ResourceExhausted from Run (retryable) instead of
+  /// aborting the process.
+  int64_t memory_limit_bytes = 0;
 };
 
 /// Counters collected during one Run.

@@ -25,21 +25,54 @@ const char* PadPolicyName(PadPolicy policy) {
 }
 
 std::string ServingStats::ToString() const {
-  return StrFormat(
+  std::string s = StrFormat(
       "p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus qps=%.0f "
       "pad_waste=%.0f%% batches=%lld plan_hits=%.0f%%",
       p50_us, p95_us, p99_us, mean_us, throughput_qps,
       padded_token_fraction * 100, static_cast<long long>(batches),
       plan_hit_rate * 100);
+  s += StrFormat(" ok=%lld/%lld", static_cast<long long>(completed),
+                 static_cast<long long>(submitted));
+  if (shed > 0) s += StrFormat(" shed=%lld", static_cast<long long>(shed));
+  if (deadline_missed > 0) {
+    s += StrFormat(" deadline_missed=%lld",
+                   static_cast<long long>(deadline_missed));
+  }
+  if (failed > 0) s += StrFormat(" failed=%lld", static_cast<long long>(failed));
+  if (retries > 0) {
+    s += StrFormat(" retries=%lld", static_cast<long long>(retries));
+  }
+  if (degraded > 0) {
+    s += StrFormat(" degraded=%lld", static_cast<long long>(degraded));
+  }
+  for (const auto& [code, count] : error_counts) {
+    s += StrFormat(" err[%s]=%lld", code.c_str(),
+                   static_cast<long long>(count));
+  }
+  return s;
 }
+
+namespace {
+
+std::vector<Request> SortedByArrival(const std::vector<Request>& requests) {
+  std::vector<Request> sorted = requests;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  return sorted;
+}
+
+}  // namespace
 
 std::vector<Batch> FormBatches(const std::vector<Request>& requests,
                                const BatcherOptions& options) {
   std::vector<Batch> batches;
   if (requests.empty()) return batches;
+  const std::vector<Request> sorted = SortedByArrival(requests);
 
   if (options.pad == PadPolicy::kNone) {
-    for (const Request& r : requests) {
+    for (const Request& r : sorted) {
       Batch batch;
       batch.requests = {r};
       batch.padded_batch = 1;
@@ -75,10 +108,12 @@ std::vector<Batch> FormBatches(const std::vector<Request>& requests,
     current = Batch();
   };
 
-  for (const Request& r : requests) {
+  for (const Request& r : sorted) {
     if (!current.requests.empty()) {
       double oldest = current.requests.front().arrival_us;
       // Close the batch if adding r would exceed the oldest member's wait.
+      // Strict '>': a request arriving exactly at the wait bound still
+      // joins the batch (tested in serving_test).
       if (r.arrival_us - oldest > options.max_wait_us) flush();
     }
     current.requests.push_back(r);
@@ -94,9 +129,11 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
                                      const std::vector<Request>& requests,
                                      const BatcherOptions& options,
                                      const DeviceSpec& device) {
-  std::vector<Batch> batches = FormBatches(requests, options);
+  const std::vector<Request> sorted = SortedByArrival(requests);
+  std::vector<Batch> batches = FormBatches(sorted, options);
   ServingStats stats;
   stats.batches = static_cast<int64_t>(batches.size());
+  stats.submitted = static_cast<int64_t>(sorted.size());
   const int64_t hits_before = engine->stats().launch_plan_hits;
   const int64_t misses_before = engine->stats().launch_plan_misses;
   TraceSession& trace = TraceSession::Global();
@@ -108,43 +145,112 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       "serving.batch_size", {1, 2, 4, 8, 16, 32, 64});
   Histogram* pad_waste_hist = registry.GetHistogram(
       "serving.padding_waste_pct", {0, 5, 10, 20, 30, 40, 50, 75, 100});
-  CountMetric("serving.requests", static_cast<int64_t>(requests.size()));
+  CountMetric("serving.requests", stats.submitted);
   CountMetric("serving.batches", stats.batches);
 
   double clock_us = 0.0;
   int64_t real_tokens = 0;
   int64_t padded_tokens = 0;
-  // Queue depth at batch launch = arrived - completed. Requests are sorted
-  // by arrival and batches finish in order, so both counts are running
+  // Queue depth at batch launch = arrived - accounted. Requests are sorted
+  // by arrival and batches launch in order, so both counts are running
   // cursors over the simulated clock.
   size_t arrived_cursor = 0;
-  int64_t completed = 0;
   std::vector<double> latencies;
+  auto accounted = [&stats]() {
+    return stats.completed + stats.shed + stats.deadline_missed + stats.failed;
+  };
   for (const Batch& batch : batches) {
-    DISC_ASSIGN_OR_RETURN(
-        EngineTiming timing,
-        engine->Query(shape_fn(batch.padded_batch, batch.padded_seq),
-                      device));
+    const int64_t n = static_cast<int64_t>(batch.requests.size());
     double start = std::max(clock_us, batch.ready_us);
-    double done = start + timing.total_us;
-    clock_us = done;
 
-    while (arrived_cursor < requests.size() &&
-           requests[arrived_cursor].arrival_us <= start) {
+    while (arrived_cursor < sorted.size() &&
+           sorted[arrived_cursor].arrival_us <= start) {
       ++arrived_cursor;
     }
-    queue_depth_hist->Observe(
-        static_cast<double>(static_cast<int64_t>(arrived_cursor) - completed));
-    batch_size_hist->Observe(static_cast<double>(batch.requests.size()));
+    const int64_t depth = static_cast<int64_t>(arrived_cursor) - accounted();
+    queue_depth_hist->Observe(static_cast<double>(depth));
+
+    // Load shedding: an over-deep queue means the device has fallen behind
+    // (e.g. every batch is paying a degraded-path stall); dropping whole
+    // batches bounds the latency of the requests that remain.
+    if (options.max_queue_depth > 0 && depth > options.max_queue_depth) {
+      stats.shed += n;
+      CountMetric("serving.shed", n);
+      if (trace.enabled()) {
+        trace.AddCompleteEvent(
+            "shed", "serving.batch", start, /*dur_us=*/-1.0,
+            TraceSession::kSimPid, /*tid=*/0,
+            {{"requests", std::to_string(n)},
+             {"queue_depth", std::to_string(depth)}});
+      }
+      continue;
+    }
+
+    // Deadline admission check: requests already past their deadline at
+    // launch are dropped before the device is committed to them.
+    std::vector<const Request*> live;
+    live.reserve(batch.requests.size());
+    for (const Request& r : batch.requests) {
+      if (r.deadline_us > 0.0 && r.deadline_us < start) {
+        ++stats.deadline_missed;
+        CountMetric("serving.deadline_missed");
+      } else {
+        live.push_back(&r);
+      }
+    }
+    if (live.empty()) continue;
+
+    // Execute with retry-with-backoff on retryable errors. The backoff
+    // advances the simulated clock, so breaker cooldowns can elapse
+    // between attempts.
+    const int64_t fallback_before = engine->stats().fallback_queries;
+    const auto shapes = shape_fn(batch.padded_batch, batch.padded_seq);
+    Result<EngineTiming> attempt_result = EngineTiming{};
+    for (int64_t attempt = 0;; ++attempt) {
+      engine->SetSimulatedTimeUs(start);
+      attempt_result = engine->Query(shapes, device);
+      if (attempt_result.ok()) break;
+      const Status& error = attempt_result.status();
+      if (!error.IsRetryable() || attempt >= options.max_retries) break;
+      ++stats.retries;
+      CountMetric("serving.retries");
+      start += options.retry_backoff_us * std::pow(2.0, attempt);
+    }
+    if (!attempt_result.ok()) {
+      const int64_t live_n = static_cast<int64_t>(live.size());
+      stats.failed += live_n;
+      const std::string code =
+          StatusCodeToString(attempt_result.status().code());
+      stats.error_counts[code] += live_n;
+      CountMetric("serving.errors." + code, live_n);
+      clock_us = std::max(clock_us, start);
+      if (trace.enabled()) {
+        trace.AddCompleteEvent(
+            "batch-failed", "serving.batch", start, /*dur_us=*/-1.0,
+            TraceSession::kSimPid, /*tid=*/0,
+            {{"requests", std::to_string(live_n)},
+             {"error", attempt_result.status().ToString()}});
+      }
+      continue;
+    }
+    const EngineTiming timing = *attempt_result;
+    double done = start + timing.total_us;
+    clock_us = done;
+    if (engine->stats().fallback_queries > fallback_before) {
+      stats.degraded += static_cast<int64_t>(live.size());
+      CountMetric("serving.degraded", static_cast<int64_t>(live.size()));
+    }
+
+    batch_size_hist->Observe(static_cast<double>(live.size()));
 
     int64_t batch_real_tokens = 0;
-    for (const Request& r : batch.requests) {
-      latencies.push_back(done - r.arrival_us);
-      real_tokens += r.seq_len;
-      batch_real_tokens += r.seq_len;
-      queue_wait_hist->Observe(start - r.arrival_us);
+    for (const Request* r : live) {
+      latencies.push_back(done - r->arrival_us);
+      real_tokens += r->seq_len;
+      batch_real_tokens += r->seq_len;
+      queue_wait_hist->Observe(start - r->arrival_us);
     }
-    completed += static_cast<int64_t>(batch.requests.size());
+    stats.completed += static_cast<int64_t>(live.size());
     const int64_t batch_padded_tokens = batch.padded_batch * batch.padded_seq;
     padded_tokens += batch_padded_tokens;
     const double batch_waste_pct =
@@ -164,22 +270,23 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
           {{"shape", StrFormat("%lldx%lld",
                                static_cast<long long>(batch.padded_batch),
                                static_cast<long long>(batch.padded_seq))},
-           {"requests", std::to_string(batch.requests.size())},
+           {"requests", std::to_string(live.size())},
            {"pad_waste_pct", StrFormat("%.0f", batch_waste_pct)},
            {"policy", PadPolicyName(options.pad)}});
-      for (const Request& r : batch.requests) {
+      for (const Request* r : live) {
         // One row (tid) per in-flight slot keeps overlapping requests
         // readable; rows cycle, the id arg disambiguates.
-        const int tid = 1 + static_cast<int>(r.id % 16);
+        const int tid = 1 + static_cast<int>(r->id % 16);
         std::vector<TraceArg> args = {
-            {"id", std::to_string(r.id)},
-            {"seq_len", std::to_string(r.seq_len)}};
-        trace.AddCompleteEvent("request", "serving.request", r.arrival_us,
-                               done - r.arrival_us, TraceSession::kSimPid,
+            {"id", std::to_string(r->id)},
+            {"seq_len", std::to_string(r->seq_len)}};
+        trace.AddCompleteEvent("request", "serving.request", r->arrival_us,
+                               done - r->arrival_us, TraceSession::kSimPid,
                                tid, std::move(args));
-        if (batch.ready_us > r.arrival_us) {
+        if (batch.ready_us > r->arrival_us) {
           trace.AddCompleteEvent("batch-form", "serving.request",
-                                 r.arrival_us, batch.ready_us - r.arrival_us,
+                                 r->arrival_us,
+                                 batch.ready_us - r->arrival_us,
                                  TraceSession::kSimPid, tid);
         }
         if (start > batch.ready_us) {
@@ -210,7 +317,7 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
   stats.mean_us =
       latencies.empty() ? 0.0 : total / static_cast<double>(latencies.size());
   stats.throughput_qps =
-      clock_us > 0 ? static_cast<double>(requests.size()) / clock_us * 1e6
+      clock_us > 0 ? static_cast<double>(stats.completed) / clock_us * 1e6
                    : 0.0;
   stats.padded_token_fraction =
       padded_tokens > 0
@@ -223,6 +330,8 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       hits + misses > 0
           ? static_cast<double>(hits) / static_cast<double>(hits + misses)
           : 0.0;
+  DISC_CHECK_EQ(accounted(), stats.submitted)
+      << "serving accounting drifted";
   return stats;
 }
 

@@ -12,10 +12,20 @@
 // The simulator advances a single-device clock: batches execute serially,
 // requests accumulate queueing + execution latency; reported percentiles
 // include both.
+//
+// The simulator degrades instead of dying. A query failure is not the end
+// of the replay: retryable errors (Status::IsRetryable — unavailable,
+// resource-exhausted) are retried with exponential backoff on the
+// simulated clock, batches arriving to an over-deep queue are shed,
+// requests whose deadline passed before launch are dropped pre-execution,
+// and only a non-retryable exhaustion of retries marks a batch failed.
+// Every request is accounted for exactly once:
+//   submitted == completed + shed + deadline_missed + failed.
 #ifndef DISC_SERVING_SERVING_H_
 #define DISC_SERVING_SERVING_H_
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +39,12 @@ struct Request {
   int64_t id = 0;
   int64_t seq_len = 1;
   double arrival_us = 0.0;
+  /// Absolute simulated-time deadline; 0 = none. A request whose deadline
+  /// has already passed when its batch launches is dropped pre-execution
+  /// and counted in ServingStats::deadline_missed. A request that launches
+  /// in time but completes late still counts completed — the simulator
+  /// models a server that cannot recall work already on the device.
+  double deadline_us = 0.0;
 };
 
 enum class PadPolicy {
@@ -45,6 +61,15 @@ struct BatcherOptions {
   /// long.
   double max_wait_us = 2000.0;
   PadPolicy pad = PadPolicy::kBatchMax;
+  /// Retries per batch on a retryable Query error (IsRetryable). The
+  /// first retry waits `retry_backoff_us` of simulated time, doubling on
+  /// each subsequent attempt.
+  int64_t max_retries = 2;
+  double retry_backoff_us = 500.0;
+  /// Shed (drop) a whole batch when the queue depth at its launch time —
+  /// arrived but not yet accounted requests — exceeds this bound.
+  /// 0 = never shed.
+  int64_t max_queue_depth = 0;
 };
 
 /// One formed batch: the requests plus the padded launch shape.
@@ -55,8 +80,9 @@ struct Batch {
   double ready_us = 0.0;  // when the batch could start (arrivals + wait)
 };
 
-/// \brief Groups requests (assumed sorted by arrival) into batches under
-/// the policy. Pure function — exposed for testing.
+/// \brief Groups requests into batches under the policy. Arrivals are
+/// sorted internally (stable, by arrival time) — callers need not
+/// pre-sort. Pure function — exposed for testing.
 std::vector<Batch> FormBatches(const std::vector<Request>& requests,
                                const BatcherOptions& options);
 
@@ -74,6 +100,25 @@ struct ServingStats {
   /// engine serves most batches on the fast path.
   double plan_hit_rate = 0.0;
 
+  // Request accounting. Invariant (asserted by the chaos harness):
+  //   submitted == completed + shed + deadline_missed + failed.
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  /// Dropped by load shedding (queue depth exceeded max_queue_depth).
+  int64_t shed = 0;
+  /// Dropped pre-execution because the deadline passed before launch.
+  int64_t deadline_missed = 0;
+  /// Batch query failed after exhausting retries (non-retryable or out of
+  /// attempts); counts each request of the failed batch.
+  int64_t failed = 0;
+  /// Retry attempts across all batches (not requests).
+  int64_t retries = 0;
+  /// Requests served on a degraded path (the engine's fallback leg),
+  /// attributed per batch via the delta of EngineStats::fallback_queries.
+  int64_t degraded = 0;
+  /// Failed requests per StatusCode name (e.g. "Unavailable" -> 12).
+  std::map<std::string, int64_t> error_counts;
+
   std::string ToString() const;
 };
 
@@ -82,7 +127,11 @@ using ShapeFn =
     std::function<std::vector<std::vector<int64_t>>(int64_t batch, int64_t seq)>;
 
 /// \brief Replays the request stream through `engine` on one device.
-/// `engine` must already be Prepared.
+/// `engine` must already be Prepared. Announces the simulated clock to the
+/// engine (Engine::SetSimulatedTimeUs) before every attempt so time-based
+/// engine state (circuit breakers) advances deterministically. Individual
+/// query failures degrade the replay (see header comment) rather than
+/// failing it; an error return means the simulation itself is broken.
 Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
                                      const std::vector<Request>& requests,
                                      const BatcherOptions& options,

@@ -1,0 +1,256 @@
+#include "support/failpoint.h"
+
+#include <cstdlib>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/string_util.h"
+#include "support/trace.h"
+
+namespace disc {
+
+std::atomic<bool> FailpointRegistry::any_armed_{false};
+
+namespace {
+
+/// Kebab-case code names accepted by the `code=` spec param. Only codes
+/// that make sense as injected runtime faults are listed.
+struct CodeName {
+  const char* name;
+  StatusCode code;
+};
+constexpr CodeName kCodeNames[] = {
+    {"invalid-argument", StatusCode::kInvalidArgument},
+    {"not-found", StatusCode::kNotFound},
+    {"internal", StatusCode::kInternal},
+    {"out-of-range", StatusCode::kOutOfRange},
+    {"failed-precondition", StatusCode::kFailedPrecondition},
+    {"deadline-exceeded", StatusCode::kDeadlineExceeded},
+    {"resource-exhausted", StatusCode::kResourceExhausted},
+    {"unavailable", StatusCode::kUnavailable},
+};
+
+Result<StatusCode> ParseCodeName(const std::string& name) {
+  for (const CodeName& entry : kCodeNames) {
+    if (name == entry.name) return entry.code;
+  }
+  return Status::InvalidArgument("unknown failpoint code '" + name + "'");
+}
+
+const char* CodeToKebab(StatusCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (code == entry.code) return entry.name;
+  }
+  return "unavailable";
+}
+
+}  // namespace
+
+Result<FailpointSpec> FailpointSpec::Parse(const std::string& spec) {
+  FailpointSpec result;
+  std::vector<std::string> fields = Split(spec, ':');
+  if (fields.empty() || fields[0].empty()) {
+    return Status::InvalidArgument("empty failpoint trigger in '" + spec +
+                                   "'");
+  }
+  size_t next = 1;
+  const std::string& trigger = fields[0];
+  if (trigger == "always") {
+    result.trigger = Trigger::kAlways;
+  } else if (trigger == "once") {
+    result.trigger = Trigger::kOnce;
+  } else if (trigger == "every") {
+    result.trigger = Trigger::kEveryNth;
+    if (next >= fields.size()) {
+      return Status::InvalidArgument("every needs a count in '" + spec + "'");
+    }
+    result.every_n = std::atoll(fields[next].c_str());
+    if (result.every_n < 1) {
+      return Status::InvalidArgument("every:<N> needs N >= 1 in '" + spec +
+                                     "'");
+    }
+    ++next;
+  } else if (trigger == "prob") {
+    result.trigger = Trigger::kProbability;
+    if (next >= fields.size()) {
+      return Status::InvalidArgument("prob needs a probability in '" + spec +
+                                     "'");
+    }
+    result.probability = std::atof(fields[next].c_str());
+    if (result.probability < 0.0 || result.probability > 1.0) {
+      return Status::InvalidArgument("prob:<P> needs P in [0,1] in '" + spec +
+                                     "'");
+    }
+    ++next;
+  } else {
+    return Status::InvalidArgument("unknown failpoint trigger '" + trigger +
+                                   "'");
+  }
+
+  for (; next < fields.size(); ++next) {
+    const std::string& field = fields[next];
+    if (StartsWith(field, "seed=")) {
+      result.seed = static_cast<uint64_t>(std::atoll(field.c_str() + 5));
+    } else if (StartsWith(field, "max=")) {
+      result.max_fires = std::atoll(field.c_str() + 4);
+    } else if (StartsWith(field, "code=")) {
+      DISC_ASSIGN_OR_RETURN(result.code, ParseCodeName(field.substr(5)));
+    } else {
+      return Status::InvalidArgument("unknown failpoint param '" + field +
+                                     "'");
+    }
+  }
+  return result;
+}
+
+std::string FailpointSpec::ToString() const {
+  std::string out;
+  switch (trigger) {
+    case Trigger::kAlways:
+      out = "always";
+      break;
+    case Trigger::kOnce:
+      out = "once";
+      break;
+    case Trigger::kEveryNth:
+      out = StrFormat("every:%lld", static_cast<long long>(every_n));
+      break;
+    case Trigger::kProbability:
+      out = StrFormat("prob:%g:seed=%llu", probability,
+                      static_cast<unsigned long long>(seed));
+      break;
+  }
+  if (max_fires >= 0) {
+    out += StrFormat(":max=%lld", static_cast<long long>(max_fires));
+  }
+  out += ":code=";
+  out += CodeToKebab(code);
+  return out;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* instance = new FailpointRegistry();
+  return *instance;
+}
+
+namespace {
+// Construct the registry (and thus parse DISC_FAILPOINTS) before main:
+// CheckFailpoint short-circuits on the any_armed_ atomic without touching
+// Global(), so env arming must happen eagerly, not on first registry use.
+const bool kEnvArmed = (FailpointRegistry::Global(), true);
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("DISC_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  Status status = ArmFromSpec(env);
+  if (!status.ok()) {
+    DISC_LOG(Warning) << "bad DISC_FAILPOINTS: " << status.ToString();
+  }
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Armed armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed);
+  points_[name] = std::move(armed);
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec_list) {
+  for (const std::string& entry : Split(spec_list, ';')) {
+    std::string stripped = Strip(entry);
+    if (stripped.empty()) continue;
+    size_t eq = stripped.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + stripped +
+                                     "' is not <name>=<spec>");
+    }
+    DISC_ASSIGN_OR_RETURN(FailpointSpec spec,
+                          FailpointSpec::Parse(stripped.substr(eq + 1)));
+    Arm(stripped.substr(0, eq), spec);
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(name);
+  if (points_.empty()) any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::Check(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return Status::OK();
+  Armed& armed = it->second;
+  ++armed.hits;
+
+  bool fire = false;
+  switch (armed.spec.trigger) {
+    case FailpointSpec::Trigger::kAlways:
+      fire = true;
+      break;
+    case FailpointSpec::Trigger::kOnce:
+      fire = armed.fires == 0;
+      break;
+    case FailpointSpec::Trigger::kEveryNth:
+      fire = armed.hits % armed.spec.every_n == 0;
+      break;
+    case FailpointSpec::Trigger::kProbability:
+      fire = armed.rng.Uniform() < armed.spec.probability;
+      break;
+  }
+  if (armed.spec.max_fires >= 0 && armed.fires >= armed.spec.max_fires) {
+    fire = false;
+  }
+  if (!fire) return Status::OK();
+
+  ++armed.fires;
+  CountMetric("support.failpoint.fired");
+  TraceSession& trace = TraceSession::Global();
+  if (trace.enabled()) {
+    trace.AddInstantEvent(std::string("failpoint:") + name, "failpoint",
+                          {{"spec", armed.spec.ToString()},
+                           {"fire", std::to_string(armed.fires)}});
+  }
+  return Status(armed.spec.code,
+                StrFormat("failpoint '%s' fired (#%lld)", name,
+                          static_cast<long long>(armed.fires)));
+}
+
+std::vector<FailpointRegistry::Info> FailpointRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  for (const auto& [name, armed] : points_) {
+    out.push_back({name, armed.spec, armed.hits, armed.fires});
+  }
+  return out;
+}
+
+int64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::string FailpointRegistry::Summary() const {
+  // Snapshot takes the lock; don't hold it here too.
+  std::string out;
+  for (const Info& info : Snapshot()) {
+    out += StrFormat("%s=%s  hits=%lld fires=%lld\n", info.name.c_str(),
+                     info.spec.ToString().c_str(),
+                     static_cast<long long>(info.hits),
+                     static_cast<long long>(info.fires));
+  }
+  return out;
+}
+
+}  // namespace disc

@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnimplemented,
   kOutOfRange,
   kFailedPrecondition,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -58,6 +61,15 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -65,6 +77,17 @@ class Status {
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;
+
+  /// \brief True for transient failures a caller may retry (possibly after
+  /// a backoff): the operation itself is sound, the environment was not.
+  /// Serving uses this to decide between retry-with-backoff and giving a
+  /// request up. kResourceExhausted qualifies because allocator pressure
+  /// subsides when in-flight work completes; kUnavailable is the generic
+  /// transient-dependency code. Deadline misses are final by definition.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

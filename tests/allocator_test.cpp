@@ -2,23 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include "support/failpoint.h"
+
 namespace disc {
 namespace {
 
+// Allocate's Result is checked in every test; this unwraps or fails the
+// test at the call site.
+int64_t MustAllocate(CachingAllocator& allocator, int64_t bytes) {
+  Result<int64_t> block = allocator.Allocate(bytes);
+  EXPECT_TRUE(block.ok()) << block.status().ToString();
+  return block.ok() ? *block : -1;
+}
+
 TEST(AllocatorTest, RoundsToSizeClass) {
   CachingAllocator allocator;
-  allocator.Allocate(1);
+  MustAllocate(allocator, 1);
   EXPECT_EQ(allocator.stats().bytes_in_use, 256);
-  allocator.Allocate(257);
+  MustAllocate(allocator, 257);
   EXPECT_EQ(allocator.stats().bytes_in_use, 256 + 512);
 }
 
 TEST(AllocatorTest, FreeReturnsToCacheAndHits) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(1000);
-  allocator.Free(a);
+  int64_t a = MustAllocate(allocator, 1000);
+  ASSERT_TRUE(allocator.Free(a).ok());
   EXPECT_EQ(allocator.stats().bytes_in_use, 0);
-  int64_t b = allocator.Allocate(1000);
+  int64_t b = MustAllocate(allocator, 1000);
   EXPECT_EQ(a, b);  // same block reused
   EXPECT_EQ(allocator.stats().cache_hits, 1);
   // Reserved memory does not grow on a cache hit.
@@ -27,28 +37,28 @@ TEST(AllocatorTest, FreeReturnsToCacheAndHits) {
 
 TEST(AllocatorTest, DifferentSizeClassMisses) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(256);
-  allocator.Free(a);
-  allocator.Allocate(512);
+  int64_t a = MustAllocate(allocator, 256);
+  ASSERT_TRUE(allocator.Free(a).ok());
+  MustAllocate(allocator, 512);
   EXPECT_EQ(allocator.stats().cache_hits, 0);
   EXPECT_EQ(allocator.stats().bytes_reserved, 256 + 512);
 }
 
 TEST(AllocatorTest, PeakTracksHighWaterMark) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(1024);
-  int64_t b = allocator.Allocate(1024);
-  allocator.Free(a);
-  allocator.Free(b);
-  allocator.Allocate(1024);
+  int64_t a = MustAllocate(allocator, 1024);
+  int64_t b = MustAllocate(allocator, 1024);
+  ASSERT_TRUE(allocator.Free(a).ok());
+  ASSERT_TRUE(allocator.Free(b).ok());
+  MustAllocate(allocator, 1024);
   EXPECT_EQ(allocator.stats().peak_bytes_in_use, 2048);
   EXPECT_EQ(allocator.stats().bytes_in_use, 1024);
 }
 
 TEST(AllocatorTest, TrimCacheReleasesFreeBlocks) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(4096);
-  allocator.Free(a);
+  int64_t a = MustAllocate(allocator, 4096);
+  ASSERT_TRUE(allocator.Free(a).ok());
   EXPECT_EQ(allocator.stats().bytes_reserved, 4096);
   allocator.TrimCache();
   EXPECT_EQ(allocator.stats().bytes_reserved, 0);
@@ -56,16 +66,61 @@ TEST(AllocatorTest, TrimCacheReleasesFreeBlocks) {
 
 TEST(AllocatorTest, ZeroByteAllocationIsValid) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(0);
+  int64_t a = MustAllocate(allocator, 0);
   EXPECT_EQ(allocator.stats().bytes_in_use, 256);  // minimum class
-  allocator.Free(a);
+  EXPECT_TRUE(allocator.Free(a).ok());
 }
 
-TEST(AllocatorDeathTest, DoubleFreeAborts) {
+TEST(AllocatorTest, NegativeSizeIsInvalidArgument) {
   CachingAllocator allocator;
-  int64_t a = allocator.Allocate(64);
-  allocator.Free(a);
-  EXPECT_DEATH(allocator.Free(a), "double free");
+  Result<int64_t> block = allocator.Allocate(-1);
+  ASSERT_FALSE(block.ok());
+  EXPECT_EQ(block.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AllocatorTest, DoubleFreeIsInvalidArgument) {
+  CachingAllocator allocator;
+  int64_t a = MustAllocate(allocator, 64);
+  ASSERT_TRUE(allocator.Free(a).ok());
+  Status second = allocator.Free(a);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AllocatorTest, UnknownBlockIdIsInvalidArgument) {
+  CachingAllocator allocator;
+  Status status = allocator.Free(12345);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AllocatorTest, MemoryLimitExhaustsAndRecovers) {
+  CachingAllocator allocator(/*memory_limit_bytes=*/1024);
+  int64_t a = MustAllocate(allocator, 1024);
+  // The device is full: the next allocation must fail with a retryable
+  // code, not abort.
+  Result<int64_t> over = allocator.Allocate(1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(over.status().IsRetryable());
+  EXPECT_EQ(allocator.stats().failed_allocs, 1);
+  // Pressure subsides when in-flight blocks are freed.
+  ASSERT_TRUE(allocator.Free(a).ok());
+  MustAllocate(allocator, 1);
+}
+
+TEST(AllocatorTest, FailpointInjectsResourceExhausted) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(
+      registry.ArmFromSpec("runtime.alloc=once:code=resource-exhausted").ok());
+  CachingAllocator allocator;
+  Result<int64_t> faulted = allocator.Allocate(64);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(allocator.stats().failed_allocs, 1);
+  // `once` fired; the allocator works again.
+  MustAllocate(allocator, 64);
+  registry.DisarmAll();
 }
 
 }  // namespace

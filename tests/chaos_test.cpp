@@ -1,0 +1,291 @@
+// Chaos harness: replays serving traffic through the DISC->interpreter
+// fallback chain while seeded failpoint schedules break compilation,
+// allocation and kernel execution. The assertions are the robustness
+// contract:
+//   * no crash — every schedule runs to completion;
+//   * no silently dropped request — submitted == completed + shed +
+//     deadline_missed + failed, always;
+//   * the circuit breaker opens under sustained compile failure and
+//     re-closes once the fault clears (on the simulated clock);
+//   * outputs on the degraded path are bit-identical to the fallback
+//     engine run alone — faults change the route, never the numerics.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/dynamic_engine.h"
+#include "baselines/fallback_chain.h"
+#include "baselines/interpreter_engine.h"
+#include "ir/builder.h"
+#include "serving/serving.h"
+#include "support/failpoint.h"
+
+namespace disc {
+namespace {
+
+constexpr int64_t kHidden = 32;
+
+void BuildModel(Graph* g) {
+  GraphBuilder b(g);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, kHidden});
+  b.Output({b.Softmax(b.Relu(x))});
+}
+
+std::unique_ptr<EngineFallbackChain> MakeChain(
+    const Graph& graph, FallbackChainOptions options = {}) {
+  auto primary =
+      std::make_unique<DynamicCompilerEngine>(DynamicProfile::Disc());
+  auto fallback =
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch());
+  auto chain = std::make_unique<EngineFallbackChain>(
+      std::move(primary), std::move(fallback), options);
+  DISC_CHECK_OK(chain->Prepare(graph, {{"B", "S", ""}}));
+  return chain;
+}
+
+std::vector<std::vector<int64_t>> ShapeFor(int64_t batch, int64_t seq) {
+  return {{batch, seq, kHidden}};
+}
+
+Tensor DeterministicInput(int64_t batch, int64_t seq) {
+  std::vector<float> values;
+  values.reserve(batch * seq * kHidden);
+  for (int64_t i = 0; i < batch * seq * kHidden; ++i) {
+    values.push_back(static_cast<float>((i * 37) % 101) / 50.0f - 1.0f);
+  }
+  return Tensor::F32({batch, seq, kHidden}, values);
+}
+
+void ExpectFullAccounting(const ServingStats& stats) {
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed +
+                                 stats.deadline_missed + stats.failed)
+      << stats.ToString();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+
+  ServingStats Replay(Engine* engine, uint64_t stream_seed,
+                      BatcherOptions options = {}) {
+    auto requests = SyntheticRequestStream(96, 100.0, stream_seed);
+    auto stats = SimulateServing(engine, ShapeFor, requests, options,
+                                 DeviceSpec::T4());
+    DISC_CHECK_OK(stats.status());
+    return *stats;
+  }
+};
+
+TEST_F(ChaosTest, FaultFreeChainMatchesPlainDisc) {
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.compile_stall_us = 200.0;
+  auto chain = MakeChain(g, options);
+  ServingStats chained = Replay(chain.get(), 21);
+
+  DynamicCompilerEngine plain(DynamicProfile::Disc());
+  DISC_CHECK_OK(plain.Prepare(g, {{"B", "S", ""}}));
+  ServingStats direct = Replay(&plain, 21);
+
+  // Without faults the chain is a pass-through: same completions, no
+  // degraded traffic, untouched breaker, identical latency profile.
+  ExpectFullAccounting(chained);
+  EXPECT_EQ(chained.completed, chained.submitted);
+  EXPECT_EQ(chained.degraded, 0);
+  EXPECT_TRUE(chain->breaker_transitions().empty());
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(chained.p99_us, direct.p99_us);
+  EXPECT_DOUBLE_EQ(chained.mean_us, direct.mean_us);
+}
+
+TEST_F(ChaosTest, CompileFaultScheduleDegradesAndRecovers) {
+  // The compiler fails its first 5 attempts, then heals. Threshold 3 opens
+  // the breaker during the outage; half-open probes keep re-opening it
+  // until a probe compile finally succeeds.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("compiler.compile=always:max=5")
+                  .ok());
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_us = 2000.0;
+  options.compile_stall_us = 200.0;
+  auto chain = MakeChain(g, options);
+  ServingStats stats = Replay(chain.get(), 33);
+
+  // Every request was served (by the fallback during the outage) — the
+  // compile fault never surfaces as a failed or dropped request.
+  ExpectFullAccounting(stats);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GT(stats.degraded, 0);
+  EXPECT_LT(stats.degraded, stats.submitted);  // recovery happened mid-run
+
+  // Breaker lifecycle: opened under sustained failure, re-closed after the
+  // fault cleared, and finished the run closed on the primary.
+  const auto& transitions = chain->breaker_transitions();
+  ASSERT_FALSE(transitions.empty());
+  EXPECT_EQ(transitions.front().from, BreakerState::kClosed);
+  EXPECT_EQ(transitions.front().to, BreakerState::kOpen);
+  EXPECT_EQ(transitions.back().to, BreakerState::kClosed);
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kClosed);
+  EXPECT_TRUE(chain->primary_prepared());
+  EXPECT_EQ(FailpointRegistry::Global().fires("compiler.compile"), 5);
+  // Simulated transition times are monotone (the breaker lives on the
+  // serving clock, not the wall clock).
+  for (size_t i = 1; i < transitions.size(); ++i) {
+    EXPECT_GE(transitions[i].sim_time_us, transitions[i - 1].sim_time_us);
+  }
+}
+
+TEST_F(ChaosTest, AllocFaultScheduleRetriesAndAccountsEveryRequest) {
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.compile_stall_us = 200.0;
+  auto chain = MakeChain(g, options);
+  // Arm after Prepare: allocation faults hit the query path of both legs
+  // with a seeded 15% schedule.
+  ASSERT_TRUE(
+      FailpointRegistry::Global()
+          .ArmFromSpec("runtime.alloc=prob:0.15:seed=11:code=resource-exhausted")
+          .ok());
+  BatcherOptions batcher;
+  batcher.max_retries = 3;
+  ServingStats stats = Replay(chain.get(), 45, batcher);
+
+  ExpectFullAccounting(stats);
+  EXPECT_GT(stats.completed, 0);
+  // The schedule is dense enough that some queries needed the retry path
+  // or the fallback leg.
+  EXPECT_GT(stats.retries + stats.degraded, 0);
+  EXPECT_GT(FailpointRegistry::Global().fires("runtime.alloc"), 0);
+  for (const auto& [code, count] : stats.error_counts) {
+    EXPECT_EQ(code, "ResourceExhausted");
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST_F(ChaosTest, KernelFaultScheduleDegradesWithoutDrops) {
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.failure_threshold = 4;
+  options.cooldown_us = 3000.0;
+  options.compile_stall_us = 200.0;
+  auto chain = MakeChain(g, options);
+  // Every 6th kernel launch dies (sticky-device-error model). Only the
+  // compiled leg launches kernels, so the interpreter absorbs the faults.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("runtime.kernel=every:6:code=unavailable")
+                  .ok());
+  BatcherOptions batcher;
+  batcher.max_retries = 2;
+  ServingStats stats = Replay(chain.get(), 57, batcher);
+
+  ExpectFullAccounting(stats);
+  EXPECT_GT(stats.completed, 0);
+  EXPECT_GT(stats.degraded + stats.retries, 0);
+  EXPECT_GT(FailpointRegistry::Global().fires("runtime.kernel"), 0);
+}
+
+TEST_F(ChaosTest, DegradedExecuteIsBitIdenticalToFallbackAlone) {
+  // With compilation permanently broken the chain serves Execute from its
+  // interpreter leg; the result must be bit-identical to running that
+  // interpreter standalone — degradation changes the route, not the math.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().ArmFromSpec("compiler.compile=always").ok());
+  Graph g("chaos");
+  BuildModel(&g);
+  auto chain = MakeChain(g);
+  EXPECT_FALSE(chain->primary_prepared());
+
+  InterpreterEngine alone(InterpreterProfile::PyTorch());
+  DISC_CHECK_OK(alone.Prepare(g, {{"B", "S", ""}}));
+
+  const Tensor input = DeterministicInput(2, 5);
+  auto degraded = chain->Execute({input});
+  auto reference = alone.Execute({input});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(degraded->size(), reference->size());
+  for (size_t t = 0; t < degraded->size(); ++t) {
+    const Tensor& a = (*degraded)[t];
+    const Tensor& b = (*reference)[t];
+    ASSERT_EQ(a.dims(), b.dims());
+    const int64_t n = a.num_elements();
+    for (int64_t i = 0; i < n; ++i) {
+      // Bitwise, not approximate: memcmp-strength equality per element.
+      EXPECT_EQ(a.f32_data()[i], b.f32_data()[i]) << "element " << i;
+    }
+  }
+
+  // The healthy primary path computes the same function (approximately —
+  // the compiled kernels reassociate).
+  FailpointRegistry::Global().DisarmAll();
+  auto healthy_chain = MakeChain(g);
+  ASSERT_TRUE(healthy_chain->primary_prepared());
+  auto healthy = healthy_chain->Execute({input});
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(Tensor::AllClose((*healthy)[0], (*reference)[0]));
+}
+
+TEST_F(ChaosTest, BreakerFollowsOpenHalfOpenClosedSchedule) {
+  // Deterministic lifecycle walk on a manually advanced simulated clock:
+  // 3 failures open the breaker at t=0; probes at t=1000 and t=2000 fail
+  // and re-open it; the probe at t=3000 succeeds and closes it.
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("compiler.compile=always:max=5")
+                  .ok());
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_us = 1000.0;
+  options.compile_stall_us = 0.0;
+  auto chain = MakeChain(g, options);  // fire #1 (Prepare)
+  EXPECT_EQ(chain->consecutive_failures(), 1);
+
+  const auto shapes = ShapeFor(2, 8);
+  const DeviceSpec device = DeviceSpec::T4();
+  chain->SetSimulatedTimeUs(0.0);
+  ASSERT_TRUE(chain->Query(shapes, device).ok());  // fire #2
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kClosed);
+  ASSERT_TRUE(chain->Query(shapes, device).ok());  // fire #3 -> opens
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kOpen);
+
+  // While open, queries go straight to the fallback: no compile attempts.
+  ASSERT_TRUE(chain->Query(shapes, device).ok());
+  EXPECT_EQ(FailpointRegistry::Global().fires("compiler.compile"), 3);
+
+  chain->SetSimulatedTimeUs(1000.0);
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kHalfOpen);
+  ASSERT_TRUE(chain->Query(shapes, device).ok());  // probe, fire #4
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kOpen);
+
+  chain->SetSimulatedTimeUs(2000.0);
+  ASSERT_TRUE(chain->Query(shapes, device).ok());  // probe, fire #5
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kOpen);
+
+  chain->SetSimulatedTimeUs(3000.0);
+  ASSERT_TRUE(chain->Query(shapes, device).ok());  // probe succeeds
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kClosed);
+  EXPECT_TRUE(chain->primary_prepared());
+  EXPECT_EQ(chain->consecutive_failures(), 0);
+
+  const auto& transitions = chain->breaker_transitions();
+  ASSERT_EQ(transitions.size(), 7u);
+  EXPECT_EQ(transitions[0].to, BreakerState::kOpen);
+  EXPECT_EQ(transitions[1].to, BreakerState::kHalfOpen);
+  EXPECT_EQ(transitions[2].to, BreakerState::kOpen);
+  EXPECT_EQ(transitions[6].to, BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(transitions[0].sim_time_us, 0.0);
+  EXPECT_DOUBLE_EQ(transitions[1].sim_time_us, 1000.0);
+  EXPECT_DOUBLE_EQ(transitions[6].sim_time_us, 3000.0);
+}
+
+}  // namespace
+}  // namespace disc

@@ -72,6 +72,64 @@ TEST(BatcherTest, ReadyTimeIsLastArrival) {
   EXPECT_DOUBLE_EQ(batches[0].ready_us, 7.0);
 }
 
+TEST(BatcherTest, EmptyStreamFormsNoBatches) {
+  for (PadPolicy policy :
+       {PadPolicy::kNone, PadPolicy::kBatchMax, PadPolicy::kBucketPow2}) {
+    BatcherOptions options;
+    options.pad = policy;
+    EXPECT_TRUE(FormBatches({}, options).empty());
+  }
+}
+
+TEST(BatcherTest, ArrivalExactlyAtWaitBoundJoinsBatch) {
+  BatcherOptions options;
+  options.max_batch = 100;
+  options.max_wait_us = 10;
+  // The bound check is strict '>': 10us after the oldest member is still
+  // inside the wait budget, 10.5us is not.
+  auto at_bound = FormBatches(FixedRequests({{0, 8}, {10, 8}}), options);
+  ASSERT_EQ(at_bound.size(), 1u);
+  EXPECT_EQ(at_bound[0].requests.size(), 2u);
+  auto past_bound = FormBatches(FixedRequests({{0, 8}, {10.5, 8}}), options);
+  EXPECT_EQ(past_bound.size(), 2u);
+}
+
+TEST(BatcherTest, UnsortedArrivalsFormSameBatchesAsSorted) {
+  BatcherOptions options;
+  options.max_batch = 2;
+  auto sorted = FormBatches(
+      FixedRequests({{0, 8}, {1, 16}, {2, 8}, {3, 32}}), options);
+  auto shuffled = FormBatches(
+      FixedRequests({{3, 32}, {0, 8}, {2, 8}, {1, 16}}), options);
+  ASSERT_EQ(shuffled.size(), sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(shuffled[i].requests.size(), sorted[i].requests.size());
+    EXPECT_EQ(shuffled[i].padded_seq, sorted[i].padded_seq);
+    EXPECT_DOUBLE_EQ(shuffled[i].ready_us, sorted[i].ready_us);
+    for (size_t j = 0; j < sorted[i].requests.size(); ++j) {
+      EXPECT_DOUBLE_EQ(shuffled[i].requests[j].arrival_us,
+                       sorted[i].requests[j].arrival_us);
+    }
+  }
+}
+
+TEST(BatcherTest, MaxBatchOneEqualsNoBatching) {
+  auto requests = FixedRequests({{0, 10}, {5, 20}, {9, 30}});
+  BatcherOptions one;
+  one.max_batch = 1;
+  one.pad = PadPolicy::kBatchMax;
+  BatcherOptions none;
+  none.pad = PadPolicy::kNone;
+  auto a = FormBatches(requests, one);
+  auto b = FormBatches(requests, none);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].padded_batch, b[i].padded_batch);
+    EXPECT_EQ(a[i].padded_seq, b[i].padded_seq);
+    EXPECT_DOUBLE_EQ(a[i].ready_us, b[i].ready_us);
+  }
+}
+
 TEST(ServingTest, SyntheticStreamIsSortedAndDeterministic) {
   auto a = SyntheticRequestStream(50, 100.0, 3);
   auto b = SyntheticRequestStream(50, 100.0, 3);
@@ -202,6 +260,132 @@ TEST(ServingTest, BatchingBeatsNoBatchingUnderLoad) {
   ServingStats solo = run(PadPolicy::kNone);
   EXPECT_GT(batched.throughput_qps, solo.throughput_qps);
   EXPECT_LT(batched.p99_us, solo.p99_us);
+}
+
+// Scripted engine for degradation tests: fails the first `fail_first`
+// queries with a configurable code, then serves each query in a fixed
+// 100us.
+class FlakyEngine : public Engine {
+ public:
+  explicit FlakyEngine(int64_t fail_first,
+                       StatusCode code = StatusCode::kUnavailable)
+      : fail_first_(fail_first), code_(code) {}
+
+  const std::string& name() const override { return name_; }
+  Status Prepare(const Graph&,
+                 std::vector<std::vector<std::string>>) override {
+    return Status::OK();
+  }
+  Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>&,
+                             const DeviceSpec&) override {
+    CountQuery();
+    if (attempts_++ < fail_first_) return Status(code_, "scripted failure");
+    EngineTiming timing;
+    timing.total_us = 100.0;
+    timing.device_us = 100.0;
+    return timing;
+  }
+  int64_t attempts() const { return attempts_; }
+
+ private:
+  std::string name_ = "flaky";
+  int64_t fail_first_;
+  StatusCode code_;
+  int64_t attempts_ = 0;
+};
+
+std::vector<std::vector<int64_t>> UnitShape(int64_t, int64_t) {
+  return {{1}};
+}
+
+TEST(ServingRobustnessTest, RetryableErrorsAreRetriedWithBackoff) {
+  FlakyEngine engine(/*fail_first=*/2);
+  BatcherOptions options;
+  options.max_batch = 4;
+  options.max_retries = 2;
+  options.retry_backoff_us = 500.0;
+  auto requests = FixedRequests({{0, 8}, {1, 8}});
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->completed, 2);
+  EXPECT_EQ(stats->failed, 0);
+  EXPECT_EQ(stats->retries, 2);
+  EXPECT_EQ(engine.attempts(), 3);
+  // The two backoffs (500 + 1000) delayed the launch; latency reflects the
+  // simulated wait, not just the 100us execution.
+  EXPECT_GE(stats->p50_us, 1500.0);
+}
+
+TEST(ServingRobustnessTest, RetriesExhaustedMarksBatchFailed) {
+  FlakyEngine engine(/*fail_first=*/100);
+  BatcherOptions options;
+  options.max_retries = 2;
+  auto requests = FixedRequests({{0, 8}, {1, 8}, {5000, 8}});
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->completed, 0);
+  EXPECT_EQ(stats->failed, 3);
+  EXPECT_EQ(stats->error_counts.at("Unavailable"), 3);
+  EXPECT_EQ(stats->submitted,
+            stats->completed + stats->shed + stats->deadline_missed +
+                stats->failed);
+}
+
+TEST(ServingRobustnessTest, NonRetryableErrorFailsWithoutRetry) {
+  FlakyEngine engine(/*fail_first=*/100, StatusCode::kInternal);
+  BatcherOptions options;
+  options.max_retries = 5;
+  auto requests = FixedRequests({{0, 8}});
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->retries, 0);
+  EXPECT_EQ(engine.attempts(), 1);
+  EXPECT_EQ(stats->failed, 1);
+  EXPECT_EQ(stats->error_counts.at("Internal"), 1);
+}
+
+TEST(ServingRobustnessTest, ExpiredDeadlineDropsRequestPreExecution) {
+  FlakyEngine engine(/*fail_first=*/0);
+  BatcherOptions options;
+  options.max_batch = 2;
+  auto requests = FixedRequests({{0, 8}, {1, 8}});
+  // First request's deadline passes while the batch waits for the second
+  // member; the second has slack.
+  requests[0].deadline_us = 0.5;
+  requests[1].deadline_us = 1e9;
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->deadline_missed, 1);
+  EXPECT_EQ(stats->completed, 1);
+  EXPECT_EQ(stats->submitted, 2);
+}
+
+TEST(ServingRobustnessTest, DeepQueueShedsWholeBatches) {
+  // 100us per batch of one, arrivals every 1us: the queue builds far past
+  // depth 4, so most batches shed instead of queueing unboundedly.
+  FlakyEngine engine(/*fail_first=*/0);
+  BatcherOptions options;
+  options.max_batch = 1;
+  options.max_queue_depth = 4;
+  std::vector<Request> requests;
+  for (int64_t i = 0; i < 64; ++i) {
+    requests.push_back({i, 8, static_cast<double>(i)});
+  }
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->shed, 0);
+  EXPECT_GT(stats->completed, 0);
+  EXPECT_EQ(stats->submitted,
+            stats->completed + stats->shed + stats->deadline_missed +
+                stats->failed);
+  // Shedding bounds the latency of the survivors: nobody waits behind an
+  // unbounded queue.
+  EXPECT_LT(stats->p99_us, 100.0 * (options.max_queue_depth + 2));
 }
 
 }  // namespace

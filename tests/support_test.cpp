@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 #include "support/rng.h"
@@ -32,6 +33,42 @@ TEST(StatusTest, AllConstructorsSetCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, RetryableCodes) {
+  // Transient environment failures are retryable; caller mistakes and
+  // final outcomes are not.
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -166,6 +203,134 @@ TEST(LoggingDeathTest, CheckNePrintsBothValues) {
 
 TEST(LoggingDeathTest, CheckEqPrintsBothValues) {
   EXPECT_DEATH({ DISC_CHECK_EQ(2, 5); }, "\\(2 vs 5\\)");
+}
+
+// Failpoint tests share the process-global registry; each test disarms on
+// exit so the rest of the suite stays fault-free.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedCheckIsOk) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(CheckFailpoint("nothing.armed").ok());
+}
+
+TEST_F(FailpointTest, SpecParseRoundTrips) {
+  for (const char* spec :
+       {"always", "once", "every:50", "prob:0.05:seed=7:max=20",
+        "always:code=resource-exhausted", "once:code=internal"}) {
+    Result<FailpointSpec> parsed = FailpointSpec::Parse(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << parsed.status().ToString();
+    Result<FailpointSpec> again = FailpointSpec::Parse(parsed->ToString());
+    ASSERT_TRUE(again.ok()) << parsed->ToString();
+    EXPECT_EQ(again->ToString(), parsed->ToString()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, SpecParseRejectsGarbage) {
+  for (const char* spec :
+       {"", "sometimes", "every:0", "every:x", "prob:1.5", "prob:-0.1",
+        "always:bogus=1", "once:code=no-such-code"}) {
+    EXPECT_FALSE(FailpointSpec::Parse(spec).ok()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kAlways;
+  spec.code = StatusCode::kInternal;
+  FailpointRegistry::Global().Arm("t.always", spec);
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  for (int i = 0; i < 3; ++i) {
+    Status s = CheckFailpoint("t.always");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(FailpointRegistry::Global().fires("t.always"), 3);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(FailpointRegistry::Global().ArmFromSpec("t.once=once").ok());
+  EXPECT_FALSE(CheckFailpoint("t.once").ok());
+  EXPECT_TRUE(CheckFailpoint("t.once").ok());
+  EXPECT_TRUE(CheckFailpoint("t.once").ok());
+  EXPECT_EQ(FailpointRegistry::Global().fires("t.once"), 1);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiples) {
+  ASSERT_TRUE(FailpointRegistry::Global().ArmFromSpec("t.nth=every:3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!CheckFailpoint("t.nth").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FailpointTest, ProbabilityScheduleIsSeedDeterministic) {
+  auto run = [](const char* name) {
+    FailpointRegistry::Global().ArmFromSpec(
+        std::string(name) + "=prob:0.3:seed=42");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!CheckFailpoint(name).ok());
+    return fired;
+  };
+  std::vector<bool> a = run("t.prob_a");
+  std::vector<bool> b = run("t.prob_b");
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  int64_t fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST_F(FailpointTest, MaxCapsTotalFires) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().ArmFromSpec("t.max=always:max=2").ok());
+  int64_t fires = 0;
+  for (int i = 0; i < 10; ++i) fires += CheckFailpoint("t.max").ok() ? 0 : 1;
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(FailpointTest, InjectedCodeIsHonoured) {
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("t.code=always:code=deadline-exceeded")
+                  .ok());
+  EXPECT_EQ(CheckFailpoint("t.code").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FailpointTest, ArmFromSpecParsesMultipleEntries) {
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("t.one=once;t.two=every:2")
+                  .ok());
+  EXPECT_FALSE(CheckFailpoint("t.one").ok());
+  EXPECT_TRUE(CheckFailpoint("t.two").ok());
+  EXPECT_FALSE(CheckFailpoint("t.two").ok());
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsBadEntries) {
+  EXPECT_FALSE(FailpointRegistry::Global().ArmFromSpec("justaname").ok());
+  EXPECT_FALSE(FailpointRegistry::Global().ArmFromSpec("x=never").ok());
+}
+
+TEST_F(FailpointTest, DisarmAllResetsAnyArmed) {
+  ASSERT_TRUE(FailpointRegistry::Global().ArmFromSpec("t.reset=always").ok());
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  EXPECT_FALSE(FailpointRegistry::Global().Summary().empty());
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(CheckFailpoint("t.reset").ok());
+  EXPECT_TRUE(FailpointRegistry::Global().Summary().empty());
+}
+
+TEST_F(FailpointTest, SnapshotReportsHitsAndFires) {
+  ASSERT_TRUE(FailpointRegistry::Global().ArmFromSpec("t.snap=every:2").ok());
+  for (int i = 0; i < 4; ++i) CheckFailpoint("t.snap");
+  auto snapshot = FailpointRegistry::Global().Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "t.snap");
+  EXPECT_EQ(snapshot[0].hits, 4);
+  EXPECT_EQ(snapshot[0].fires, 2);
 }
 
 TEST(RngTest, CategoricalRespectsZeroWeight) {
