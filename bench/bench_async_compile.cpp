@@ -1,0 +1,267 @@
+// Extension experiment F10: async compilation service + persistent
+// artifact cache on a cold-start serving trace.
+//
+// The same request trace is served three ways: blocking compilation on the
+// first query (sync), the async compile service against a cold artifact
+// cache (queries before the executable lands degrade to the interpreter
+// leg — slower, but never stalled), and the async service against the warm
+// cache a previous lifetime persisted (every artifact restores from disk;
+// no compile jobs at all). Reported per column: latency percentiles, how
+// many queries stalled on compilation, how many degraded to the fallback
+// leg, and the time to the first compiled / first profile-specialized
+// kernel.
+//
+// Determinism: compile latency and cache-load latency are fixed simulated
+// constants (the engine adopts an executable when the simulated clock
+// passes submit + latency, waiting out slow workers off the clock), so
+// BENCH_F10.json is byte-stable and CI gates it against the committed
+// baseline. The persistence smoke reuses this binary: `--cache-dir=D`
+// serves one async column against D without wiping it, and `--expect-warm`
+// fails the process unless that run was 100% disk hits with zero compiles.
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "baselines/async_engine.h"
+#include "baselines/interpreter_engine.h"
+#include "bench/bench_util.h"
+#include "compile_service/compile_service.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+
+namespace disc {
+namespace {
+
+constexpr int64_t kHidden = 128;
+constexpr double kCompileLatencyUs = 400.0;  // fixed simulated compile
+constexpr double kCacheLoadLatencyUs = 25.0;  // fixed simulated disk load
+constexpr double kArrivalGapUs = 40.0;
+
+std::unique_ptr<Graph> EncoderBlock() {
+  auto g = std::make_unique<Graph>("encoder");
+  GraphBuilder b(g.get());
+  Rng rng(4);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, kHidden});
+  Tensor w(DType::kF32, {kHidden, kHidden});
+  for (int64_t i = 0; i < w.num_elements(); ++i) {
+    w.f32_data()[i] = rng.Normal(0, 0.1f);
+  }
+  Value* h = b.Gelu(b.MatMul(x, b.Constant(w)));
+  Value* scale = b.Constant(
+      Tensor::F32({kHidden}, std::vector<float>(kHidden, 1.0f)));
+  Value* bias = b.Constant(
+      Tensor::F32({kHidden}, std::vector<float>(kHidden, 0.0f)));
+  b.Output({b.LayerNorm(h, scale, bias)});
+  return g;
+}
+
+// Hot shape dominated trace (75% {512,1024}) with a deterministic cold
+// tail — no RNG, so the profile feedback emits identical hints at any
+// emission point and the cold and warm lifetimes produce identical cache
+// keys.
+std::vector<std::vector<std::vector<int64_t>>> ServingTrace(int n) {
+  const std::vector<std::vector<int64_t>> tail[] = {
+      {{64, 128, kHidden}},
+      {{96, 256, kHidden}},
+      {{128, 512, kHidden}},
+      {{32, 64, kHidden}},
+  };
+  std::vector<std::vector<std::vector<int64_t>>> trace;
+  trace.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i >= 12 && i % 4 == 3) {
+      trace.push_back(tail[(i / 4) % 4]);
+    } else {
+      trace.push_back({{512, 1024, kHidden}});
+    }
+  }
+  return trace;
+}
+
+struct ColumnResult {
+  std::vector<double> latencies;
+  int64_t stall_queries = 0;      // queries that blocked on compilation
+  int64_t fallback_queries = 0;   // queries degraded to the interpreter leg
+  double first_executable_us = -1.0;
+  double first_specialized_us = -1.0;
+  int64_t compile_jobs = 0;       // service jobs that actually compiled
+  int64_t disk_restores = 0;      // service jobs restored from the cache
+  int64_t hot_swaps = 0;
+};
+
+ColumnResult RunColumn(const Graph& graph, const std::string& cache_dir,
+                       bool sync_compile, int num_requests) {
+  CompileServiceOptions service_options;
+  service_options.cache.dir = cache_dir;  // "" = cache disabled
+  CompileService service(service_options);
+
+  AsyncEngineOptions options;
+  options.profile = DynamicProfile::DiscWithSpeculation();
+  options.feedback.max_values_per_label = 1;
+  options.sync_compile = sync_compile;
+  options.simulated_compile_latency_us = kCompileLatencyUs;
+  options.simulated_cache_load_latency_us = kCacheLoadLatencyUs;
+  AsyncCompileEngine engine(
+      &service,
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()),
+      options);
+
+  engine.SetSimulatedTimeUs(0.0);
+  DISC_CHECK_OK(engine.Prepare(graph, {{"B", "S", ""}}));
+
+  ColumnResult result;
+  const DeviceSpec device = DeviceSpec::A10();
+  auto trace = ServingTrace(num_requests);
+  double now_us = 0.0;
+  for (const auto& dims : trace) {
+    now_us += kArrivalGapUs;
+    engine.SetSimulatedTimeUs(now_us);
+    auto timing = engine.Query(dims, device);
+    DISC_CHECK_OK(timing.status());
+    result.latencies.push_back(timing->total_us);
+    if (timing->compile_us > 0.0) ++result.stall_queries;
+  }
+  service.Drain();
+
+  result.fallback_queries = engine.stats().fallback_queries;
+  result.first_executable_us = engine.first_executable_sim_us();
+  result.first_specialized_us = engine.first_specialized_sim_us();
+  result.compile_jobs = service.stats().compiled;
+  result.disk_restores = engine.disk_restores();
+  result.hot_swaps = engine.swaps();
+  return result;
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  using namespace disc;
+  namespace fs = std::filesystem;
+  bench::TraceFlag trace_flag(argc, argv);
+
+  std::string persist_dir;
+  bool expect_warm = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      persist_dir = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--expect-warm") == 0) {
+      expect_warm = true;
+    }
+  }
+
+  const int kRequests = 160;
+  auto graph = EncoderBlock();
+
+  if (!persist_dir.empty()) {
+    // Persistence-smoke mode: one async column against the given cache
+    // directory, left intact for the next process lifetime.
+    ColumnResult r = RunColumn(*graph, persist_dir, /*sync=*/false, kRequests);
+    std::printf(
+        "persist run: compile_jobs=%lld disk_restores=%lld stalls=%lld "
+        "fallback=%lld\n",
+        static_cast<long long>(r.compile_jobs),
+        static_cast<long long>(r.disk_restores),
+        static_cast<long long>(r.stall_queries),
+        static_cast<long long>(r.fallback_queries));
+    if (expect_warm && (r.compile_jobs != 0 || r.disk_restores == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: expected a fully warm cache (zero compile jobs, "
+                   "all disk hits), got %lld compiles / %lld restores\n",
+                   static_cast<long long>(r.compile_jobs),
+                   static_cast<long long>(r.disk_restores));
+      return 1;
+    }
+    return 0;
+  }
+
+  bench::JsonReporter report("F10", argc, argv);
+  std::printf(
+      "== F10 (extension): async compile service, cold vs warm artifact "
+      "cache ==\n\n");
+
+  const std::string scratch =
+      (fs::temp_directory_path() /
+       ("disc_bench_f10_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(scratch);
+
+  struct Column {
+    const char* key;
+    const char* label;
+    ColumnResult r;
+  };
+  Column columns[] = {
+      // Blocking compile on the first query, no artifact cache: the old
+      // Prepare-then-stall deployment.
+      {"sync", "sync compile", RunColumn(*graph, "", /*sync=*/true, kRequests)},
+      // Async service, empty cache: the first lifetime of a deployment.
+      {"async_cold", "async + cold cache",
+       RunColumn(*graph, scratch, /*sync=*/false, kRequests)},
+      // Async service, the cache the previous column persisted: a restart.
+      {"async_warm", "async + warm cache",
+       RunColumn(*graph, scratch, /*sync=*/false, kRequests)},
+  };
+  fs::remove_all(scratch);
+
+  bench::Table table({"system", "p50", "p99", "stalls", "fallback",
+                      "first exe", "first spec", "compiles", "restores"});
+  for (Column& column : columns) {
+    std::vector<double> l = column.r.latencies;
+    const std::string prefix = std::string(column.key) + ".";
+    report.AddMetric(prefix + "p50_us", bench::Percentile(l, 50), "us");
+    report.AddMetric(prefix + "p99_us", bench::Percentile(l, 99), "us");
+    report.AddMetric(prefix + "stall_queries",
+                     static_cast<double>(column.r.stall_queries), "queries");
+    report.AddMetric(prefix + "fallback_queries",
+                     static_cast<double>(column.r.fallback_queries),
+                     "queries");
+    report.AddMetric(prefix + "first_executable_us",
+                     column.r.first_executable_us, "us");
+    report.AddMetric(prefix + "first_specialized_us",
+                     column.r.first_specialized_us, "us");
+    report.AddMetric(prefix + "compile_jobs",
+                     static_cast<double>(column.r.compile_jobs), "jobs");
+    report.AddMetric(prefix + "disk_restores",
+                     static_cast<double>(column.r.disk_restores), "jobs");
+    table.AddRow({column.label, bench::FmtUs(bench::Percentile(l, 50)),
+                  bench::FmtUs(bench::Percentile(l, 99)),
+                  std::to_string(column.r.stall_queries),
+                  std::to_string(column.r.fallback_queries),
+                  bench::FmtUs(column.r.first_executable_us),
+                  bench::FmtUs(column.r.first_specialized_us),
+                  std::to_string(column.r.compile_jobs),
+                  std::to_string(column.r.disk_restores)});
+  }
+  table.Print();
+
+  const ColumnResult& sync = columns[0].r;
+  const ColumnResult& cold = columns[1].r;
+  const ColumnResult& warm = columns[2].r;
+  // The contract the experiment exists to demonstrate:
+  //  - async serving never stalls a query on compilation (cold or warm);
+  //  - the warm lifetime recompiles nothing — every artifact, including
+  //    the profile-respecialized one, restores from disk;
+  //  - the warm restart reaches compiled and specialized kernels sooner.
+  DISC_CHECK_GE(sync.stall_queries, 1) << "sync column never stalled";
+  DISC_CHECK_EQ(cold.stall_queries, 0) << "async cold run stalled";
+  DISC_CHECK_EQ(warm.stall_queries, 0) << "async warm run stalled";
+  DISC_CHECK_EQ(warm.compile_jobs, 0) << "warm cache still compiled";
+  DISC_CHECK_GE(warm.disk_restores, 2) << "warm cache missed";
+  DISC_CHECK_LT(warm.first_executable_us, cold.first_executable_us);
+  DISC_CHECK_LT(warm.first_specialized_us, cold.first_specialized_us);
+  DISC_CHECK_LE(warm.fallback_queries, cold.fallback_queries);
+
+  std::printf(
+      "\nReading: blocking compilation buys its low steady-state latency\n"
+      "with a %s stall on the first query. The async service serves those\n"
+      "queries on the interpreter leg instead (zero stalls, modestly higher\n"
+      "latency until the hot swap), and the persistent cache removes even\n"
+      "that window on restart: every executable — including the\n"
+      "profile-specialized variant — restores from disk with zero compile\n"
+      "jobs, so the warm lifetime reaches specialized kernels %.0fx sooner.\n",
+      bench::FmtUs(kCompileLatencyUs).c_str(),
+      columns[1].r.first_specialized_us / columns[2].r.first_specialized_us);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "compile_service/compile_service.h"
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "models/models.h"
@@ -182,6 +183,8 @@ int main(int argc, char** argv) {
   std::string dump_dir;
   std::string filter;
   std::string why_pair;
+  std::string cache_dir = "disc_explain.cache";
+  bool no_compile_cache = false;
   bool static_only = false;
   bool list_decisions = false;
   bool list_constraints = false;
@@ -195,6 +198,10 @@ int main(int argc, char** argv) {
       filter = arg + 14;
     } else if (std::strncmp(arg, "--why-not-fused=", 16) == 0) {
       why_pair = arg + 16;
+    } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      cache_dir = arg + 12;
+    } else if (std::strcmp(arg, "--no-compile-cache") == 0) {
+      no_compile_cache = true;
     } else if (std::strcmp(arg, "--static-shapes-only") == 0) {
       static_only = true;
     } else if (std::strcmp(arg, "--decisions") == 0) {
@@ -206,10 +213,15 @@ int main(int argc, char** argv) {
           stderr,
           "usage: disc_explain --model=<name> [--dump-dir=<dir>]\n"
           "           [--dump-filter=<substr>] [--why-not-fused=A,B]\n"
-          "           [--static-shapes-only] [--decisions] [--constraints]\n");
+          "           [--static-shapes-only] [--decisions] [--constraints]\n"
+          "           [--cache-dir=<dir>] [--no-compile-cache]\n");
       return 2;
     }
   }
+  // Introspection artifacts are written only by a real compile, so a dump
+  // request disables the artifact cache (a disk restore would silently
+  // skip the dump).
+  if (!dump_dir.empty()) no_compile_cache = true;
 
   auto workload = BuildWorkload(model_name);
   if (!workload.ok()) {
@@ -221,11 +233,25 @@ int main(int argc, char** argv) {
       static_only ? CompileOptions::NoSymbolicShapes() : CompileOptions();
   options.dump.dir = dump_dir;
   options.dump.filter = filter;
-  auto exe = DiscCompiler::Compile(*workload->graph, workload->labels,
-                                   options);
-  if (!exe.ok()) {
+
+  // The compile goes through the service so a previous invocation's
+  // artifact (same model, same options) restores from the persistent
+  // cache instead of recompiling — the job timeline printed at the end
+  // shows which happened.
+  CompileServiceOptions service_options;
+  if (!no_compile_cache) service_options.cache.dir = cache_dir;
+  CompileService service(service_options);
+  CompileJobRequest request;
+  request.model_name = workload->name;
+  request.graph = workload->graph.get();
+  request.labels = workload->labels;
+  request.options = options;
+  request.priority = JobPriority::kForegroundMiss;
+  CompileJobHandle job = service.Submit(std::move(request));
+  const CompileJobOutcome& outcome = job.Wait();
+  if (!outcome.status.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
-                 exe.status().ToString().c_str());
+                 outcome.status.ToString().c_str());
     // A failed compile with failpoints armed is usually the failpoint
     // firing — say so, with hit/fire counts.
     std::string failpoints = FailpointRegistry::Global().Summary();
@@ -235,11 +261,14 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
+  std::shared_ptr<const Executable> exe = outcome.executable;
 
-  std::printf("model %s%s: %zu nodes -> %zu fusion groups\n",
+  std::printf("model %s%s: %zu nodes -> %zu fusion groups%s\n",
               workload->name.c_str(),
               static_only ? " (static-shapes-only ablation)" : "",
-              (*exe)->graph().nodes().size(), (*exe)->plan().groups.size());
+              exe->graph().nodes().size(), exe->plan().groups.size(),
+              outcome.from_disk_cache ? " (restored from artifact cache)"
+                                      : "");
   if (!dump_dir.empty()) {
     std::printf("artifacts dumped to %s/\n", dump_dir.c_str());
   }
@@ -247,19 +276,18 @@ int main(int argc, char** argv) {
 
   if (list_decisions || (why_pair.empty() && !list_constraints)) {
     std::printf("== fusion decisions (final verdict per considered pair) ==\n");
-    for (const FusionDecision& d : (*exe)->plan().decisions) {
+    for (const FusionDecision& d : exe->plan().decisions) {
       std::printf("  %s\n", d.ToString().c_str());
     }
-    if ((*exe)->plan().decisions.empty()) {
+    if (exe->plan().decisions.empty()) {
       std::printf("  (none — fusion disabled or nothing adjacent)\n");
     }
-    std::printf("\n== fusion groups ==\n%s\n",
-                (*exe)->plan().ToString().c_str());
+    std::printf("\n== fusion groups ==\n%s\n", exe->plan().ToString().c_str());
   }
 
   if (list_constraints) {
     std::printf("== excavated shape constraints (discovery order) ==\n");
-    for (const ConstraintRecord& r : (*exe)->analysis().constraint_log()) {
+    for (const ConstraintRecord& r : exe->analysis().constraint_log()) {
       std::printf("  %s\n", r.ToString().c_str());
     }
     std::printf("\n");
@@ -278,8 +306,21 @@ int main(int argc, char** argv) {
     };
     int a = parse_id(why_pair.substr(0, comma));
     int b = parse_id(why_pair.substr(comma + 1));
-    WhyNotFused(**exe, a, b);
+    WhyNotFused(*exe, a, b);
   }
+
+  std::printf("\n== compile service ==\n%s",
+              service.JobTimelineString().c_str());
+  ArtifactCacheStats cache_stats = service.cache().stats();
+  std::printf(
+      "cache: hits=%lld misses=%lld stores=%lld evictions=%lld "
+      "quarantined=%lld\n",
+      static_cast<long long>(cache_stats.hits),
+      static_cast<long long>(cache_stats.misses),
+      static_cast<long long>(cache_stats.stores),
+      static_cast<long long>(cache_stats.evictions),
+      static_cast<long long>(cache_stats.quarantined));
+  std::printf("%s", service.cache().ManifestSummary().c_str());
 
   std::string failpoints = FailpointRegistry::Global().Summary();
   if (!failpoints.empty()) {

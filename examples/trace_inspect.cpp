@@ -9,14 +9,19 @@
 // registry. Load the output in chrome://tracing or https://ui.perfetto.dev.
 //
 //   $ ./build/examples/trace_inspect [out.trace.json] [--dump-dir=<dir>]
+//                                    [--no-compile-cache]
 //
 // --dump-dir additionally writes the compilation-introspection artifacts
 // (IR snapshots per pass, pipeline_summary.json, shape_constraints.json,
 // fusion_decisions.json) next to the trace — the per-pass times in
 // pipeline_summary.json are joined from the very trace being captured.
+// --no-compile-cache runs the async-compile-service section without a
+// persistent artifact cache (every job compiles, nothing is stored).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
+#include "baselines/async_engine.h"
 #include "baselines/baselines.h"
 #include "baselines/dynamic_engine.h"
 #include "baselines/fallback_chain.h"
@@ -34,9 +39,12 @@ using namespace disc;
 int main(int argc, char** argv) {
   const char* out_path = "trace_inspect.trace.json";
   std::string dump_dir;
+  bool no_compile_cache = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
       dump_dir = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--no-compile-cache") == 0) {
+      no_compile_cache = true;
     } else {
       out_path = argv[i];
     }
@@ -139,7 +147,68 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. Export + metrics dump.
+  // 4. Serve the same stream through the async compile service: Prepare
+  // submits a prefetch job and returns immediately, early requests degrade
+  // to the interpreter leg, and the compiled executable is hot-swapped in
+  // when its job lands. With the artifact cache enabled (default; disable
+  // via --no-compile-cache) the compiled artifact is persisted and a
+  // re-run of this demo restores it from disk instead of compiling. The
+  // job timeline below shows submit -> start -> finish per job with its
+  // priority and cache verdict; the manifest summary lists what is on
+  // disk. Service failpoints (compile_service.worker,
+  // compile_service.cache.load|store) respect DISC_FAILPOINTS like every
+  // other layer: a worker fault fails the job while the fallback leg keeps
+  // serving, a store fault loses only persistence.
+  CompileServiceOptions service_options;
+  if (!no_compile_cache) {
+    service_options.cache.dir = "trace_inspect.cache";
+    std::filesystem::remove_all(service_options.cache.dir);
+  }
+  CompileService service(service_options);
+  AsyncEngineOptions async_options;
+  AsyncCompileEngine async_engine(
+      &service,
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()),
+      async_options);
+  if (!async_engine.Prepare(*model.graph, model.input_dim_labels).ok()) {
+    std::fprintf(stderr, "async engine setup failed\n");
+    return 1;
+  }
+  auto async_stats = SimulateServing(&async_engine, shape_fn, requests,
+                                     batcher, DeviceSpec::A10());
+  if (!async_stats.ok()) {
+    std::fprintf(stderr, "async serving failed: %s\n",
+                 async_stats.status().ToString().c_str());
+    return 1;
+  }
+  service.Drain();
+  std::printf("\nasync-served %zu requests: %s\n", requests.size(),
+              async_stats->ToString().c_str());
+  // A second wave after the job landed: the hot-swapped executable serves
+  // it compiled (degraded=0).
+  auto second_wave = SimulateServing(&async_engine, shape_fn, requests,
+                                     batcher, DeviceSpec::A10());
+  if (second_wave.ok()) {
+    std::printf("second wave %zu requests: %s\n", requests.size(),
+                second_wave->ToString().c_str());
+  }
+  std::printf("  hot swaps=%lld  fallback queries=%lld\n",
+              static_cast<long long>(async_engine.swaps()),
+              static_cast<long long>(async_engine.stats().fallback_queries));
+  std::printf("\n== compile service ==\n%s",
+              service.JobTimelineString().c_str());
+  ArtifactCacheStats cache_stats_svc = service.cache().stats();
+  std::printf(
+      "cache: hits=%lld misses=%lld stores=%lld evictions=%lld "
+      "quarantined=%lld\n",
+      static_cast<long long>(cache_stats_svc.hits),
+      static_cast<long long>(cache_stats_svc.misses),
+      static_cast<long long>(cache_stats_svc.stores),
+      static_cast<long long>(cache_stats_svc.evictions),
+      static_cast<long long>(cache_stats_svc.quarantined));
+  std::printf("%s", service.cache().ManifestSummary().c_str());
+
+  // 5. Export + metrics dump.
   session.Disable();
   Status written = session.WriteJson(out_path);
   if (!written.ok()) {

@@ -1,0 +1,205 @@
+#include "baselines/async_engine.h"
+
+#include <algorithm>
+
+#include "runtime/launch_plan.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace disc {
+
+AsyncCompileEngine::AsyncCompileEngine(CompileService* service,
+                                       std::unique_ptr<Engine> fallback,
+                                       AsyncEngineOptions options)
+    : service_(service),
+      fallback_(std::move(fallback)),
+      options_(std::move(options)),
+      name_(options_.profile.name +
+            (options_.sync_compile ? "-sync" : "-async")) {
+  if (options_.profile.feedback_after > 0) {
+    options_.feedback.min_observations = options_.profile.feedback_after;
+  }
+  feedback_ = ShapeProfileFeedback(options_.feedback);
+}
+
+Status AsyncCompileEngine::Prepare(
+    const Graph& graph, std::vector<std::vector<std::string>> labels) {
+  DISC_RETURN_IF_ERROR(PrepareCommon(graph, labels));
+  DISC_RETURN_IF_ERROR(fallback_->Prepare(graph, std::move(labels)));
+  // Nothing is waiting on this yet — a foreground miss (first Query before
+  // the job lands) re-announces itself at miss priority.
+  SubmitJob(JobPriority::kPrefetch, {});
+  return Status::OK();
+}
+
+void AsyncCompileEngine::SubmitJob(JobPriority priority,
+                                   LikelyDimValues hints) {
+  CompileJobRequest request;
+  request.model_name = graph_->name();
+  request.graph = graph_.get();
+  request.labels = labels_;
+  request.options = options_.profile.compile_options;
+  for (auto& hint : hints) {
+    request.options.likely_dim_values.push_back(std::move(hint));
+  }
+  request.priority = priority;
+  pending_has_hints_ = !request.options.likely_dim_values.empty();
+  pending_submit_sim_us_ = sim_now_us_;
+  pending_job_ = service_->Submit(std::move(request));
+}
+
+void AsyncCompileEngine::MaybeAdopt(bool sync_wait, double* waited_gate_us) {
+  if (!pending_job_.valid()) return;
+
+  const double gate_compile = options_.simulated_compile_latency_us;
+  const double gate_load = options_.simulated_cache_load_latency_us;
+  const CompileJobOutcome* outcome = nullptr;
+  double charged_gate = 0.0;
+
+  if (sync_wait) {
+    // Blocking mode: resolve now and charge the full simulated latency of
+    // whatever the job turned out to be (compile vs disk restore) as a
+    // stall on the caller's query.
+    outcome = &pending_job_.Wait();
+    charged_gate = outcome->from_disk_cache
+                       ? std::max(0.0, gate_load)
+                       : std::max(0.0, gate_compile);
+  } else if (gate_compile < 0.0) {
+    // Opportunistic: adopt the moment the worker is done.
+    outcome = pending_job_.TryGet();
+  } else {
+    // Deterministic: past the earliest possible gate the outcome decides
+    // which gate actually applies. Wait() may block on the wall clock (the
+    // worker is slower than its simulated deadline) — charged to no query,
+    // exactly like the fallback chain's fixed compile_stall_us.
+    if (sim_now_us_ >=
+        pending_submit_sim_us_ + std::min(gate_compile, gate_load)) {
+      const CompileJobOutcome& o = pending_job_.Wait();
+      double gate = o.from_disk_cache ? gate_load : gate_compile;
+      if (sim_now_us_ >= pending_submit_sim_us_ + gate) outcome = &o;
+    }
+  }
+  if (outcome == nullptr) return;
+
+  if (waited_gate_us != nullptr) *waited_gate_us = charged_gate;
+  bool had_hints = pending_has_hints_;
+  CompileJobOutcome adopted = *outcome;  // copy before dropping the handle
+  pending_job_ = CompileJobHandle();
+  pending_has_hints_ = false;
+  if (!adopted.status.ok() || adopted.executable == nullptr) {
+    // Failed/cancelled/expired job: keep serving on whatever we have (the
+    // fallback leg or the previous executable). A later miss resubmits.
+    return;
+  }
+
+  slot_.Swap(adopted.executable);
+  CountMetric("engine.hot_swap");
+  if (adopted.from_disk_cache) {
+    ++disk_restores_;
+  } else {
+    CountCompilation(adopted.executable->report().compile_ms);
+  }
+  // CUDA-graph captures are per-executable state, like launch plans.
+  captured_signatures_.clear();
+  if (first_executable_sim_us_ < 0.0) {
+    first_executable_sim_us_ = sim_now_us_;
+  }
+  if (had_hints && first_specialized_sim_us_ < 0.0) {
+    first_specialized_sim_us_ = sim_now_us_;
+  }
+}
+
+Result<EngineTiming> AsyncCompileEngine::Query(
+    const std::vector<std::vector<int64_t>>& input_dims,
+    const DeviceSpec& device) {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  TraceScope query_scope(name_, "engine.query");
+  CountQuery();
+
+  double stall_us = 0.0;
+  MaybeAdopt(options_.sync_compile && !slot_.has_executable(), &stall_us);
+
+  // Profile feedback: watch the traffic; when the hot-value profile is
+  // confident (or has shifted), respecialize in the background. One
+  // pending job at a time — the profile keeps aggregating meanwhile.
+  if (options_.profile.feedback_after > 0) {
+    feedback_.Observe(labels_, input_dims);
+    if (!pending_job_.valid() && slot_.has_executable()) {
+      if (auto hints = feedback_.MaybeRespecialize()) {
+        SubmitJob(JobPriority::kRespecialize, std::move(*hints));
+      }
+    }
+  }
+
+  std::shared_ptr<const Executable> exe = slot_.Acquire();
+  if (exe == nullptr) {
+    // Not compiled yet: degrade to the fallback leg, never block. Announce
+    // the miss at foreground priority if the job somehow vanished
+    // (failed/cancelled) so the next swap still arrives.
+    if (!pending_job_.valid()) {
+      SubmitJob(JobPriority::kForegroundMiss, {});
+    }
+    auto result = fallback_->Query(input_dims, device);
+    if (!result.ok()) return result.status();
+    ++stats_.fallback_queries;
+    CountMetric("engine.fallback.queries");
+    EngineTiming timing = *result;
+    timing.compile_us += stall_us;
+    timing.total_us += stall_us;
+    return timing;
+  }
+
+  RunOptions options;
+  options.device = device;
+  options.use_launch_plan_cache = options_.profile.use_plan_cache;
+  if (options_.profile.use_cuda_graph) {
+    options.batch_launches =
+        !captured_signatures_.insert(ShapeSignature(input_dims)).second;
+  }
+  DISC_ASSIGN_OR_RETURN(RunResult result,
+                        exe->RunWithShapes(input_dims, options));
+  if (options_.profile.use_plan_cache) {
+    CountPlanLookup(result.profile.launch_plan_hit);
+  }
+  EngineTiming timing;
+  timing.device_us = result.profile.device_time_us;
+  timing.kernel_launches =
+      result.profile.kernel_launches + result.profile.library_calls;
+  timing.bytes_moved =
+      result.profile.bytes_read + result.profile.bytes_written;
+  timing.peak_memory_bytes = result.profile.peak_memory_bytes;
+  double per_query_host = result.profile.launch_plan_hit
+                              ? options_.profile.plan_hit_host_us
+                              : options_.profile.per_query_host_us;
+  timing.host_us = per_query_host +
+                   options_.profile.per_launch_host_us *
+                       static_cast<double>(timing.kernel_launches);
+  timing.compile_us = stall_us;
+  timing.total_us = timing.device_us + timing.host_us + stall_us;
+  return timing;
+}
+
+Result<std::vector<Tensor>> AsyncCompileEngine::Execute(
+    const std::vector<Tensor>& inputs) {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  MaybeAdopt(options_.sync_compile && !slot_.has_executable(), nullptr);
+  std::shared_ptr<const Executable> exe = slot_.Acquire();
+  if (exe == nullptr) {
+    ++stats_.fallback_queries;
+    CountMetric("engine.fallback.queries");
+    return fallback_->Execute(inputs);
+  }
+  DISC_ASSIGN_OR_RETURN(RunResult result, exe->Run(inputs));
+  return result.outputs;
+}
+
+void AsyncCompileEngine::SetSimulatedTimeUs(double now_us) {
+  sim_now_us_ = now_us;
+  fallback_->SetSimulatedTimeUs(now_us);
+}
+
+}  // namespace disc

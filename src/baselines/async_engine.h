@@ -1,0 +1,116 @@
+// AsyncCompileEngine: serves through the background CompileService.
+//
+// The deployment-shaped DISC engine. Prepare never compiles on the caller:
+// it consults the persistent artifact cache (via a service job) and starts
+// serving immediately. Queries that arrive before the executable is ready
+// route through the fallback engine (interpreter leg — slower per query,
+// zero stall); once the service finishes, the executable is hot-swapped in
+// atomically and later queries run compiled. Profile feedback keeps
+// watching observed dims and submits background respecialization jobs, so
+// the installed executable follows the traffic.
+//
+// Determinism: compiled-vs-ready is a wall-clock race, useless for gated
+// benchmarks. With `simulated_compile_latency_us >= 0` adoption is gated
+// on the *simulated* clock instead — the executable is adopted at
+// submit_sim_time + latency (disk restores at + cache_load latency),
+// independent of real worker speed (we Wait on the wall clock if the
+// worker is slower than its simulated deadline, charging no query). The
+// same pattern as the fallback chain's fixed compile_stall_us. The
+// default -1 adopts as soon as the worker finishes (production mode).
+#ifndef DISC_BASELINES_ASYNC_ENGINE_H_
+#define DISC_BASELINES_ASYNC_ENGINE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "baselines/dynamic_engine.h"
+#include "baselines/engine.h"
+#include "compile_service/compile_service.h"
+#include "compile_service/profile_feedback.h"
+
+namespace disc {
+
+struct AsyncEngineOptions {
+  /// Compile options + per-query host costs of the compiled path.
+  DynamicProfile profile = DynamicProfile::Disc();
+  /// Shape-profile feedback (active when profile.feedback_after > 0, which
+  /// overrides min_observations).
+  ShapeProfileOptions feedback;
+  /// Old blocking behavior for comparison (F10's "sync" column): the first
+  /// query waits for the service job and is charged the full compile (or
+  /// cache-load) latency as a stall.
+  bool sync_compile = false;
+  /// >= 0: adopt the compiled executable once the simulated clock passes
+  /// submit + this many us (deterministic). < 0: adopt when the worker
+  /// finishes (wall clock).
+  double simulated_compile_latency_us = -1.0;
+  /// Adoption latency when the job was restored from the persistent cache
+  /// instead of compiled. Only meaningful with
+  /// simulated_compile_latency_us >= 0.
+  double simulated_cache_load_latency_us = 0.0;
+};
+
+class AsyncCompileEngine : public Engine {
+ public:
+  /// `service` outlives the engine and is shared across engines (one
+  /// worker pool per process). `fallback` serves while nothing is
+  /// compiled; it must compute identical math (any Engine does).
+  AsyncCompileEngine(CompileService* service, std::unique_ptr<Engine> fallback,
+                     AsyncEngineOptions options = {});
+
+  const std::string& name() const override { return name_; }
+
+  /// \brief Submits the initial compile job (a prefetch — nothing is
+  /// waiting yet) and returns without blocking. With sync_compile the job
+  /// is still submitted here but awaited on the first query.
+  Status Prepare(const Graph& graph,
+                 std::vector<std::vector<std::string>> labels) override;
+
+  Result<EngineTiming> Query(const std::vector<std::vector<int64_t>>& input_dims,
+                             const DeviceSpec& device) override;
+
+  Result<std::vector<Tensor>> Execute(
+      const std::vector<Tensor>& inputs) override;
+
+  void SetSimulatedTimeUs(double now_us) override;
+
+  /// Simulated time at which the first executable (any) / the first
+  /// hint-specialized executable was adopted; -1 = not yet. F10's
+  /// time-to-first-specialized-kernel.
+  double first_executable_sim_us() const { return first_executable_sim_us_; }
+  double first_specialized_sim_us() const { return first_specialized_sim_us_; }
+  int64_t swaps() const { return slot_.generation(); }
+  int64_t disk_restores() const { return disk_restores_; }
+  const ExecutableSlot& slot() const { return slot_; }
+  ShapeProfileFeedback& feedback() { return feedback_; }
+
+ private:
+  /// Submits a compile job carrying `hints` (empty = plain compile).
+  void SubmitJob(JobPriority priority, LikelyDimValues hints);
+  /// Adopts a finished job if its simulated-clock gate has passed.
+  /// `waited_gate_us` (nullable) receives the stall charged when called on
+  /// the sync path.
+  void MaybeAdopt(bool sync_wait, double* waited_gate_us);
+
+  CompileService* service_;
+  std::unique_ptr<Engine> fallback_;
+  AsyncEngineOptions options_;
+  std::string name_;
+
+  ExecutableSlot slot_;
+  CompileJobHandle pending_job_;
+  double pending_submit_sim_us_ = 0.0;
+  bool pending_has_hints_ = false;
+  double sim_now_us_ = 0.0;
+
+  ShapeProfileFeedback feedback_;
+  double first_executable_sim_us_ = -1.0;
+  double first_specialized_sim_us_ = -1.0;
+  int64_t disk_restores_ = 0;
+  std::set<std::string> captured_signatures_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_ASYNC_ENGINE_H_

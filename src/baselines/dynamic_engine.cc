@@ -41,10 +41,16 @@ Status DynamicCompilerEngine::Prepare(
     const Graph& graph, std::vector<std::vector<std::string>> labels) {
   DISC_RETURN_IF_ERROR(PrepareCommon(graph, labels));
   DISC_ASSIGN_OR_RETURN(
-      executable_,
+      std::unique_ptr<Executable> compiled,
       DiscCompiler::Compile(graph, std::move(labels),
                             profile_.compile_options));
+  executable_ = std::shared_ptr<const Executable>(std::move(compiled));
   CountCompilation(executable_->report().compile_ms);
+  if (profile_.feedback_after > 0) {
+    ShapeProfileOptions feedback_options;
+    feedback_options.min_observations = profile_.feedback_after;
+    feedback_ = ShapeProfileFeedback(feedback_options);
+  }
   return Status::OK();
 }
 
@@ -57,23 +63,13 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   TraceScope query_scope(profile_.name, "engine.query");
   CountQuery();
 
-  // Shape-speculation feedback: record observed dynamic dims per label and
-  // recompile once with the hot values as hints (modeled as background
-  // compilation — the recompile does not stall this query; our measured
-  // compile times are single-digit ms).
-  if (profile_.feedback_after > 0 && !feedback_applied_) {
-    for (size_t i = 0; i < input_dims.size() && i < labels_.size(); ++i) {
-      for (size_t d = 0; d < input_dims[i].size() && d < labels_[i].size();
-           ++d) {
-        if (!labels_[i][d].empty()) {
-          observed_[labels_[i][d]][input_dims[i][d]] += 1;
-        }
-      }
-    }
-    if (stats_.queries >= profile_.feedback_after) {
-      DISC_RETURN_IF_ERROR(RecompileWithFeedback());
-      feedback_applied_ = true;
-    }
+  // Shape-speculation feedback: aggregate observed dim values per label
+  // and respecialize with the hot values as hints — through the compile
+  // service when one is attached (truly off the query thread), else
+  // synchronously in place. The profile keeps watching afterwards, so a
+  // shifted hot-value distribution respecializes again.
+  if (profile_.feedback_after > 0) {
+    DISC_RETURN_IF_ERROR(MaybeRespecialize(input_dims));
   }
 
   RunOptions options;
@@ -111,21 +107,58 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   return timing;
 }
 
-Status DynamicCompilerEngine::RecompileWithFeedback() {
-  CompileOptions options = profile_.compile_options;
-  for (const auto& [label, counts] : observed_) {
-    // Most frequent values last (AddLikelyValue keeps most-recent last and
-    // speculation takes values from the back).
-    std::vector<std::pair<int64_t, int64_t>> by_count(counts.begin(),
-                                                      counts.end());
-    std::sort(by_count.begin(), by_count.end(),
-              [](const auto& a, const auto& b) { return a.second < b.second; });
-    std::vector<int64_t> values;
-    for (const auto& [value, count] : by_count) values.push_back(value);
-    options.likely_dim_values.emplace_back(label, std::move(values));
+Status DynamicCompilerEngine::MaybeRespecialize(
+    const std::vector<std::vector<int64_t>>& input_dims) {
+  // Adopt a finished background respecialization before anything else, so
+  // this query already runs on the better kernels.
+  if (pending_job_.valid()) {
+    if (const CompileJobOutcome* done = pending_job_.TryGet()) {
+      CompileJobOutcome outcome = *done;
+      pending_job_ = CompileJobHandle();
+      if (outcome.status.ok() && outcome.executable != nullptr) {
+        // Hot-swap: the outgoing executable's launch plans encode its own
+        // buffer sizes/variants and must not survive it.
+        if (executable_ != nullptr) executable_->ClearPlanCache();
+        executable_ = std::move(outcome.executable);
+        captured_signatures_.clear();
+        if (!outcome.from_disk_cache) {
+          CountCompilation(executable_->report().compile_ms);
+        }
+      }
+      // A failed job keeps the current executable; the profile re-emits on
+      // the next shift.
+    }
   }
-  DISC_ASSIGN_OR_RETURN(executable_,
+
+  feedback_.Observe(labels_, input_dims);
+  if (pending_job_.valid()) return Status::OK();  // one job at a time
+  auto hints = feedback_.MaybeRespecialize();
+  if (!hints.has_value()) return Status::OK();
+
+  if (service_ != nullptr && !profile_.sync_compile_fallback) {
+    CompileJobRequest request;
+    request.model_name = graph_->name();
+    request.graph = graph_.get();
+    request.labels = labels_;
+    request.options = profile_.compile_options;
+    request.options.likely_dim_values = std::move(*hints);
+    request.priority = JobPriority::kRespecialize;
+    pending_job_ = service_->Submit(std::move(request));
+    return Status::OK();
+  }
+  return RecompileWithFeedback(*hints);
+}
+
+Status DynamicCompilerEngine::RecompileWithFeedback(
+    const LikelyDimValues& hints) {
+  CompileOptions options = profile_.compile_options;
+  // Hints arrive most-frequent-last (AddLikelyValue keeps most-recent last
+  // and speculation takes values from the back).
+  for (const auto& hint : hints) options.likely_dim_values.push_back(hint);
+  DISC_ASSIGN_OR_RETURN(std::unique_ptr<Executable> compiled,
                         DiscCompiler::Compile(*graph_, labels_, options));
+  executable_ = std::shared_ptr<const Executable>(std::move(compiled));
+  captured_signatures_.clear();
   CountCompilation(executable_->report().compile_ms);
   return Status::OK();
 }

@@ -14,9 +14,12 @@
 #define DISC_BASELINES_DYNAMIC_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "baselines/engine.h"
+#include "compile_service/compile_service.h"
+#include "compile_service/profile_feedback.h"
 #include "compiler/compiler.h"
 
 namespace disc {
@@ -37,9 +40,15 @@ struct DynamicProfile {
   /// archetypes that re-check guards on every call, e.g. Inductor).
   bool use_plan_cache = true;
   /// When > 0: after this many queries, feed the observed dim-value
-  /// frequencies back into a background recompilation so hot shapes get
-  /// exact-shape speculative kernels (BladeDISC's shape speculation).
+  /// frequencies back into a recompilation so hot shapes get exact-shape
+  /// speculative kernels (BladeDISC's shape speculation). The feedback is
+  /// continuous: a later shift of the hot-value profile triggers a fresh
+  /// respecialization.
   int64_t feedback_after = 0;
+  /// Respecialize on the query thread (the historical blocking behavior)
+  /// even when a CompileService is attached. Without a service this is the
+  /// only mode, irrespective of the flag.
+  bool sync_compile_fallback = false;
   /// CUDA-Graph capture: repeated shape signatures replay a captured graph,
   /// paying the driver launch latency once per query. Shape-static by
   /// nature — a fresh signature always takes the normal launch path.
@@ -71,15 +80,30 @@ class DynamicCompilerEngine : public Engine {
 
   const Executable* executable() const { return executable_.get(); }
 
+  /// \brief Routes respecialization through `service` (background jobs +
+  /// persistent cache) instead of compiling on the query thread. Non-
+  /// owning; the service must outlive the engine. Ignored when the profile
+  /// sets sync_compile_fallback.
+  void set_compile_service(CompileService* service) { service_ = service; }
+  /// Hint sets acted on so far (sync or async); at least 1 after the first
+  /// feedback application, more after profile shifts.
+  int64_t respecializations() const { return feedback_.respecializations(); }
+
  private:
-  // Aggregates observed dims and recompiles with likely-value hints.
-  Status RecompileWithFeedback();
+  /// \brief Observes this query's dims and, when the hot-value profile is
+  /// confident or shifted, respecializes: synchronously on the query
+  /// thread (historical behavior, or sync_compile_fallback, or no service
+  /// attached) or via a background service job adopted on a later query.
+  Status MaybeRespecialize(const std::vector<std::vector<int64_t>>& input_dims);
+  /// \brief Legacy name for the synchronous path, kept for greppability:
+  /// compiles in place with `hints` and swaps the executable.
+  Status RecompileWithFeedback(const LikelyDimValues& hints);
 
   DynamicProfile profile_;
-  std::unique_ptr<Executable> executable_;
-  // label -> value -> observation count.
-  std::map<std::string, std::map<int64_t, int64_t>> observed_;
-  bool feedback_applied_ = false;
+  std::shared_ptr<const Executable> executable_;
+  CompileService* service_ = nullptr;
+  CompileJobHandle pending_job_;
+  ShapeProfileFeedback feedback_;
   // Shape signatures with a captured CUDA graph.
   std::set<std::string> captured_signatures_;
 };

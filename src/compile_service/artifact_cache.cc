@@ -1,0 +1,333 @@
+#include "compile_service/artifact_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "support/artifact_dump.h"
+#include "support/failpoint.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace disc {
+namespace {
+
+JsonValue KeyToJson(const CacheKey& key) {
+  JsonValue::Object o;
+  o["model_fingerprint"] = JsonValue(key.model_fingerprint);
+  o["constraint_signature"] = JsonValue(key.constraint_signature);
+  o["options_hash"] = JsonValue(key.options_hash);
+  o["code_version"] = JsonValue(static_cast<int64_t>(key.code_version));
+  return JsonValue(std::move(o));
+}
+
+bool KeyFromJson(const JsonValue& json, CacheKey* key) {
+  const JsonValue* fp = json.Find("model_fingerprint");
+  const JsonValue* cs = json.Find("constraint_signature");
+  const JsonValue* oh = json.Find("options_hash");
+  const JsonValue* cv = json.Find("code_version");
+  if (fp == nullptr || !fp->is_string() || cs == nullptr || !cs->is_string() ||
+      oh == nullptr || !oh->is_string() || cv == nullptr || !cv->is_number()) {
+    return false;
+  }
+  key->model_fingerprint = fp->as_string();
+  key->constraint_signature = cs->as_string();
+  key->options_hash = oh->as_string();
+  key->code_version = static_cast<int>(cv->as_number());
+  return true;
+}
+
+// tmp+rename: readers (and crash recovery) see the old content or the new,
+// never a torn write.
+Status AtomicWrite(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  DISC_RETURN_IF_ERROR(WriteStringToFile(tmp, content));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PersistentArtifactCache::PersistentArtifactCache(ArtifactCacheOptions options)
+    : options_(std::move(options)) {}
+
+std::string PersistentArtifactCache::EntryPath(const std::string& id) const {
+  return options_.dir + "/entries/" + id + ".json";
+}
+
+std::string PersistentArtifactCache::ManifestPath() const {
+  return options_.dir + "/manifest.json";
+}
+
+void PersistentArtifactCache::LoadManifestLocked() {
+  if (manifest_loaded_) return;
+  manifest_loaded_ = true;
+  if (!enabled()) return;
+  (void)EnsureDirectory(options_.dir + "/entries");
+
+  auto text = ReadFileToString(ManifestPath());
+  if (text.ok()) {
+    auto parsed = ParseJson(*text);
+    if (parsed.ok() && parsed->is_object()) {
+      const JsonValue* version = parsed->Find("schema_version");
+      const JsonValue* clock = parsed->Find("lru_clock");
+      const JsonValue* entries = parsed->Find("entries");
+      if (version != nullptr && version->is_number() &&
+          static_cast<int>(version->as_number()) == kArtifactSchemaVersion &&
+          entries != nullptr && entries->is_object()) {
+        if (clock != nullptr && clock->is_number()) {
+          lru_clock_ = static_cast<int64_t>(clock->as_number());
+        }
+        for (const auto& [id, v] : entries->as_object()) {
+          ManifestEntry entry;
+          const JsonValue* bytes = v.Find("bytes");
+          const JsonValue* used = v.Find("last_used");
+          const JsonValue* model = v.Find("model");
+          const JsonValue* constraints = v.Find("constraints");
+          if (bytes != nullptr && bytes->is_number()) {
+            entry.bytes = static_cast<int64_t>(bytes->as_number());
+          }
+          if (used != nullptr && used->is_number()) {
+            entry.last_used = static_cast<int64_t>(used->as_number());
+          }
+          if (model != nullptr && model->is_string()) {
+            entry.model = model->as_string();
+          }
+          if (constraints != nullptr && constraints->is_string()) {
+            entry.constraints = constraints->as_string();
+          }
+          manifest_[id] = std::move(entry);
+        }
+        return;
+      }
+    }
+    // Present but unusable: the manifest is only an index, so rebuild it
+    // from the entries directory instead of dropping the cache.
+    DISC_LOG(Warning) << "artifact-cache manifest corrupt; rebuilding from "
+                      << options_.dir << "/entries";
+  }
+  RebuildManifestLocked();
+}
+
+void PersistentArtifactCache::RebuildManifestLocked() {
+  manifest_.clear();
+  std::error_code ec;
+  fs::directory_iterator it(options_.dir + "/entries", ec);
+  if (ec) return;
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file()) continue;
+    fs::path path = dirent.path();
+    if (path.extension() != ".json") continue;
+    ManifestEntry entry;
+    entry.bytes = static_cast<int64_t>(dirent.file_size(ec));
+    entry.last_used = ++lru_clock_;
+    manifest_[path.stem().string()] = std::move(entry);
+  }
+  (void)WriteManifestLocked();
+}
+
+Status PersistentArtifactCache::WriteManifestLocked() {
+  JsonValue::Object entries;
+  for (const auto& [id, entry] : manifest_) {
+    JsonValue::Object e;
+    e["bytes"] = JsonValue(entry.bytes);
+    e["last_used"] = JsonValue(entry.last_used);
+    e["model"] = JsonValue(entry.model);
+    e["constraints"] = JsonValue(entry.constraints);
+    entries[id] = JsonValue(std::move(e));
+  }
+  JsonValue::Object manifest;
+  manifest["schema_version"] =
+      JsonValue(static_cast<int64_t>(kArtifactSchemaVersion));
+  manifest["lru_clock"] = JsonValue(lru_clock_);
+  manifest["entries"] = JsonValue(std::move(entries));
+  return AtomicWrite(ManifestPath(),
+                     JsonValue(std::move(manifest)).SerializePretty());
+}
+
+void PersistentArtifactCache::QuarantineLocked(const std::string& id,
+                                               const std::string& reason) {
+  DISC_LOG(Warning) << "quarantining cache entry " << id << ": " << reason;
+  (void)EnsureDirectory(options_.dir + "/quarantine");
+  std::error_code ec;
+  fs::rename(EntryPath(id), options_.dir + "/quarantine/" + id + ".json", ec);
+  if (ec) fs::remove(EntryPath(id), ec);
+  manifest_.erase(id);
+  (void)WriteManifestLocked();
+  ++stats_.quarantined;
+  CountMetric("compile_service.cache.quarantine");
+}
+
+void PersistentArtifactCache::EvictOverBudgetLocked() {
+  if (options_.byte_budget <= 0) return;
+  auto total = [this]() {
+    int64_t sum = 0;
+    for (const auto& [id, entry] : manifest_) sum += entry.bytes;
+    return sum;
+  };
+  while (total() > options_.byte_budget && manifest_.size() > 1) {
+    auto victim = manifest_.begin();
+    for (auto it = manifest_.begin(); it != manifest_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(EntryPath(victim->first), ec);
+    manifest_.erase(victim);
+    ++stats_.evictions;
+    CountMetric("compile_service.cache.evict");
+  }
+}
+
+std::optional<CacheArtifact> PersistentArtifactCache::Lookup(
+    const CacheKey& key) {
+  TraceScope scope("cache.lookup", "compile_service");
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadManifestLocked();
+  auto miss = [this] {
+    ++stats_.misses;
+    CountMetric("compile_service.cache.miss");
+    return std::nullopt;
+  };
+  if (!enabled()) return miss();
+
+  std::string id = key.ToId();
+  // Fault seam: a load failure (bad disk, truncated entry) must degrade to
+  // recompilation, never crash or return a wrong executable.
+  Status injected = [] {
+    DISC_INJECT_FAILPOINT("compile_service.cache.load");
+    return Status::OK();
+  }();
+  std::string entry_path = EntryPath(id);
+  auto text = injected.ok() ? ReadFileToString(entry_path)
+                            : Result<std::string>(injected);
+  if (!text.ok()) {
+    if (manifest_.count(id) > 0) {
+      // The manifest promised this entry; the file is unreadable.
+      QuarantineLocked(id, text.status().ToString());
+    }
+    return miss();
+  }
+
+  auto fail = [&](const std::string& reason) {
+    QuarantineLocked(id, reason);
+    ++stats_.misses;
+    CountMetric("compile_service.cache.miss");
+    return std::nullopt;
+  };
+  auto parsed = ParseJson(*text);
+  if (!parsed.ok()) return fail(parsed.status().ToString());
+  const JsonValue* version = parsed->Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kArtifactSchemaVersion) {
+    return fail("schema version mismatch");
+  }
+  const JsonValue* key_json = parsed->Find("key");
+  CacheArtifact artifact;
+  if (key_json == nullptr || !KeyFromJson(*key_json, &artifact.key)) {
+    return fail("missing/invalid key");
+  }
+  if (!(artifact.key == key)) {
+    // Hash collision or a tampered file: the entry is not what the id
+    // claims. Safety over reuse.
+    return fail("key mismatch for id " + id);
+  }
+  const JsonValue* options = parsed->Find("options");
+  if (options == nullptr || !options->is_object()) {
+    return fail("missing options");
+  }
+  artifact.options = OptionsFromJson(*options);
+  const JsonValue* model = parsed->Find("model");
+  if (model != nullptr && model->is_string()) {
+    artifact.model_name = model->as_string();
+  }
+  const JsonValue* report = parsed->Find("report");
+  if (report != nullptr && report->is_string()) {
+    artifact.report_summary = report->as_string();
+  }
+  artifact.entry_bytes = static_cast<int64_t>(text->size());
+
+  auto& entry = manifest_[id];
+  entry.bytes = artifact.entry_bytes;
+  entry.last_used = ++lru_clock_;
+  if (entry.model.empty()) entry.model = artifact.model_name;
+  (void)WriteManifestLocked();
+  ++stats_.hits;
+  CountMetric("compile_service.cache.hit");
+  return artifact;
+}
+
+Status PersistentArtifactCache::Store(const CacheKey& key,
+                                      const std::string& model_name,
+                                      const CompileOptions& options,
+                                      const std::string& report_summary) {
+  TraceScope scope("cache.store", "compile_service");
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadManifestLocked();
+  if (!enabled()) return Status::OK();
+
+  // Fault seam: a failed store must leave serving untouched (the compiled
+  // executable lives in memory) and the on-disk state consistent.
+  DISC_INJECT_FAILPOINT("compile_service.cache.store");
+
+  JsonValue::Object o;
+  o["schema_version"] = JsonValue(static_cast<int64_t>(kArtifactSchemaVersion));
+  o["key"] = KeyToJson(key);
+  o["model"] = JsonValue(model_name);
+  o["options"] = OptionsToJson(options);
+  o["report"] = JsonValue(report_summary);
+  std::string content = JsonValue(std::move(o)).SerializePretty();
+
+  std::string id = key.ToId();
+  DISC_RETURN_IF_ERROR(AtomicWrite(EntryPath(id), content));
+  auto& entry = manifest_[id];
+  entry.bytes = static_cast<int64_t>(content.size());
+  entry.last_used = ++lru_clock_;
+  entry.model = model_name;
+  entry.constraints = key.constraint_signature;
+  EvictOverBudgetLocked();
+  DISC_RETURN_IF_ERROR(WriteManifestLocked());
+  ++stats_.stores;
+  CountMetric("compile_service.cache.store");
+  return Status::OK();
+}
+
+ArtifactCacheStats PersistentArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArtifactCacheStats stats = stats_;
+  stats.entries = static_cast<int64_t>(manifest_.size());
+  stats.total_bytes = 0;
+  for (const auto& [id, entry] : manifest_) stats.total_bytes += entry.bytes;
+  return stats;
+}
+
+std::string PersistentArtifactCache::ManifestSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const_cast<PersistentArtifactCache*>(this)->LoadManifestLocked();
+  if (!enabled()) return "artifact cache disabled (no directory)\n";
+  std::string out = "artifact cache at " + options_.dir + " (schema v" +
+                    std::to_string(kArtifactSchemaVersion) + "): " +
+                    std::to_string(manifest_.size()) + " entries\n";
+  // Most-recently-used first.
+  std::vector<std::pair<std::string, const ManifestEntry*>> ranked;
+  for (const auto& [id, entry] : manifest_) ranked.emplace_back(id, &entry);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second->last_used > b.second->last_used;
+  });
+  for (const auto& [id, entry] : ranked) {
+    out += "  " + id + "  model=" +
+           (entry->model.empty() ? "?" : entry->model) + "  " +
+           std::to_string(entry->bytes) + " bytes  lru_seq=" +
+           std::to_string(entry->last_used) + "\n";
+  }
+  return out;
+}
+
+}  // namespace disc

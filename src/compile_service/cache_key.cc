@@ -1,0 +1,211 @@
+#include "compile_service/cache_key.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace disc {
+namespace {
+
+JsonValue JsonInt(int64_t v) { return JsonValue(v); }
+
+JsonValue HintsToJson(
+    const std::vector<std::pair<std::string, std::vector<int64_t>>>& hints) {
+  // An array of [label, [values...]] pairs: hint order is semantic (the
+  // speculative-variant builder consumes values back-first), so a sorted
+  // object would lose information.
+  JsonValue::Array out;
+  for (const auto& [label, values] : hints) {
+    JsonValue::Array pair;
+    pair.emplace_back(label);
+    JsonValue::Array vals;
+    for (int64_t v : values) vals.push_back(JsonInt(v));
+    pair.emplace_back(std::move(vals));
+    out.emplace_back(std::move(pair));
+  }
+  return JsonValue(std::move(out));
+}
+
+void HintsFromJson(
+    const JsonValue& json,
+    std::vector<std::pair<std::string, std::vector<int64_t>>>* hints) {
+  if (!json.is_array()) return;
+  for (const JsonValue& pair : json.as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2) continue;
+    const JsonValue& label = pair.as_array()[0];
+    const JsonValue& vals = pair.as_array()[1];
+    if (!label.is_string() || !vals.is_array()) continue;
+    std::vector<int64_t> values;
+    for (const JsonValue& v : vals.as_array()) {
+      if (v.is_number()) values.push_back(static_cast<int64_t>(v.as_number()));
+    }
+    hints->emplace_back(label.as_string(), std::move(values));
+  }
+}
+
+}  // namespace
+
+std::string Fingerprint(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return std::string(buf);
+}
+
+JsonValue OptionsToJson(const CompileOptions& options) {
+  JsonValue::Object o;
+  o["run_graph_passes"] = JsonValue(options.run_graph_passes);
+
+  JsonValue::Object fusion;
+  fusion["enable_fusion"] = JsonValue(options.fusion.enable_fusion);
+  fusion["enable_input_fusion"] = JsonValue(options.fusion.enable_input_fusion);
+  fusion["enable_stitch"] = JsonValue(options.fusion.enable_stitch);
+  fusion["use_symbolic_shapes"] = JsonValue(options.fusion.use_symbolic_shapes);
+  fusion["max_group_size"] = JsonInt(options.fusion.max_group_size);
+  fusion["stitch_shared_memory_bytes"] =
+      JsonInt(options.fusion.stitch_shared_memory_bytes);
+  fusion["record_decisions"] = JsonValue(options.fusion.record_decisions);
+  o["fusion"] = JsonValue(std::move(fusion));
+
+  JsonValue::Object spec;
+  spec["enable_specialization"] =
+      JsonValue(options.specialize.enable_specialization);
+  spec["enable_vectorization"] =
+      JsonValue(options.specialize.enable_vectorization);
+  spec["enable_broadcast_elimination"] =
+      JsonValue(options.specialize.enable_broadcast_elimination);
+  spec["enable_reduce_schedules"] =
+      JsonValue(options.specialize.enable_reduce_schedules);
+  spec["enable_shape_speculation"] =
+      JsonValue(options.specialize.enable_shape_speculation);
+  spec["max_speculative_variants"] =
+      JsonInt(options.specialize.max_speculative_variants);
+  spec["vector_width"] = JsonInt(options.specialize.vector_width);
+  spec["warp_row_threshold"] = JsonInt(options.specialize.warp_row_threshold);
+  spec["warp_min_rows"] = JsonInt(options.specialize.warp_min_rows);
+  o["specialize"] = JsonValue(std::move(spec));
+
+  o["likely_dim_values"] = HintsToJson(options.likely_dim_values);
+
+  JsonValue::Array divisors;
+  for (const auto& [label, div] : options.dim_divisors) {
+    JsonValue::Array pair;
+    pair.emplace_back(label);
+    pair.push_back(JsonInt(div));
+    divisors.emplace_back(std::move(pair));
+  }
+  o["dim_divisors"] = JsonValue(std::move(divisors));
+  return JsonValue(std::move(o));
+}
+
+CompileOptions OptionsFromJson(const JsonValue& json) {
+  CompileOptions options;
+  auto get_bool = [](const JsonValue* parent, const char* key, bool* out) {
+    if (parent == nullptr) return;
+    const JsonValue* v = parent->Find(key);
+    if (v != nullptr && v->is_bool()) *out = v->as_bool();
+  };
+  auto get_i64 = [](const JsonValue* parent, const char* key, auto* out) {
+    if (parent == nullptr) return;
+    const JsonValue* v = parent->Find(key);
+    if (v != nullptr && v->is_number()) {
+      *out = static_cast<std::decay_t<decltype(*out)>>(v->as_number());
+    }
+  };
+  get_bool(&json, "run_graph_passes", &options.run_graph_passes);
+
+  const JsonValue* fusion = json.Find("fusion");
+  get_bool(fusion, "enable_fusion", &options.fusion.enable_fusion);
+  get_bool(fusion, "enable_input_fusion", &options.fusion.enable_input_fusion);
+  get_bool(fusion, "enable_stitch", &options.fusion.enable_stitch);
+  get_bool(fusion, "use_symbolic_shapes", &options.fusion.use_symbolic_shapes);
+  get_i64(fusion, "max_group_size", &options.fusion.max_group_size);
+  get_i64(fusion, "stitch_shared_memory_bytes",
+          &options.fusion.stitch_shared_memory_bytes);
+  get_bool(fusion, "record_decisions", &options.fusion.record_decisions);
+
+  const JsonValue* spec = json.Find("specialize");
+  get_bool(spec, "enable_specialization",
+           &options.specialize.enable_specialization);
+  get_bool(spec, "enable_vectorization",
+           &options.specialize.enable_vectorization);
+  get_bool(spec, "enable_broadcast_elimination",
+           &options.specialize.enable_broadcast_elimination);
+  get_bool(spec, "enable_reduce_schedules",
+           &options.specialize.enable_reduce_schedules);
+  get_bool(spec, "enable_shape_speculation",
+           &options.specialize.enable_shape_speculation);
+  get_i64(spec, "max_speculative_variants",
+          &options.specialize.max_speculative_variants);
+  get_i64(spec, "vector_width", &options.specialize.vector_width);
+  get_i64(spec, "warp_row_threshold", &options.specialize.warp_row_threshold);
+  get_i64(spec, "warp_min_rows", &options.specialize.warp_min_rows);
+
+  const JsonValue* hints = json.Find("likely_dim_values");
+  if (hints != nullptr) HintsFromJson(*hints, &options.likely_dim_values);
+  const JsonValue* divisors = json.Find("dim_divisors");
+  if (divisors != nullptr && divisors->is_array()) {
+    for (const JsonValue& pair : divisors->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2) continue;
+      const JsonValue& label = pair.as_array()[0];
+      const JsonValue& div = pair.as_array()[1];
+      if (label.is_string() && div.is_number()) {
+        options.dim_divisors.emplace_back(
+            label.as_string(), static_cast<int64_t>(div.as_number()));
+      }
+    }
+  }
+  return options;
+}
+
+std::string CacheKey::ToId() const {
+  // constraint_signature is free text (contains ':' etc.) — hash it so the
+  // id stays a fixed-width filesystem-safe token.
+  return model_fingerprint + "-" + Fingerprint(constraint_signature) + "-" +
+         options_hash + "-v" + std::to_string(code_version);
+}
+
+bool CacheKey::operator==(const CacheKey& other) const {
+  return model_fingerprint == other.model_fingerprint &&
+         constraint_signature == other.constraint_signature &&
+         options_hash == other.options_hash &&
+         code_version == other.code_version;
+}
+
+CacheKey CacheKey::Make(const Graph& graph,
+                        const std::vector<std::vector<std::string>>& labels,
+                        const CompileOptions& options) {
+  CacheKey key;
+  std::string model_text = graph.ToString();
+  for (const auto& input_labels : labels) {
+    model_text += "\n#labels:";
+    for (const std::string& l : input_labels) model_text += " " + l;
+  }
+  key.model_fingerprint = Fingerprint(model_text);
+
+  std::string constraints;
+  for (const auto& [label, div] : options.dim_divisors) {
+    constraints += "div " + label + "%" + std::to_string(div) + "\n";
+  }
+  for (const auto& [label, values] : options.likely_dim_values) {
+    constraints += "likely " + label + ":";
+    for (int64_t v : values) constraints += " " + std::to_string(v);
+    constraints += "\n";
+  }
+  key.constraint_signature = constraints;
+
+  // Hints/divisors are already in the constraint signature; hash the
+  // option fields without them so "same pipeline, new hints" reads as one
+  // options_hash with a changed constraint component.
+  CompileOptions pipeline_only = options;
+  pipeline_only.likely_dim_values.clear();
+  pipeline_only.dim_divisors.clear();
+  key.options_hash = Fingerprint(OptionsToJson(pipeline_only).Serialize());
+  key.code_version = kCompileCodeVersion;
+  return key;
+}
+
+}  // namespace disc

@@ -1,0 +1,62 @@
+// CacheKey: content-addressed identity of one compiled artifact.
+//
+// Two compiles may share an executable iff they agree on all four
+// components: what was compiled (model fingerprint over the input IR text
+// and dim labels), under which shape facts (constraint-set signature:
+// labels + divisor hints + likely-value hints), how (CompileOptions hash
+// over every semantic field — dump settings are excluded, they never
+// change the artifact), and by which compiler (code version, bumped on
+// any change to compilation semantics so stale disk caches self-expire).
+#ifndef DISC_COMPILE_SERVICE_CACHE_KEY_H_
+#define DISC_COMPILE_SERVICE_CACHE_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "ir/graph.h"
+#include "support/json.h"
+
+namespace disc {
+
+/// Bump when compiler semantics change; persisted entries written under a
+/// different version are ignored (and evicted) on load.
+inline constexpr int kCompileCodeVersion = 1;
+
+struct CacheKey {
+  /// FNV-1a over the input graph's IR text + input-dim labels.
+  std::string model_fingerprint;
+  /// Canonical text of the shape facts fed into compilation: dim labels,
+  /// divisor hints, likely-value hints. Distinguishes respecializations of
+  /// one model (same fingerprint/options, different hints).
+  std::string constraint_signature;
+  /// FNV-1a over the canonical JSON of CompileOptions (minus dump).
+  std::string options_hash;
+  int code_version = kCompileCodeVersion;
+
+  /// Filesystem-safe identity, also the per-entry artifact filename stem.
+  std::string ToId() const;
+  bool operator==(const CacheKey& other) const;
+
+  static CacheKey Make(const Graph& graph,
+                       const std::vector<std::vector<std::string>>& labels,
+                       const CompileOptions& options);
+};
+
+/// \brief FNV-1a 64-bit, rendered as 16 hex chars. Deterministic across
+/// runs/platforms — the disk cache depends on that.
+std::string Fingerprint(const std::string& text);
+
+/// \brief Canonical JSON of every semantic CompileOptions field (sorted
+/// keys; excludes dump). Stored in artifacts so a warm load can rebuild
+/// with the exact original options.
+JsonValue OptionsToJson(const CompileOptions& options);
+
+/// \brief Inverse of OptionsToJson. Unknown keys are ignored; missing keys
+/// keep their defaults (forward/backward-compatible within a schema
+/// version).
+CompileOptions OptionsFromJson(const JsonValue& json);
+
+}  // namespace disc
+
+#endif  // DISC_COMPILE_SERVICE_CACHE_KEY_H_

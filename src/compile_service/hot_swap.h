@@ -1,0 +1,67 @@
+// ExecutableSlot: atomic hot-swap point between the serving path and the
+// background compile service.
+//
+// The serving thread Acquire()s a shared_ptr snapshot per query and runs
+// against it; a service worker Swap()s in a freshly compiled executable at
+// any time. shared_ptr ownership makes the handoff torn-read-free: a Run
+// in flight keeps its snapshot alive until it finishes, even if the swap
+// happens mid-run, and the old executable is destroyed only when the last
+// in-flight Run drops it.
+//
+// Launch-plan-cache safety (PR 1 interaction): plans memoize buffer sizes
+// and variant choices of ONE executable, so they must never survive a
+// swap. Plan caches are per-Executable members — a swapped-in executable
+// starts with an empty cache by construction — and Swap() additionally
+// clears the outgoing executable's cache so a later re-install (e.g.
+// respecialization rollback) cannot replay plans from its previous life.
+#ifndef DISC_COMPILE_SERVICE_HOT_SWAP_H_
+#define DISC_COMPILE_SERVICE_HOT_SWAP_H_
+
+#include <memory>
+#include <mutex>
+
+#include "runtime/executable.h"
+
+namespace disc {
+
+class ExecutableSlot {
+ public:
+  /// \brief Snapshot for one query; null until the first Swap. The caller
+  /// may keep running against it across a concurrent Swap.
+  std::shared_ptr<const Executable> Acquire() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// \brief Installs `next` (may be null to clear) and returns the
+  /// previous executable, its launch-plan cache already cleared.
+  std::shared_ptr<const Executable> Swap(
+      std::shared_ptr<const Executable> next) {
+    std::shared_ptr<const Executable> previous;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      previous = std::move(current_);
+      current_ = std::move(next);
+      ++generation_;
+    }
+    if (previous != nullptr) previous->ClearPlanCache();
+    return previous;
+  }
+
+  bool has_executable() const { return Acquire() != nullptr; }
+  /// Number of Swap() calls; lets engines detect "a new executable arrived
+  /// since I last looked" without holding the snapshot.
+  int64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Executable> current_;
+  int64_t generation_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMPILE_SERVICE_HOT_SWAP_H_

@@ -1,0 +1,83 @@
+#include "compile_service/profile_feedback.h"
+
+#include <algorithm>
+
+#include "support/metrics.h"
+
+namespace disc {
+
+void ShapeProfileFeedback::Observe(
+    const std::vector<std::vector<std::string>>& labels,
+    const std::vector<std::vector<int64_t>>& input_dims) {
+  ++observations_;
+  size_t n = std::min(labels.size(), input_dims.size());
+  for (size_t i = 0; i < n; ++i) {
+    size_t rank = std::min(labels[i].size(), input_dims[i].size());
+    for (size_t d = 0; d < rank; ++d) {
+      const std::string& label = labels[i][d];
+      if (label.empty()) continue;
+      ++histograms_[label][input_dims[i][d]];
+    }
+  }
+}
+
+std::optional<LikelyDimValues> ShapeProfileFeedback::MaybeRespecialize() {
+  if (observations_ < options_.min_observations) return std::nullopt;
+  if (!active_signature_.empty() &&
+      observations_ - last_checked_at_ < options_.recheck_interval) {
+    return std::nullopt;
+  }
+  last_checked_at_ = observations_;
+
+  LikelyDimValues hints;
+  for (const auto& [label, hist] : histograms_) {
+    // One histogram per label; observations per label == total sightings of
+    // that label (a label can appear on several inputs — each counts).
+    int64_t label_total = 0;
+    for (const auto& [value, count] : hist) label_total += count;
+    if (label_total == 0) continue;
+
+    // Rank values by (count desc, value asc) for determinism.
+    std::vector<std::pair<int64_t, int64_t>> ranked;  // {value, count}
+    ranked.reserve(hist.size());
+    for (const auto& [value, count] : hist) ranked.emplace_back(value, count);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (static_cast<double>(ranked.front().second) <
+        options_.confidence * static_cast<double>(label_total)) {
+      continue;  // flat distribution — speculation would thrash
+    }
+    size_t k = std::min(ranked.size(),
+                        static_cast<size_t>(options_.max_values_per_label));
+    // Emit ascending frequency: most frequent LAST, so the back-first
+    // speculative-variant builder specializes it first under truncation.
+    std::vector<int64_t> values;
+    for (size_t j = k; j > 0; --j) values.push_back(ranked[j - 1].first);
+    hints.emplace_back(label, std::move(values));
+  }
+  if (hints.empty()) return std::nullopt;
+
+  std::string signature = Signature(hints);
+  if (signature == active_signature_) return std::nullopt;
+  active_signature_ = signature;
+  ++respecializations_;
+  CountMetric("compile_service.profile.respecialize");
+  return hints;
+}
+
+std::string ShapeProfileFeedback::Signature(const LikelyDimValues& hints) {
+  std::string out;
+  for (const auto& [label, values] : hints) {
+    if (!out.empty()) out += ";";
+    out += label + ":";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(values[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace disc

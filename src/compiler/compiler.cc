@@ -102,26 +102,55 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
         exe->graph_.get(), std::move(input_dim_labels));
     DISC_RETURN_IF_ERROR(exe->analysis_->Run());
 
-    // 2b. Seed shape-speculation hints: map labels to their symbols via the
-    // seeded input shapes.
-    if (!options.likely_dim_values.empty()) {
+    // 2b. Seed divisibility facts and shape-speculation hints: map labels
+    // to their symbols via the seeded input shapes. Divisors go first so
+    // likely-value hints can be validated against them — a hint that
+    // contradicts a known divisibility (profile noise, stale feedback)
+    // must not reach the specializer, where its equality guard could never
+    // fire yet would burn a max_speculative_variants slot.
+    if (!options.likely_dim_values.empty() || !options.dim_divisors.empty()) {
       const auto& graph_inputs = exe->graph_->inputs();
       for (size_t i = 0; i < graph_inputs.size(); ++i) {
         const SymShape& shape = exe->analysis_->GetShape(graph_inputs[i]);
         for (size_t d = 0; d < shape.size(); ++d) {
           if (!shape[d].IsSymbol()) continue;
+          SymbolId symbol = shape[d].symbol();
           const std::string& name =
-              exe->analysis_->manager().Info(shape[d].symbol()).name;
+              exe->analysis_->manager().Info(symbol).name;
+          for (const auto& [label, divisor] : options.dim_divisors) {
+            if (label != name || divisor <= 1) continue;
+            exe->analysis_->manager().AddDivisibility(symbol, divisor);
+            ConstraintRecord record;
+            record.kind = "divisibility";
+            record.detail = name + " % " + std::to_string(divisor) + " == 0";
+            record.source = "user-hint";
+            exe->analysis_->RecordConstraint(std::move(record));
+          }
           for (const auto& [label, values] : options.likely_dim_values) {
             if (label != name) continue;
+            int64_t divisor = exe->analysis_->manager().GetDivisor(symbol);
+            std::vector<int64_t> accepted;
             for (int64_t v : values) {
-              exe->analysis_->manager().AddLikelyValue(shape[d].symbol(), v);
+              if (divisor > 1 && v % divisor != 0) {
+                ConstraintRecord blocked;
+                blocked.kind = "likely-value";
+                blocked.detail = "blocked: " + name + "=" +
+                                 std::to_string(v) +
+                                 " violates divisibility " + name + " % " +
+                                 std::to_string(divisor) + " == 0";
+                blocked.source = "user-hint";
+                exe->analysis_->RecordConstraint(std::move(blocked));
+                continue;
+              }
+              exe->analysis_->manager().AddLikelyValue(symbol, v);
+              accepted.push_back(v);
             }
+            if (accepted.empty()) continue;
             ConstraintRecord record;
             record.kind = "likely-value";
             record.detail =
                 name + " in {" +
-                JoinMapped(values, ", ",
+                JoinMapped(accepted, ", ",
                            [](int64_t v) { return std::to_string(v); }) +
                 "}";
             record.source = "user-hint";

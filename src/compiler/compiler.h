@@ -35,8 +35,14 @@ struct CompileOptions {
   /// Likely runtime values per input-dim label ("shape speculation" hints,
   /// from profiling feedback or the user). Seeded into the symbolic
   /// constraint store before kernel specialization; kernels then emit
-  /// exact-shape variants for the hot values.
+  /// exact-shape variants for the hot values. Hints that contradict a
+  /// divisibility fact (see `dim_divisors`) are rejected with a recorded
+  /// `blocked:` constraint instead of poisoning specialization.
   std::vector<std::pair<std::string, std::vector<int64_t>>> likely_dim_values;
+  /// Known divisibility per input-dim label ("B is always a multiple of
+  /// 8"), e.g. from padded batching. Seeded as symbolic divisibility facts
+  /// before hints are validated and kernels specialized.
+  std::vector<std::pair<std::string, int64_t>> dim_divisors;
 
   /// Convenience ablation presets.
   static CompileOptions Default() { return {}; }

@@ -150,6 +150,13 @@ class Executable {
   void set_plan_cache_capacity(size_t capacity) const {
     plan_cache_.set_capacity(capacity);
   }
+  /// \brief Drops every memoized launch plan. Called when this executable
+  /// is hot-swapped out of an ExecutableSlot: plans encode this
+  /// executable's buffer sizes and kernel variants, so a replacement must
+  /// never inherit them (plan caches are per-Executable, which already
+  /// namespaces them — clearing additionally frees the stale plans and
+  /// makes a swapped-out executable safe to re-install later).
+  void ClearPlanCache() const { plan_cache_.Clear(); }
 
   std::string ToString() const;
 

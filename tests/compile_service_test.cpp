@@ -1,0 +1,674 @@
+// The async compilation subsystem: service semantics (priorities, dedup,
+// cancellation, deadlines, futures), non-blocking serving through the
+// fallback leg with bit-identical results, concurrency-safe hot-swap
+// without stale launch plans, and the persistent artifact cache's warm
+// restart / corruption / eviction behavior.
+#include "compile_service/compile_service.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/async_engine.h"
+#include "baselines/dynamic_engine.h"
+#include "baselines/interpreter_engine.h"
+#include "compile_service/profile_feedback.h"
+#include "ir/builder.h"
+#include "support/failpoint.h"
+#include "support/rng.h"
+
+namespace disc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheDir {
+ public:
+  explicit CacheDir(const std::string& name)
+      : path_((fs::temp_directory_path() /
+               ("disc_compile_service_" + name + "_" +
+                std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~CacheDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::unique_ptr<Graph> EwModel(const std::string& name = "svc") {
+  auto g = std::make_unique<Graph>(name);
+  GraphBuilder b(g.get());
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
+  b.Output({b.Relu(b.Add(x, x))});
+  return g;
+}
+
+CompileJobRequest MakeRequest(const Graph* graph,
+                              JobPriority priority = JobPriority::kPrefetch) {
+  CompileJobRequest request;
+  request.model_name = graph->name();
+  request.graph = graph;
+  request.labels = {{"B", "S"}};
+  request.priority = priority;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Service core.
+
+TEST(CompileServiceTest, SubmitCompilesAndResolvesFuture) {
+  auto g = EwModel();
+  CompileService service;
+  CompileJobHandle handle = service.Submit(MakeRequest(g.get()));
+  const CompileJobOutcome& outcome = handle.Wait();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_NE(outcome.executable, nullptr);
+  EXPECT_FALSE(outcome.from_disk_cache);
+  EXPECT_TRUE(outcome.executable->RunWithShapes({{8, 16}}).ok());
+  EXPECT_EQ(service.stats().compiled, 1);
+}
+
+TEST(CompileServiceTest, InFlightJobsDedupByKey) {
+  auto g = EwModel();
+  CompileServiceOptions options;
+  options.num_workers = 1;
+  CompileService service(options);
+
+  // Hold the single worker hostage so later submits stay queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = MakeRequest(g.get());
+  blocker.model_name = "blocker";
+  blocker.pre_compile_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  CompileJobHandle blocked = service.Submit(std::move(blocker));
+
+  auto g2 = EwModel("deduped");
+  CompileJobHandle first = service.Submit(MakeRequest(g2.get()));
+  CompileJobHandle second = service.Submit(MakeRequest(g2.get()));
+  EXPECT_EQ(first.job_id(), second.job_id());
+  EXPECT_EQ(service.stats().deduplicated, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.Drain();
+  // One compile for the deduplicated pair; both handles see it.
+  EXPECT_TRUE(first.Wait().status.ok());
+  EXPECT_TRUE(second.Wait().status.ok());
+  EXPECT_EQ(first.TryGet(), second.TryGet());
+}
+
+TEST(CompileServiceTest, PriorityQueueServesForegroundFirst) {
+  auto g = EwModel();
+  CompileServiceOptions options;
+  options.num_workers = 1;
+  CompileService service(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = MakeRequest(g.get());
+  blocker.pre_compile_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  service.Submit(std::move(blocker));
+
+  // Queue in worst order; distinct graphs so nothing dedups.
+  auto g_pre = EwModel("prefetch");
+  auto g_spec = EwModel("respec");
+  auto g_fg = EwModel("foreground");
+  service.Submit(MakeRequest(g_pre.get(), JobPriority::kPrefetch));
+  service.Submit(MakeRequest(g_spec.get(), JobPriority::kRespecialize));
+  service.Submit(MakeRequest(g_fg.get(), JobPriority::kForegroundMiss));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.Drain();
+
+  // The timeline records dequeue order: foreground < respecialize <
+  // prefetch regardless of submit order.
+  double fg_start = -1, spec_start = -1, pre_start = -1;
+  for (const JobTimelineEntry& e : service.JobTimeline()) {
+    if (e.model == "foreground") fg_start = e.start_us;
+    if (e.model == "respec") spec_start = e.start_us;
+    if (e.model == "prefetch") pre_start = e.start_us;
+  }
+  ASSERT_GE(fg_start, 0.0);
+  EXPECT_LT(fg_start, spec_start);
+  EXPECT_LT(spec_start, pre_start);
+}
+
+TEST(CompileServiceTest, CancelledQueuedJobNeverCompiles) {
+  auto g = EwModel();
+  CompileServiceOptions options;
+  options.num_workers = 1;
+  CompileService service(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = MakeRequest(g.get());
+  blocker.pre_compile_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  service.Submit(std::move(blocker));
+
+  auto g2 = EwModel("cancelme");
+  CompileJobHandle doomed = service.Submit(MakeRequest(g2.get()));
+  doomed.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.Drain();
+  const CompileJobOutcome& outcome = doomed.Wait();
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.executable, nullptr);
+  EXPECT_EQ(service.stats().cancelled, 1);
+  EXPECT_EQ(service.stats().compiled, 1);  // only the blocker
+}
+
+TEST(CompileServiceTest, QueuedPastDeadlineExpiresInsteadOfCompiling) {
+  auto g = EwModel();
+  CompileServiceOptions options;
+  options.num_workers = 1;
+  CompileService service(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = MakeRequest(g.get());
+  blocker.pre_compile_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  service.Submit(std::move(blocker));
+
+  auto g2 = EwModel("latecomer");
+  auto late = MakeRequest(g2.get());
+  late.deadline_ms = 0.001;  // expires while queued behind the blocker
+  CompileJobHandle handle = service.Submit(std::move(late));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.Drain();
+  EXPECT_EQ(handle.Wait().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_expired, 1);
+}
+
+// ---------------------------------------------------------------------------
+// (a) Serving never blocks on an in-flight compile; results bit-identical.
+
+TEST(CompileServiceTest, QueryDuringInFlightCompileServesFallback) {
+  auto g = EwModel();
+  CompileServiceOptions service_options;
+  service_options.num_workers = 1;
+  CompileService service(service_options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> compiling{false};
+
+  AsyncEngineOptions options;
+  AsyncCompileEngine engine(
+      &service,
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()),
+      options);
+  // Intercept the engine's own prefetch job: Prepare submits it, we hold
+  // the worker inside it.
+  // (Prepare's request has no hook, so instead park the worker with a
+  // blocker job submitted first.)
+  auto blocker = MakeRequest(g.get());
+  blocker.model_name = "blocker";
+  blocker.pre_compile_hook = [&] {
+    compiling.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  service.Submit(std::move(blocker));
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", "S"}}).ok());
+
+  // The worker is stuck; the engine's executable cannot be ready.
+  Tensor in(DType::kF32, {4, 8});
+  Rng rng(7);
+  for (int64_t i = 0; i < in.num_elements(); ++i) {
+    in.f32_data()[i] = rng.Normal();
+  }
+  InterpreterEngine reference(InterpreterProfile::PyTorch());
+  ASSERT_TRUE(reference.Prepare(*g, {{"B", "S"}}).ok());
+  auto want = reference.Execute({in});
+  ASSERT_TRUE(want.ok());
+
+  // Queries complete promptly on the fallback leg — no blocking on the
+  // stuck compile — and the math is bit-identical to the interpreter.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(engine.Query({{4, 8}}, DeviceSpec::T4()).ok());
+    auto got = engine.Execute({in});
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t o = 0; o < got->size(); ++o) {
+      ASSERT_EQ((*got)[o].num_elements(), (*want)[o].num_elements());
+      for (int64_t e = 0; e < (*got)[o].num_elements(); ++e) {
+        EXPECT_EQ((*got)[o].f32_data()[e], (*want)[o].f32_data()[e]);
+      }
+    }
+  }
+  EXPECT_GE(engine.stats().fallback_queries, 3);
+  EXPECT_EQ(engine.swaps(), 0);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  service.Drain();
+
+  // Compiled executable picked up on a later query (atomic hot-swap), and
+  // numerics stay bit-identical.
+  EXPECT_TRUE(engine.Query({{4, 8}}, DeviceSpec::T4()).ok());
+  EXPECT_EQ(engine.swaps(), 1);
+  auto compiled = engine.Execute({in});
+  ASSERT_TRUE(compiled.ok());
+  for (int64_t e = 0; e < (*compiled)[0].num_elements(); ++e) {
+    EXPECT_EQ((*compiled)[0].f32_data()[e], (*want)[0].f32_data()[e]);
+  }
+  EXPECT_TRUE(compiling.load());
+}
+
+// ---------------------------------------------------------------------------
+// (b) Hot-swap under concurrent Run: torn-read-free, no stale plans.
+
+TEST(CompileServiceTest, HotSwapUnderConcurrentRunHasNoStalePlans) {
+  auto g = EwModel();
+  // Two executables of the same model, swapped repeatedly while 4 threads
+  // Run. Each Run must see a coherent executable (its snapshot), and after
+  // every swap the outgoing executable's launch-plan cache must be empty.
+  auto exe_a = DiscCompiler::Compile(*g, {{"B", "S"}});
+  auto exe_b = DiscCompiler::Compile(*g, {{"B", "S"}});
+  ASSERT_TRUE(exe_a.ok() && exe_b.ok());
+  std::shared_ptr<const Executable> a(std::move(*exe_a));
+  std::shared_ptr<const Executable> b(std::move(*exe_b));
+
+  ExecutableSlot slot;
+  slot.Swap(a);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> runs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      while (!stop.load()) {
+        std::shared_ptr<const Executable> snapshot = slot.Acquire();
+        ASSERT_NE(snapshot, nullptr);
+        int64_t rows = 1 + static_cast<int64_t>(rng.Uniform() * 6);
+        auto result = snapshot->RunWithShapes({{rows, 16}});
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ++runs;
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::shared_ptr<const Executable> out = slot.Swap(i % 2 == 0 ? b : a);
+    ASSERT_NE(out, nullptr);
+    // The swapped-out executable has no memoized plans from its last life.
+    // In-flight Runs against the old snapshot may repopulate entries
+    // *after* this check — that is fine, they are keyed to that same
+    // executable and cleared again on its next swap-out.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(runs.load(), 0);
+
+  // Quiescent check: swap both out and verify cleared caches.
+  slot.Swap(nullptr);
+  EXPECT_EQ(a->plan_cache_stats().entries, 0);
+  b->ClearPlanCache();
+  EXPECT_EQ(b->plan_cache_stats().entries, 0);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Warm restart: second lifetime restores everything from disk.
+
+TEST(CompileServiceTest, WarmRestartRestoresFromDiskWithZeroCompiles) {
+  CacheDir dir("warm_restart");
+  auto g1 = EwModel("model_one");
+  auto g2 = EwModel("model_two");
+
+  CompileServiceOptions options;
+  options.cache.dir = dir.path();
+
+  {
+    CompileService first_life(options);
+    auto h1 = first_life.Submit(MakeRequest(g1.get()));
+    auto h2 = first_life.Submit(MakeRequest(g2.get()));
+    EXPECT_TRUE(h1.Wait().status.ok());
+    EXPECT_TRUE(h2.Wait().status.ok());
+    EXPECT_EQ(first_life.stats().compiled, 2);
+    EXPECT_EQ(first_life.cache().stats().stores, 2);
+  }
+
+  // Fresh service, same directory: every artifact restores from disk.
+  CompileService second_life(options);
+  auto h1 = second_life.Submit(MakeRequest(g1.get()));
+  auto h2 = second_life.Submit(MakeRequest(g2.get()));
+  const CompileJobOutcome& o1 = h1.Wait();
+  const CompileJobOutcome& o2 = h2.Wait();
+  ASSERT_TRUE(o1.status.ok() && o2.status.ok());
+  EXPECT_TRUE(o1.from_disk_cache);
+  EXPECT_TRUE(o2.from_disk_cache);
+  EXPECT_EQ(second_life.stats().compiled, 0);
+  EXPECT_EQ(second_life.stats().disk_hits, 2);
+  EXPECT_TRUE(o1.executable->RunWithShapes({{8, 16}}).ok());
+
+  // Different options = different key = not a hit.
+  auto varied = MakeRequest(g1.get());
+  varied.options.fusion.enable_stitch = false;
+  auto h3 = second_life.Submit(std::move(varied));
+  EXPECT_TRUE(h3.Wait().status.ok());
+  EXPECT_EQ(second_life.stats().compiled, 1);
+}
+
+// ---------------------------------------------------------------------------
+// (d) Corruption: quarantined and recompiled, never crashed on.
+
+TEST(CompileServiceTest, CorruptedEntryIsQuarantinedAndRecompiled) {
+  CacheDir dir("corruption");
+  auto g = EwModel("fragile");
+  CompileServiceOptions options;
+  options.cache.dir = dir.path();
+
+  {
+    CompileService first_life(options);
+    EXPECT_TRUE(first_life.Submit(MakeRequest(g.get())).Wait().status.ok());
+  }
+
+  // Truncate every entry file to garbage.
+  int corrupted = 0;
+  for (const auto& entry :
+       fs::directory_iterator(dir.path() + "/entries")) {
+    std::ofstream out(entry.path());
+    out << "{ this is not json";
+    ++corrupted;
+  }
+  ASSERT_EQ(corrupted, 1);
+
+  CompileService second_life(options);
+  const CompileJobOutcome& outcome =
+      second_life.Submit(MakeRequest(g.get())).Wait();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_FALSE(outcome.from_disk_cache);
+  EXPECT_EQ(second_life.stats().compiled, 1);
+  EXPECT_EQ(second_life.cache().stats().quarantined, 1);
+  // The bad entry was moved aside, not deleted, and a good one re-stored.
+  EXPECT_TRUE(fs::exists(dir.path() + "/quarantine"));
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir.path() + "/quarantine"),
+                          fs::directory_iterator{}),
+            1);
+
+  // Third lifetime: the re-stored entry hits clean.
+  CompileService third_life(options);
+  EXPECT_TRUE(third_life.Submit(MakeRequest(g.get())).Wait().from_disk_cache);
+}
+
+TEST(CompileServiceTest, CacheStoreFaultDegradesNotCrashes) {
+  CacheDir dir("store_fault");
+  auto g = EwModel("unstorable");
+  CompileServiceOptions options;
+  options.cache.dir = dir.path();
+  CompileService service(options);
+
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kAlways;
+  FailpointRegistry::Global().Arm("compile_service.cache.store", spec);
+  const CompileJobOutcome& outcome =
+      service.Submit(MakeRequest(g.get())).Wait();
+  FailpointRegistry::Global().Disarm("compile_service.cache.store");
+
+  // The compile itself succeeded; only persistence was lost.
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(service.cache().stats().stores, 0);
+}
+
+TEST(CompileServiceTest, WorkerFaultFailsJobAndFallbackKeepsServing) {
+  auto g = EwModel("doomed");
+  CompileService service;
+  AsyncCompileEngine engine(
+      &service,
+      std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()));
+
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kAlways;
+  FailpointRegistry::Global().Arm("compile_service.worker", spec);
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", "S"}}).ok());
+  service.Drain();
+  // The job died; queries still succeed via the fallback leg.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(engine.Query({{4, 8}}, DeviceSpec::T4()).ok());
+  }
+  EXPECT_GE(engine.stats().fallback_queries, 3);
+  FailpointRegistry::Global().Disarm("compile_service.worker");
+
+  // Healed: the resubmitted foreground-miss job lands and gets adopted.
+  service.Drain();
+  EXPECT_TRUE(engine.Query({{4, 8}}, DeviceSpec::T4()).ok());
+  EXPECT_TRUE(engine.Query({{4, 8}}, DeviceSpec::T4()).ok());
+  EXPECT_EQ(engine.swaps(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// LRU eviction by byte budget.
+
+TEST(CompileServiceTest, EvictsLeastRecentlyUsedPastByteBudget) {
+  CacheDir dir("eviction");
+  std::vector<std::unique_ptr<Graph>> graphs;
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back(EwModel("model_" + std::to_string(i)));
+  }
+  CompileServiceOptions options;
+  options.cache.dir = dir.path();
+  CompileService service(options);
+  // Learn a single entry's size, then budget for ~2.
+  EXPECT_TRUE(service.Submit(MakeRequest(graphs[0].get())).Wait().status.ok());
+  int64_t entry_bytes = service.cache().stats().total_bytes;
+  ASSERT_GT(entry_bytes, 0);
+
+  ArtifactCacheOptions bounded;
+  bounded.dir = dir.path();
+  bounded.byte_budget = entry_bytes * 2 + entry_bytes / 2;
+  PersistentArtifactCache cache(bounded);
+  CompileOptions copts;
+  for (int i = 1; i < 4; ++i) {
+    CacheKey key = CacheKey::Make(*graphs[i], {{"B", "S"}}, copts);
+    EXPECT_TRUE(
+        cache.Store(key, graphs[i]->name(), copts, "report").ok());
+  }
+  EXPECT_GT(cache.stats().evictions, 0);
+  EXPECT_LE(cache.stats().total_bytes, bounded.byte_budget);
+  // The newest entry always survives.
+  CacheKey newest = CacheKey::Make(*graphs[3], {{"B", "S"}}, copts);
+  EXPECT_TRUE(cache.Lookup(newest).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cache key + options serialization.
+
+TEST(CompileServiceTest, OptionsJsonRoundTripsEverySemanticField) {
+  CompileOptions options;
+  options.run_graph_passes = false;
+  options.fusion.enable_stitch = false;
+  options.fusion.max_group_size = 17;
+  options.specialize.max_speculative_variants = 5;
+  options.specialize.enable_vectorization = false;
+  options.likely_dim_values = {{"B", {4, 512}}, {"S", {64}}};
+  options.dim_divisors = {{"B", 4}};
+
+  CompileOptions back = OptionsFromJson(OptionsToJson(options));
+  EXPECT_EQ(OptionsToJson(back).Serialize(),
+            OptionsToJson(options).Serialize());
+  EXPECT_EQ(back.likely_dim_values, options.likely_dim_values);
+  EXPECT_EQ(back.dim_divisors, options.dim_divisors);
+  EXPECT_EQ(back.fusion.max_group_size, 17);
+}
+
+TEST(CompileServiceTest, CacheKeySeparatesModelOptionsAndHints) {
+  auto g1 = EwModel("one");
+  auto g2 = EwModel("two");
+  CompileOptions base;
+  CacheKey k1 = CacheKey::Make(*g1, {{"B", "S"}}, base);
+
+  EXPECT_EQ(k1.ToId(), CacheKey::Make(*g1, {{"B", "S"}}, base).ToId());
+  EXPECT_NE(k1.ToId(), CacheKey::Make(*g2, {{"B", "S"}}, base).ToId());
+  EXPECT_NE(k1.ToId(), CacheKey::Make(*g1, {{"B", "T"}}, base).ToId());
+
+  CompileOptions tweaked = base;
+  tweaked.fusion.enable_stitch = false;
+  EXPECT_NE(k1.ToId(), CacheKey::Make(*g1, {{"B", "S"}}, tweaked).ToId());
+
+  // Hints change the constraint signature, not the options hash.
+  CompileOptions hinted = base;
+  hinted.likely_dim_values = {{"B", {512}}};
+  CacheKey k_hint = CacheKey::Make(*g1, {{"B", "S"}}, hinted);
+  EXPECT_NE(k1.ToId(), k_hint.ToId());
+  EXPECT_EQ(k1.options_hash, k_hint.options_hash);
+  EXPECT_NE(k1.constraint_signature, k_hint.constraint_signature);
+}
+
+// ---------------------------------------------------------------------------
+// Profile feedback.
+
+TEST(CompileServiceTest, ProfileFeedbackEmitsMostFrequentLast) {
+  ShapeProfileOptions options;
+  options.min_observations = 4;
+  ShapeProfileFeedback feedback(options);
+  std::vector<std::vector<std::string>> labels = {{"B"}};
+  for (int i = 0; i < 3; ++i) feedback.Observe(labels, {{512}});
+  EXPECT_FALSE(feedback.MaybeRespecialize().has_value());
+  feedback.Observe(labels, {{8}});
+
+  auto hints = feedback.MaybeRespecialize();
+  ASSERT_TRUE(hints.has_value());
+  ASSERT_EQ(hints->size(), 1u);
+  EXPECT_EQ((*hints)[0].first, "B");
+  // Ascending frequency: 8 (1x) before 512 (3x) — the speculative-variant
+  // builder takes from the back, so under truncation 512 wins.
+  EXPECT_EQ((*hints)[0].second, (std::vector<int64_t>{8, 512}));
+}
+
+TEST(CompileServiceTest, ProfileShiftTriggersFreshRespecialization) {
+  ShapeProfileOptions options;
+  options.min_observations = 4;
+  options.recheck_interval = 4;
+  ShapeProfileFeedback feedback(options);
+  std::vector<std::vector<std::string>> labels = {{"B"}};
+  for (int i = 0; i < 4; ++i) feedback.Observe(labels, {{512}});
+  ASSERT_TRUE(feedback.MaybeRespecialize().has_value());
+  EXPECT_EQ(feedback.respecializations(), 1);
+
+  // Stable profile: no re-emission.
+  for (int i = 0; i < 8; ++i) feedback.Observe(labels, {{512}});
+  EXPECT_FALSE(feedback.MaybeRespecialize().has_value());
+
+  // Traffic shifts: 64 overtakes 512 — a fresh hint set is emitted.
+  for (int i = 0; i < 40; ++i) feedback.Observe(labels, {{64}});
+  auto shifted = feedback.MaybeRespecialize();
+  ASSERT_TRUE(shifted.has_value());
+  EXPECT_EQ((*shifted)[0].second.back(), 64);
+  EXPECT_EQ(feedback.respecializations(), 2);
+}
+
+TEST(CompileServiceTest, FlatDistributionEmitsNothing) {
+  ShapeProfileOptions options;
+  options.min_observations = 4;
+  options.confidence = 0.5;
+  ShapeProfileFeedback feedback(options);
+  std::vector<std::vector<std::string>> labels = {{"B"}};
+  for (int64_t v : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    feedback.Observe(labels, {{v}});
+  }
+  EXPECT_FALSE(feedback.MaybeRespecialize().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the DynamicCompilerEngine satellite.
+
+TEST(CompileServiceTest, EngineRespecializesThroughServiceOffTheQueryThread) {
+  auto g = EwModel();
+  CompileService service;
+  DynamicProfile profile = DynamicProfile::DiscWithSpeculation();
+  DynamicCompilerEngine engine(profile);
+  engine.set_compile_service(&service);
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", "S"}}).ok());
+
+  std::vector<std::vector<int64_t>> hot = {{512, 1024}};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.Query(hot, DeviceSpec::T4()).ok());
+  }
+  // The respecialization ran in the background, not on the query thread.
+  EXPECT_EQ(engine.respecializations(), 1);
+  service.Drain();
+  EXPECT_EQ(service.stats().compiled, 1);
+
+  // A later query adopts the specialized executable.
+  auto before = engine.stats().compilations;
+  ASSERT_TRUE(engine.Query(hot, DeviceSpec::T4()).ok());
+  EXPECT_EQ(engine.stats().compilations, before + 1);
+
+  // The traffic shifts; the profile respecializes again (the old one-shot
+  // feedback_applied_ flag would have stopped after the first).
+  std::vector<std::vector<int64_t>> shifted = {{64, 128}};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(engine.Query(shifted, DeviceSpec::T4()).ok());
+  }
+  service.Drain();
+  ASSERT_TRUE(engine.Query(shifted, DeviceSpec::T4()).ok());
+  EXPECT_GE(engine.respecializations(), 2);
+}
+
+TEST(CompileServiceTest, SyncCompileFallbackPreservesBlockingBehavior) {
+  auto g = EwModel();
+  CompileService service;
+  DynamicProfile profile = DynamicProfile::DiscWithSpeculation();
+  profile.sync_compile_fallback = true;
+  DynamicCompilerEngine engine(profile);
+  engine.set_compile_service(&service);
+  ASSERT_TRUE(engine.Prepare(*g, {{"B", "S"}}).ok());
+  std::vector<std::vector<int64_t>> hot = {{512, 1024}};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.Query(hot, DeviceSpec::T4()).ok());
+  }
+  // Recompiled synchronously on the query thread: visible immediately,
+  // no service job involved.
+  EXPECT_EQ(engine.stats().compilations, 2);
+  EXPECT_EQ(service.stats().submitted, 0);
+}
+
+}  // namespace
+}  // namespace disc

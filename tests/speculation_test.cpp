@@ -1,6 +1,9 @@
 // Shape speculation: exact-shape variants from likely-value hints and the
 // runtime feedback loop in the DISC engine.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "baselines/dynamic_engine.h"
 #include "compiler/compiler.h"
@@ -143,6 +146,116 @@ TEST(SpeculationTest, PlainDiscEngineNeverRecompiles) {
     ASSERT_TRUE(engine.Query({{16, 256}}, DeviceSpec::T4()).ok());
   }
   EXPECT_EQ(engine.stats().compilations, 1);
+}
+
+int CountExactVariants(const Executable& exe) {
+  int exact = 0;
+  for (const auto& kernel : exe.kernels()) {
+    for (const auto& variant : kernel->variants()) {
+      if (variant.exact_shape) ++exact;
+    }
+  }
+  return exact;
+}
+
+TEST(SpeculationTest, DuplicateHintsDedupToOneVariant) {
+  // Profile noise can repeat a value; the hint pipeline must collapse it
+  // rather than burn a speculative-variant slot on an identical guard.
+  auto g = EwModel();
+  CompileOptions options;
+  options.likely_dim_values = {{"B", {512, 512}}, {"S", {1024, 1024}}};
+  auto exe = DiscCompiler::Compile(*g, {{"B", "S"}}, options);
+  ASSERT_TRUE(exe.ok());
+  EXPECT_EQ(CountExactVariants(**exe), 1);
+}
+
+TEST(SpeculationTest, TruncationKeepsMostFrequentHint) {
+  // Hints arrive ascending-by-frequency (most frequent last); speculation
+  // builds combination k from each symbol's k-th-from-the-back value, so
+  // with max_speculative_variants = 1 the most frequent combination must
+  // be the one that survives truncation.
+  auto g = EwModel();
+  CompileOptions options;
+  options.specialize.max_speculative_variants = 1;
+  options.likely_dim_values = {{"B", {8, 512}}, {"S", {64, 1024}}};
+  auto exe = DiscCompiler::Compile(*g, {{"B", "S"}}, options);
+  ASSERT_TRUE(exe.ok());
+  EXPECT_EQ(CountExactVariants(**exe), 1);
+
+  auto hot = (*exe)->RunWithShapes({{512, 1024}});
+  ASSERT_TRUE(hot.ok());
+  bool used_exact = false;
+  for (const auto& [name, count] : hot->profile.variant_counts) {
+    if (name.find("exact_") != std::string::npos && count > 0) {
+      used_exact = true;
+    }
+  }
+  EXPECT_TRUE(used_exact) << hot->profile.ToString();
+
+  // The rarer combination lost its slot: no exact variant admits it.
+  auto rare = (*exe)->RunWithShapes({{8, 64}});
+  ASSERT_TRUE(rare.ok());
+  for (const auto& [name, count] : rare->profile.variant_counts) {
+    EXPECT_EQ(name.find("exact_"), std::string::npos) << name;
+  }
+}
+
+TEST(SpeculationTest, HintViolatingDivisibilityIsBlockedNotSpecialized) {
+  auto g = EwModel();
+  CompileOptions options;
+  options.dim_divisors = {{"B", 4}};
+  options.likely_dim_values = {{"B", {7, 512}}, {"S", {1024}}};
+  auto exe = DiscCompiler::Compile(*g, {{"B", "S"}}, options);
+  ASSERT_TRUE(exe.ok());
+
+  // The contradiction was recorded, not silently dropped and not fatal.
+  bool saw_blocked = false, saw_divisibility = false, saw_accepted = false;
+  for (const ConstraintRecord& record : (*exe)->analysis().constraint_log()) {
+    if (record.kind == "divisibility" && record.source == "user-hint") {
+      saw_divisibility = true;
+    }
+    if (record.kind == "likely-value" &&
+        record.detail.rfind("blocked: B=7", 0) == 0) {
+      saw_blocked = true;
+    }
+    if (record.kind == "likely-value" &&
+        record.detail.find("512") != std::string::npos) {
+      saw_accepted = true;
+    }
+  }
+  EXPECT_TRUE(saw_divisibility);
+  EXPECT_TRUE(saw_blocked);
+  EXPECT_TRUE(saw_accepted);
+
+  // Only the consistent hint became a variant: B=512 speculated, B=7 not.
+  EXPECT_EQ(CountExactVariants(**exe), 1);
+  auto rare = (*exe)->RunWithShapes({{7, 1024}});
+  ASSERT_TRUE(rare.ok());
+  for (const auto& [name, count] : rare->profile.variant_counts) {
+    EXPECT_EQ(name.find("exact_"), std::string::npos) << name;
+  }
+}
+
+TEST(SpeculationTest, BlockedHintReasonLandsInConstraintDump) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("disc_spec_dump_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  auto g = EwModel();
+  CompileOptions options;
+  options.dump.dir = dir;
+  options.dim_divisors = {{"B", 4}};
+  options.likely_dim_values = {{"B", {7}}};
+  auto exe = DiscCompiler::Compile(*g, {{"B", "S"}}, options);
+  ASSERT_TRUE(exe.ok());
+  auto json = ReadFileToString(dir + "/shape_constraints.json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("blocked: B=7 violates divisibility B % 4 == 0"),
+            std::string::npos)
+      << *json;
+  fs::remove_all(dir);
 }
 
 }  // namespace
