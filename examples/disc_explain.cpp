@@ -10,11 +10,13 @@
 //   $ disc_explain --model=softmax --static-shapes-only --why-not-fused=3,5
 //   $ disc_explain --model=layernorm --decisions
 //   $ disc_explain --model=bert --constraints
+//   $ disc_explain --model=bert --memory-plan
 //
 // Node ids are the %N value ids shown in the IR dumps (module_*.ir) and in
 // `--decisions` output. Models: the F2 micro workloads (softmax, layernorm,
 // gelu-glue) plus the full model suite (mlp, bert, seq2seq-step, crnn,
 // fastspeech2, dlrm, ...).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -174,6 +176,45 @@ void WhyNotFused(const Executable& exe, int a, int b) {
   ExplainStanding(exe, nb, b);
 }
 
+// Renders the symbolic arena layout: which values share which slot, the
+// offset/size formula per slot, and why any value got its own fresh slot
+// (the fallback set is where peak-memory wins are still on the table).
+void PrintMemoryPlan(const Executable& exe) {
+  const MemoryPlan& plan = exe.memory_plan();
+  std::printf("== symbolic arena memory plan ==\n");
+  if (!plan.planned) {
+    std::printf("  (not planned — memory-planning phase did not run)\n\n");
+    return;
+  }
+  std::printf("  %s\n", plan.ToString().c_str());
+  std::printf("  peak bytes = %s\n", plan.peak_bytes.ToString().c_str());
+
+  // Group values by slot so sharing is visible at a glance.
+  std::vector<std::vector<int>> occupants(plan.slots.size());
+  for (const auto& [value, slot] : plan.slot_of) {
+    occupants[static_cast<size_t>(slot)].push_back(value->id());
+  }
+  for (size_t s = 0; s < plan.slots.size(); ++s) {
+    std::sort(occupants[s].begin(), occupants[s].end());
+    std::string ids;
+    for (int id : occupants[s]) {
+      if (!ids.empty()) ids += " ";
+      ids += "%" + std::to_string(id);
+    }
+    std::printf("  slot#%zu @ %s : %s bytes  <- %s\n", s,
+                plan.slots[s].offset.ToString().c_str(),
+                plan.slots[s].bytes.ToString().c_str(), ids.c_str());
+  }
+  if (!plan.fallbacks.empty()) {
+    std::printf("  fresh-slot fallbacks (no provable fit):\n");
+    for (const ArenaFallback& f : plan.fallbacks) {
+      std::printf("    %%%d (%s bytes): %s\n", f.value_id, f.bytes.c_str(),
+                  f.reason.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 }  // namespace disc
 
@@ -188,6 +229,7 @@ int main(int argc, char** argv) {
   bool static_only = false;
   bool list_decisions = false;
   bool list_constraints = false;
+  bool show_memory_plan = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--model=", 8) == 0) {
@@ -208,13 +250,16 @@ int main(int argc, char** argv) {
       list_decisions = true;
     } else if (std::strcmp(arg, "--constraints") == 0) {
       list_constraints = true;
+    } else if (std::strcmp(arg, "--memory-plan") == 0) {
+      show_memory_plan = true;
     } else {
       std::fprintf(
           stderr,
           "usage: disc_explain --model=<name> [--dump-dir=<dir>]\n"
           "           [--dump-filter=<substr>] [--why-not-fused=A,B]\n"
           "           [--static-shapes-only] [--decisions] [--constraints]\n"
-          "           [--cache-dir=<dir>] [--no-compile-cache]\n");
+          "           [--memory-plan] [--cache-dir=<dir>] "
+          "[--no-compile-cache]\n");
       return 2;
     }
   }
@@ -274,7 +319,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  if (list_decisions || (why_pair.empty() && !list_constraints)) {
+  if (show_memory_plan) PrintMemoryPlan(*exe);
+
+  if (list_decisions ||
+      (why_pair.empty() && !list_constraints && !show_memory_plan)) {
     std::printf("== fusion decisions (final verdict per considered pair) ==\n");
     for (const FusionDecision& d : exe->plan().decisions) {
       std::printf("  %s\n", d.ToString().c_str());

@@ -24,6 +24,13 @@ DynamicProfile DynamicProfile::DiscWithSpeculation() {
   return profile;
 }
 
+DynamicProfile DynamicProfile::DiscArena() {
+  DynamicProfile profile = Disc();
+  profile.name = "DISC+arena";
+  profile.memory_mode = MemoryMode::kArena;
+  return profile;
+}
+
 DynamicProfile DynamicProfile::TorchInductorDynamic() {
   DynamicProfile profile;
   profile.name = "TorchInductor";
@@ -75,6 +82,8 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   RunOptions options;
   options.device = device;
   options.use_launch_plan_cache = profile_.use_plan_cache;
+  options.memory_mode = profile_.memory_mode;
+  options.memory_limit_bytes = profile_.memory_limit_bytes;
   if (profile_.use_cuda_graph) {
     // CUDA-graph capture keys on the same canonical signature as the
     // launch-plan cache: replay only an already-captured signature;
@@ -161,6 +170,17 @@ Status DynamicCompilerEngine::RecompileWithFeedback(
   captured_signatures_.clear();
   CountCompilation(executable_->report().compile_ms);
   return Status::OK();
+}
+
+Result<int64_t> DynamicCompilerEngine::PredictPeakBytes(
+    const std::vector<std::vector<int64_t>>& input_dims) {
+  if (executable_ == nullptr) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  DISC_ASSIGN_OR_RETURN(int64_t predicted,
+                        executable_->PredictPeakBytes(input_dims));
+  CountMemoryPrediction(predicted);
+  return predicted;
 }
 
 Result<std::vector<Tensor>> DynamicCompilerEngine::Execute(

@@ -53,10 +53,19 @@ struct DynamicProfile {
   /// paying the driver launch latency once per query. Shape-static by
   /// nature — a fresh signature always takes the normal launch path.
   bool use_cuda_graph = false;
+  /// Memory-planning strategy per Run (see RunOptions::memory_mode). The
+  /// default keeps the caching allocator so existing gated baselines stay
+  /// byte-stable; DiscArena() opts into the single-allocation arena.
+  MemoryMode memory_mode = MemoryMode::kCachingAllocator;
+  /// Device-memory capacity forwarded to every Run (0 = unlimited).
+  int64_t memory_limit_bytes = 0;
 
   static DynamicProfile Disc();
   /// DISC with runtime shape-speculation feedback enabled.
   static DynamicProfile DiscWithSpeculation();
+  /// DISC running on the symbolic arena plan: one allocator call per Run,
+  /// footprint predictable before execution.
+  static DynamicProfile DiscArena();
   static DynamicProfile TorchInductorDynamic();
 };
 
@@ -77,6 +86,11 @@ class DynamicCompilerEngine : public Engine {
   /// reference evaluator) — exercises the real kernels.
   Result<std::vector<Tensor>> Execute(
       const std::vector<Tensor>& inputs) override;
+
+  /// \brief Evaluates the executable's symbolic peak formula for this
+  /// signature (memoized launch plans answer without size arithmetic).
+  Result<int64_t> PredictPeakBytes(
+      const std::vector<std::vector<int64_t>>& input_dims) override;
 
   const Executable* executable() const { return executable_.get(); }
 

@@ -26,6 +26,14 @@ void Engine::CountPlanLookup(bool hit) {
   }
 }
 
+void Engine::CountMemoryPrediction(int64_t predicted_bytes) {
+  ++stats_.memory_predictions;
+  stats_.last_predicted_peak_bytes = predicted_bytes;
+  CountMetric("engine.memory_predictions");
+  ObserveMetric("engine.predicted_peak_bytes",
+                static_cast<double>(predicted_bytes));
+}
+
 Status Engine::PrepareCommon(const Graph& graph,
                              std::vector<std::vector<std::string>> labels) {
   graph_ = graph.Clone();

@@ -50,6 +50,11 @@ struct EngineStats {
   /// leg); zero for plain engines. The serving simulator reads the delta
   /// per batch to attribute degraded requests.
   int64_t fallback_queries = 0;
+  /// Memory-footprint predictions answered (engines carrying a symbolic
+  /// peak formula) and the last predicted arena size in bytes — what
+  /// serving's memory-aware admission consulted most recently.
+  int64_t memory_predictions = 0;
+  int64_t last_predicted_peak_bytes = 0;
 
   /// Fraction of plan lookups that hit; 0 when no lookups happened.
   double launch_plan_hit_rate() const {
@@ -90,6 +95,18 @@ class Engine {
   /// deterministic.
   virtual void SetSimulatedTimeUs(double now_us) { (void)now_us; }
 
+  /// \brief Predicted device-memory footprint of a query with these input
+  /// shapes, WITHOUT running it (the symbolic peak formula from compile-
+  /// time memory planning, evaluated for this signature). Serving uses it
+  /// for memory-aware admission: shed a batch whose predicted footprint
+  /// exceeds capacity instead of discovering ResourceExhausted mid-run.
+  /// Returns 0 when the engine has no prediction (admit unconditionally).
+  virtual Result<int64_t> PredictPeakBytes(
+      const std::vector<std::vector<int64_t>>& input_dims) {
+    (void)input_dims;
+    return static_cast<int64_t>(0);
+  }
+
   virtual const EngineStats& stats() const { return stats_; }
 
  protected:
@@ -103,6 +120,7 @@ class Engine {
   void CountQuery();
   void CountCompilation(double compile_ms);
   void CountPlanLookup(bool hit);
+  void CountMemoryPrediction(int64_t predicted_bytes);
 
   std::unique_ptr<Graph> graph_;
   std::vector<std::vector<std::string>> labels_;

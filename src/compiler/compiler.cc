@@ -312,6 +312,53 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
     exe->report_.buffer_slots = exe->buffer_plan_.num_slots();
   }
 
+  // 7. Symbolic arena planning: byte offsets into one arena, valid for
+  // every runtime shape (ProvablyLe discharges cross-size reuse). Unlike
+  // the per-slot plan this schedule includes constants — they become
+  // pinned arena residents — so an arena-mode Run allocates exactly once.
+  // Host steps contribute their uses: a device value a host shape-op reads
+  // must stay live until that step.
+  {
+    PhaseScope phase(&exe->report_, "memory-planning");
+    std::vector<PlanStep> arena_steps;
+    std::vector<const Value*> arena_keep_alive(exe->graph_->outputs().begin(),
+                                               exe->graph_->outputs().end());
+    for (const Executable::Step& step : exe->steps_) {
+      PlanStep ps;
+      switch (step.kind) {
+        case Executable::Step::Kind::kKernel:
+          ps.defines.assign(step.kernel->group().outputs.begin(),
+                            step.kernel->group().outputs.end());
+          ps.uses.assign(step.kernel->group().inputs.begin(),
+                         step.kernel->group().inputs.end());
+          break;
+        case Executable::Step::Kind::kLibrary:
+          ps.defines.assign(step.node->outputs().begin(),
+                            step.node->outputs().end());
+          ps.uses.assign(step.node->operands().begin(),
+                         step.node->operands().end());
+          break;
+        case Executable::Step::Kind::kConstant:
+          ps.defines.push_back(step.node->output(0));
+          arena_keep_alive.push_back(step.node->output(0));
+          break;
+        case Executable::Step::Kind::kHost:
+          ps.uses.assign(step.node->operands().begin(),
+                         step.node->operands().end());
+          break;
+      }
+      arena_steps.push_back(std::move(ps));
+    }
+    exe->memory_plan_ =
+        PlanArena(arena_steps, arena_keep_alive, *exe->analysis_);
+    exe->report_.arena_slots = exe->memory_plan_.num_slots();
+    exe->report_.arena_cross_size_reuses =
+        exe->memory_plan_.num_cross_size_reuses;
+    exe->report_.arena_fallbacks =
+        static_cast<int64_t>(exe->memory_plan_.fallbacks.size());
+    (void)dumper.Write("memory_plan.json", exe->memory_plan_.ToJson());
+  }
+
   exe->report_.shapes = exe->analysis_->manager().GetStats();
   exe->report_.compile_ms =
       std::chrono::duration<double, std::milli>(

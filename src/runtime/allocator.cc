@@ -49,6 +49,7 @@ Result<int64_t> CachingAllocator::Allocate(int64_t bytes) {
                                       static_cast<long long>(block_id)));
   }
   block.in_use = true;
+  stats_.bytes_rounding_waste += size - bytes;
   stats_.bytes_in_use += size;
   stats_.peak_bytes_in_use =
       std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);

@@ -34,6 +34,11 @@ class CachingAllocator {
     int64_t peak_bytes_in_use = 0;
     int64_t peak_bytes_reserved = 0;
     int64_t failed_allocs = 0;  // limit exceeded or fault injected
+    /// Cumulative bytes lost to size-class rounding (rounded size minus
+    /// requested size, summed over successful allocations). The arena
+    /// planner aligns slot sizes to the 256-B quantum precisely so its
+    /// single allocation contributes zero here.
+    int64_t bytes_rounding_waste = 0;
   };
 
   CachingAllocator() = default;

@@ -1,5 +1,6 @@
 #include "runtime/buffer_plan.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <unordered_set>
@@ -8,11 +9,28 @@
 
 namespace disc {
 
+int64_t BufferAssignment::num_recycled_slots() const {
+  int64_t n = 0;
+  for (int64_t occupants : slot_occupants) {
+    if (occupants > 1) ++n;
+  }
+  return n;
+}
+
+int64_t BufferAssignment::max_slot_occupancy() const {
+  int64_t best = 0;
+  for (int64_t occupants : slot_occupants) best = std::max(best, occupants);
+  return best;
+}
+
 std::string BufferAssignment::ToString() const {
-  return StrFormat("%lld values in %lld slots (%lld reuses)",
-                   static_cast<long long>(num_values),
-                   static_cast<long long>(num_slots()),
-                   static_cast<long long>(num_reused));
+  return StrFormat(
+      "%lld values in %lld slots (%lld reuses across %lld recycled slots, "
+      "deepest chain %lld)",
+      static_cast<long long>(num_values), static_cast<long long>(num_slots()),
+      static_cast<long long>(num_reused),
+      static_cast<long long>(num_recycled_slots()),
+      static_cast<long long>(max_slot_occupancy()));
 }
 
 BufferAssignment PlanBuffers(const std::vector<PlanStep>& steps,
@@ -47,11 +65,12 @@ BufferAssignment PlanBuffers(const std::vector<PlanStep>& steps,
       if (!free_list.empty()) {
         slot = free_list.back();
         free_list.pop_back();
-        ++plan.num_reused;
       } else {
         slot = static_cast<int>(plan.slot_bytes.size());
         plan.slot_bytes.push_back(bytes);
+        plan.slot_occupants.push_back(0);
       }
+      ++plan.slot_occupants[slot];
       plan.slot_of[v] = slot;
       ++plan.num_values;
     }
@@ -74,6 +93,11 @@ BufferAssignment PlanBuffers(const std::vector<PlanStep>& steps,
         free_slots[size_expr(v).ToString()].push_back(it->second);
       }
     }
+  }
+  // Reuse events derive from the occupant chains so that chained
+  // recycling (one slot hosting 3+ values) counts every hand-off.
+  for (int64_t occupants : plan.slot_occupants) {
+    plan.num_reused += occupants - 1;
   }
   return plan;
 }

@@ -29,11 +29,21 @@ struct BufferAssignment {
   std::unordered_map<const Value*, int> slot_of;
   /// Canonical symbolic byte-size expression per slot.
   std::vector<DimExpr> slot_bytes;
+  /// Occupant count per slot (parallel to slot_bytes). A slot recycled
+  /// twice has three occupants; chained recycling is visible here.
+  std::vector<int64_t> slot_occupants;
   int64_t num_values = 0;
-  /// Values that reuse a slot previously occupied by a dead value.
+  /// Reuse *events*: every placement into a previously-occupied slot
+  /// counts, so a slot recycled twice contributes two. Derived from
+  /// slot_occupants (sum of occupants - 1 per slot), which keeps it
+  /// consistent with the assignment by construction.
   int64_t num_reused = 0;
 
   int64_t num_slots() const { return static_cast<int64_t>(slot_bytes.size()); }
+  /// Slots that were recycled at least once.
+  int64_t num_recycled_slots() const;
+  /// Longest occupant chain through any single slot.
+  int64_t max_slot_occupancy() const;
   std::string ToString() const;
 };
 

@@ -192,7 +192,37 @@ Result<LaunchPlan> Executable::BuildLaunchPlan(
       }
     }
   }
+
+  // Memoize the concrete memory layout for this signature: the arena peak
+  // formula and the per-slot block sizes, evaluated once. Mode-independent
+  // and cheap, so a single cached plan serves every MemoryMode and a plan
+  // hit performs no size arithmetic at all.
+  if (memory_plan_.planned && memory_plan_.peak_bytes.valid()) {
+    DISC_ASSIGN_OR_RETURN(
+        plan.arena_bytes,
+        analysis_->EvaluateDim(memory_plan_.peak_bytes, plan.bindings));
+  }
+  plan.slot_bytes.reserve(buffer_plan_.slot_bytes.size());
+  for (const DimExpr& bytes : buffer_plan_.slot_bytes) {
+    DISC_ASSIGN_OR_RETURN(int64_t concrete,
+                          analysis_->EvaluateDim(bytes, plan.bindings));
+    plan.slot_bytes.push_back(concrete);
+  }
   return plan;
+}
+
+Result<int64_t> Executable::PredictPeakBytes(
+    const std::vector<std::vector<int64_t>>& input_dims) const {
+  if (!memory_plan_.planned || !memory_plan_.peak_bytes.valid()) return 0;
+  // A hot signature answers straight from the memoized plan; Peek leaves
+  // the cache stats and LRU order untouched (prediction is observational).
+  if (std::shared_ptr<const LaunchPlan> plan =
+          plan_cache_.Peek(ShapeSignature(input_dims))) {
+    return plan->arena_bytes;
+  }
+  DISC_ASSIGN_OR_RETURN(SymbolBindings bindings,
+                        analysis_->BindInputs(input_dims));
+  return analysis_->EvaluateDim(memory_plan_.peak_bytes, bindings);
 }
 
 Result<RunResult> Executable::RunInternal(
@@ -274,6 +304,27 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
   RunProfile& profile = result.profile;
   CachingAllocator allocator(options.memory_limit_bytes);
   const bool execute_data = inputs != nullptr;
+  const MemoryMode mode = options.memory_mode;
+  const bool use_arena = mode == MemoryMode::kArena && memory_plan_.planned;
+
+  // Up-front allocation for the planned modes. Arena: the whole Run's
+  // footprint in ONE call against the memoized peak formula — the limit
+  // check (and any armed runtime.alloc failpoint) fires here, before any
+  // step executes, never mid-Run. Per-slot: one block per compile-time
+  // buffer slot.
+  std::vector<int64_t> slot_block;
+  if (use_arena) {
+    if (plan.arena_bytes > 0) {
+      DISC_RETURN_IF_ERROR(allocator.Allocate(plan.arena_bytes).status());
+    }
+    profile.arena_bytes = plan.arena_bytes;
+  } else if (mode == MemoryMode::kPerSlot) {
+    slot_block.reserve(plan.slot_bytes.size());
+    for (int64_t bytes : plan.slot_bytes) {
+      DISC_ASSIGN_OR_RETURN(int64_t id, allocator.Allocate(bytes));
+      slot_block.push_back(id);
+    }
+  }
 
   std::unordered_map<const Value*, Tensor> env;
   if (execute_data) {
@@ -288,8 +339,16 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
     const PlannedStep& ps = plan.steps[s];
     size_t next_alloc = 0;
     auto allocate_value = [&](const Value* v) -> Status {
-      DISC_ASSIGN_OR_RETURN(block_of[v],
-                            allocator.Allocate(ps.alloc_bytes[next_alloc++]));
+      const int64_t bytes = ps.alloc_bytes[next_alloc++];
+      // Values covered by a compile-time plan live in pre-allocated
+      // memory: arena residents (constants included) at their offsets,
+      // slot members in their slot's block. They never enter block_of, so
+      // the release loop naturally skips them.
+      if (use_arena && memory_plan_.slot_of.count(v)) return Status::OK();
+      if (mode == MemoryMode::kPerSlot && buffer_plan_.slot_of.count(v)) {
+        return Status::OK();
+      }
+      DISC_ASSIGN_OR_RETURN(block_of[v], allocator.Allocate(bytes));
       return Status::OK();
     };
     switch (step.kind) {
@@ -417,10 +476,13 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
   profile.peak_memory_bytes = allocator.stats().peak_bytes_in_use;
   profile.alloc_calls = allocator.stats().alloc_calls;
   profile.alloc_cache_hits = allocator.stats().cache_hits;
+  profile.alloc_rounding_waste = allocator.stats().bytes_rounding_waste;
   // The registry mirrors the per-run allocator counters so profile fields
   // and global metrics can never disagree (asserted in metrics_test).
   CountMetric("runtime.alloc.calls", profile.alloc_calls);
   CountMetric("runtime.alloc.cache_hits", profile.alloc_cache_hits);
+  CountMetric("runtime.alloc.bytes_rounding_waste",
+              profile.alloc_rounding_waste);
 
   if (execute_data) {
     for (const Value* out : graph_->outputs()) {

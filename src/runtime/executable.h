@@ -37,9 +37,26 @@
 #include "runtime/allocator.h"
 #include "runtime/buffer_plan.h"
 #include "runtime/launch_plan.h"
+#include "runtime/memory_plan.h"
 #include "sim/device.h"
 
 namespace disc {
+
+/// How a Run backs device values with memory.
+enum class MemoryMode {
+  /// One CachingAllocator call per live value (the baseline; reuse happens
+  /// dynamically through the allocator's size-class cache).
+  kCachingAllocator,
+  /// One block per compile-time BufferAssignment slot, allocated up front;
+  /// values inside a slot share it for free. Constants still allocate
+  /// individually (they are not slot residents).
+  kPerSlot,
+  /// A single allocation of the symbolic peak formula: every value —
+  /// constants included — lives at a compile-time offset in one arena.
+  /// With a launch-plan cache hit the Run does no size arithmetic and at
+  /// most one (size-class cached) allocator call.
+  kArena,
+};
 
 struct RunOptions {
   DeviceSpec device = DeviceSpec::A10();
@@ -64,6 +81,12 @@ struct RunOptions {
   /// the limit returns ResourceExhausted from Run (retryable) instead of
   /// aborting the process.
   int64_t memory_limit_bytes = 0;
+  /// Memory-planning strategy. Defaults to the caching allocator so
+  /// existing byte-stable baselines (F7/F9/F10 count per-value allocator
+  /// traffic and failpoint fires) are unchanged; the arena is opt-in via
+  /// engines/benches. Outputs are bit-identical across modes — only the
+  /// allocation pattern differs.
+  MemoryMode memory_mode = MemoryMode::kCachingAllocator;
 };
 
 /// Counters collected during one Run.
@@ -79,6 +102,11 @@ struct RunProfile {
   /// path; misses map/reserve new memory).
   int64_t alloc_calls = 0;
   int64_t alloc_cache_hits = 0;
+  /// Bytes lost to size-class rounding across this run's allocations
+  /// (zero in arena mode: the plan aligns every slot to the quantum).
+  int64_t alloc_rounding_waste = 0;
+  /// Concrete arena size for this signature (arena mode only, else 0).
+  int64_t arena_bytes = 0;
   /// True when this Run replayed a memoized launch plan (signature hit).
   bool launch_plan_hit = false;
   /// Measured wall-clock host cost of obtaining the launch plan: symbol
@@ -111,6 +139,12 @@ struct CompileReport {
   /// Compile-time buffer assignment: device values vs logical slots.
   int64_t buffer_values = 0;
   int64_t buffer_slots = 0;
+  /// Symbolic arena plan (memory-planning phase): slot count, cross-size
+  /// reuses ProvablyLe discharged, and values that fell back to a fresh
+  /// slot because their size was incomparable with every free slot.
+  int64_t arena_slots = 0;
+  int64_t arena_cross_size_reuses = 0;
+  int64_t arena_fallbacks = 0;
 
   std::string ToString() const;
   /// One line per phase: "graph-passes 0.42ms (31%)".
@@ -140,6 +174,18 @@ class Executable {
   /// CPU runtime's caching allocator realizes the same reuse dynamically;
   /// the plan documents it statically and is validated by tests.
   const BufferAssignment& buffer_plan() const { return buffer_plan_; }
+  /// Symbolic arena plan: per-value byte offsets into one arena plus the
+  /// symbolic peak-bytes formula (memory-planning compile phase).
+  const MemoryPlan& memory_plan() const { return memory_plan_; }
+
+  /// \brief Evaluates the symbolic peak formula for one input signature —
+  /// the arena footprint a Run with these shapes would need — without
+  /// running anything. Serves memory-aware admission: a launch-plan cache
+  /// hit answers from the memoized plan (no size arithmetic); a miss binds
+  /// the symbols and evaluates the formula (cheap, and does not disturb
+  /// cache stats or LRU order). Returns 0 when no plan exists.
+  Result<int64_t> PredictPeakBytes(
+      const std::vector<std::vector<int64_t>>& input_dims) const;
 
   /// \brief Hit/miss/eviction counters of the launch-plan LRU.
   LaunchPlanCache::Stats plan_cache_stats() const {
@@ -199,6 +245,7 @@ class Executable {
   std::vector<std::vector<const Value*>> release_after_step_;
   bool has_host_steps_ = false;
   BufferAssignment buffer_plan_;
+  MemoryPlan memory_plan_;
   CompileReport report_;
   /// Signature -> launch plan. Logically a cache, hence mutable: Run stays
   /// const and the cache is internally synchronized.

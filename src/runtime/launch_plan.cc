@@ -31,6 +31,13 @@ std::shared_ptr<const LaunchPlan> LaunchPlanCache::Lookup(
   return it->second->second;
 }
 
+std::shared_ptr<const LaunchPlan> LaunchPlanCache::Peek(
+    const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(signature);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
 void LaunchPlanCache::Insert(const std::string& signature,
                              std::shared_ptr<const LaunchPlan> plan) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -71,6 +71,14 @@ struct PlannedStep {
 struct LaunchPlan {
   SymbolBindings bindings;
   std::vector<PlannedStep> steps;  // parallel to Executable's step schedule
+  /// Concrete arena size: the symbolic peak-bytes formula evaluated for
+  /// this signature (0 when the module has no device values). Memoized
+  /// here so an arena-mode Run on a plan hit performs no size arithmetic
+  /// and exactly one allocator call — and so admission control can read a
+  /// hot signature's footprint off the cache.
+  int64_t arena_bytes = 0;
+  /// Concrete byte size per BufferAssignment slot (per-slot memory mode).
+  std::vector<int64_t> slot_bytes;
   /// True once a data-mode run has filled every host step's results (plans
   /// built by timing-only runs are upgraded on the first data-mode hit).
   bool host_results_recorded = false;
@@ -93,6 +101,11 @@ class LaunchPlanCache {
   /// \brief Returns the plan for `signature` (bumping it to most-recent)
   /// or nullptr on a miss. Counts a hit/miss either way.
   std::shared_ptr<const LaunchPlan> Lookup(const std::string& signature);
+
+  /// \brief Observational lookup: no hit/miss accounting, no LRU bump.
+  /// Used by admission control to read a signature's memoized footprint
+  /// without distorting the cache stats that benches and tests assert on.
+  std::shared_ptr<const LaunchPlan> Peek(const std::string& signature) const;
 
   /// \brief Publishes a plan, evicting the least-recently-used entry when
   /// at capacity. Re-inserting an existing signature replaces the plan

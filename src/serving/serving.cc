@@ -34,6 +34,9 @@ std::string ServingStats::ToString() const {
   s += StrFormat(" ok=%lld/%lld", static_cast<long long>(completed),
                  static_cast<long long>(submitted));
   if (shed > 0) s += StrFormat(" shed=%lld", static_cast<long long>(shed));
+  if (memory_shed > 0) {
+    s += StrFormat(" memory_shed=%lld", static_cast<long long>(memory_shed));
+  }
   if (deadline_missed > 0) {
     s += StrFormat(" deadline_missed=%lld",
                    static_cast<long long>(deadline_missed));
@@ -200,11 +203,37 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
     }
     if (live.empty()) continue;
 
+    const auto shapes = shape_fn(batch.padded_batch, batch.padded_seq);
+
+    // Memory-aware admission: evaluate the engine's symbolic peak formula
+    // for the batch's padded shape and shed the batch when it would not
+    // fit, instead of committing the device and failing mid-run. A failed
+    // prediction admits — the run-time limit check is still in place.
+    if (options.memory_limit_bytes > 0) {
+      Result<int64_t> predicted = engine->PredictPeakBytes(shapes);
+      if (predicted.ok() && *predicted > options.memory_limit_bytes) {
+        const int64_t live_n = static_cast<int64_t>(live.size());
+        stats.shed += live_n;
+        stats.memory_shed += live_n;
+        CountMetric("serving.shed", live_n);
+        CountMetric("serving.memory_shed", live_n);
+        if (trace.enabled()) {
+          trace.AddCompleteEvent(
+              "memory-shed", "serving.batch", start, /*dur_us=*/-1.0,
+              TraceSession::kSimPid, /*tid=*/0,
+              {{"requests", std::to_string(live_n)},
+               {"predicted_peak_bytes", std::to_string(*predicted)},
+               {"memory_limit_bytes",
+                std::to_string(options.memory_limit_bytes)}});
+        }
+        continue;
+      }
+    }
+
     // Execute with retry-with-backoff on retryable errors. The backoff
     // advances the simulated clock, so breaker cooldowns can elapse
     // between attempts.
     const int64_t fallback_before = engine->stats().fallback_queries;
-    const auto shapes = shape_fn(batch.padded_batch, batch.padded_seq);
     Result<EngineTiming> attempt_result = EngineTiming{};
     for (int64_t attempt = 0;; ++attempt) {
       engine->SetSimulatedTimeUs(start);

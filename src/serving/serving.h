@@ -70,6 +70,13 @@ struct BatcherOptions {
   /// arrived but not yet accounted requests — exceeds this bound.
   /// 0 = never shed.
   int64_t max_queue_depth = 0;
+  /// Memory-aware admission: before launching a batch, ask the engine for
+  /// its predicted peak footprint (Engine::PredictPeakBytes — the symbolic
+  /// peak formula evaluated for the batch's padded shape) and shed the
+  /// batch when the prediction exceeds this budget, instead of discovering
+  /// ResourceExhausted mid-run. 0 = admit unconditionally. Engines without
+  /// a prediction (PredictPeakBytes == 0) always admit.
+  int64_t memory_limit_bytes = 0;
 };
 
 /// One formed batch: the requests plus the padded launch shape.
@@ -104,8 +111,14 @@ struct ServingStats {
   //   submitted == completed + shed + deadline_missed + failed.
   int64_t submitted = 0;
   int64_t completed = 0;
-  /// Dropped by load shedding (queue depth exceeded max_queue_depth).
+  /// Dropped by load shedding (queue depth exceeded max_queue_depth, or
+  /// predicted footprint exceeded memory_limit_bytes). Memory sheds are
+  /// included here — `memory_shed` below is the informational sub-count —
+  /// so the accounting invariant needs no extra term.
   int64_t shed = 0;
+  /// Of `shed`: requests dropped by memory-aware admission (predicted
+  /// peak footprint over BatcherOptions::memory_limit_bytes).
+  int64_t memory_shed = 0;
   /// Dropped pre-execution because the deadline passed before launch.
   int64_t deadline_missed = 0;
   /// Batch query failed after exhausting retries (non-retryable or out of

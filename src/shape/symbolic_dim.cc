@@ -284,6 +284,110 @@ std::optional<int64_t> SymbolicDimManager::UpperBound(
   return std::nullopt;
 }
 
+std::optional<int64_t> SymbolicDimManager::LowerBound(
+    const DimExpr& expr) const {
+  DimExpr e = Canonicalize(expr);
+  switch (e.kind()) {
+    case DimExprKind::kConst:
+      return e.const_value();
+    case DimExprKind::kSymbol:
+      return info_[Find(e.symbol())].lower_bound;
+    case DimExprKind::kAdd: {
+      int64_t sum = 0;
+      for (const DimExpr& op : e.operands()) {
+        auto lb = LowerBound(op);
+        if (!lb) return std::nullopt;
+        sum += *lb;
+      }
+      return sum;
+    }
+    case DimExprKind::kMul: {
+      // Normal form keeps at most one constant coefficient, which may be
+      // negative after subtraction; the remaining factors are dims (>= 0).
+      // coeff >= 0: coeff * prod(LB); coeff < 0: coeff * prod(UB).
+      int64_t coeff = 1;
+      std::vector<DimExpr> rest;
+      for (const DimExpr& op : e.operands()) {
+        if (op.IsConst()) {
+          coeff *= op.const_value();
+        } else {
+          rest.push_back(op);
+        }
+      }
+      int64_t product = 1;
+      for (const DimExpr& op : rest) {
+        auto bound = coeff >= 0 ? LowerBound(op) : UpperBound(op);
+        if (!bound || *bound < 0) return std::nullopt;
+        product *= *bound;
+      }
+      return coeff * product;
+    }
+    case DimExprKind::kFloorDiv:
+    case DimExprKind::kCeilDiv: {
+      auto la = LowerBound(e.operands()[0]);
+      if (!la) return std::nullopt;
+      if (e.operands()[1].IsConst() && e.operands()[1].const_value() > 0) {
+        int64_t c = e.operands()[1].const_value();
+        return e.kind() == DimExprKind::kFloorDiv ? FloorDiv(*la, c)
+                                                  : CeilDiv(*la, c);
+      }
+      // Symbolic divisor (>= 1 in shape arithmetic): quotient >= 0 when
+      // the numerator is.
+      if (*la >= 0) return 0;
+      return std::nullopt;
+    }
+    case DimExprKind::kMod: {
+      auto la = LowerBound(e.operands()[0]);
+      if (la && *la >= 0) return 0;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SymbolicDimManager::ProvablyLe(const DimExpr& a, const DimExpr& b) const {
+  DimExpr ca = Canonicalize(a);
+  DimExpr cb = Canonicalize(b);
+  if (ca.Equals(cb)) return true;
+  // Monotonicity through a shared scaled division: c*ceildiv(x, k) <=
+  // c*ceildiv(y, k) iff x <= y (same for floordiv). This is how 256-byte
+  // aligned sizes of comparable payloads stay comparable even when the
+  // alignment rounding cannot be folded away.
+  auto strip = [](const DimExpr& e, int64_t* coeff) -> DimExpr {
+    *coeff = 1;
+    DimExpr core = e;
+    if (e.kind() == DimExprKind::kMul) {
+      std::vector<DimExpr> rest;
+      for (const DimExpr& op : e.operands()) {
+        if (op.IsConst()) {
+          *coeff *= op.const_value();
+        } else {
+          rest.push_back(op);
+        }
+      }
+      if (rest.size() != 1) return DimExpr();
+      core = rest[0];
+    }
+    if (core.kind() != DimExprKind::kFloorDiv &&
+        core.kind() != DimExprKind::kCeilDiv) {
+      return DimExpr();
+    }
+    return core;
+  };
+  int64_t coeff_a = 1, coeff_b = 1;
+  DimExpr div_a = strip(ca, &coeff_a);
+  DimExpr div_b = strip(cb, &coeff_b);
+  if (div_a.valid() && div_b.valid() && coeff_a == coeff_b && coeff_a > 0 &&
+      div_a.kind() == div_b.kind() &&
+      div_a.operands()[1].Equals(div_b.operands()[1])) {
+    if (ProvablyLe(div_a.operands()[0], div_b.operands()[0])) return true;
+  }
+  // Numeric discharge: b - a >= 0 under the recorded range facts.
+  DimExpr diff = DimExpr::Add(cb, DimExpr::Mul(DimExpr::Const(-1), ca));
+  auto lb = LowerBound(diff);
+  return lb && *lb >= 0;
+}
+
 SymbolicDimManager::Stats SymbolicDimManager::GetStats() const {
   Stats stats;
   stats.num_symbols = num_symbols();

@@ -101,6 +101,20 @@ class SymbolicDimManager {
   /// interval arithmetic over +, * and constants); nullopt otherwise.
   std::optional<int64_t> UpperBound(const DimExpr& expr) const;
 
+  /// \brief Lower bound of the expression if one can be derived. Mirrors
+  /// UpperBound; symbols fall back to their recorded lower bound (>= 1 by
+  /// default), so this usually succeeds even when UpperBound cannot.
+  /// Handles the negative constant coefficients that subtraction
+  /// (`Add(b, Mul(-1, a))`) introduces by flipping to UpperBound.
+  std::optional<int64_t> LowerBound(const DimExpr& expr) const;
+
+  /// \brief True when `a <= b` holds for EVERY runtime binding consistent
+  /// with the recorded facts. Proven either structurally (equal canonical
+  /// forms; ceildiv/floordiv monotonicity in the numerator) or numerically
+  /// via LowerBound(b - a) >= 0. Conservative: `false` means "not
+  /// provable", not "a > b" — callers must treat it as incomparable.
+  bool ProvablyLe(const DimExpr& a, const DimExpr& b) const;
+
   /// \brief Statistics for reporting (experiment T3).
   struct Stats {
     int64_t num_symbols = 0;

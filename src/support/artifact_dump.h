@@ -16,6 +16,9 @@
 //     fusion_decisions.json     verdict + reason + proving/blocking
 //                               constraint for every considered pair
 //     fusion_plan.txt           the final groups
+//     memory_plan.json          symbolic arena layout: per-slot offset
+//                               and size formulas, peak-bytes formula,
+//                               fresh-slot fallbacks with reasons
 //
 // Everything except pipeline_summary.json (which contains wall-clock
 // times) is deterministic: compiling the same graph twice produces

@@ -17,6 +17,13 @@ inline int64_t CeilDiv(int64_t a, int64_t b) {
   return (a + b - 1) / b;
 }
 
+/// \brief floor(a / b) for positive b (correct for negative a, unlike the
+/// truncating `/`).
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  DISC_CHECK_GT(b, 0);
+  return a >= 0 ? a / b : -CeilDiv(-a, b);
+}
+
 /// \brief Rounds `a` up to the next multiple of `multiple` (> 0).
 inline int64_t RoundUp(int64_t a, int64_t multiple) {
   return CeilDiv(a, multiple) * multiple;

@@ -98,6 +98,48 @@ TEST(BufferPlanTest, DisjointLifetimesRequiredForSharing) {
             plan.slot_of.at(add->operand(1)));
 }
 
+TEST(BufferPlanTest, ChainedReuseCountsEveryEvent) {
+  // A slot recycled twice holds three occupants and must contribute TWO
+  // reuse events — chained reuse is not collapsed into one.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  for (int i = 0; i < 4; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  // 4 same-sized values ping-pong across 2 slots: occupants 2+2.
+  EXPECT_EQ(plan.num_values, 4);
+  EXPECT_EQ(plan.num_slots(), 2);
+  int64_t occupants = 0;
+  for (int64_t o : plan.slot_occupants) occupants += o;
+  EXPECT_EQ(occupants, plan.num_values);
+  EXPECT_EQ(plan.num_reused, 2) << plan.ToString();
+  EXPECT_EQ(plan.num_recycled_slots(), 2);
+  EXPECT_EQ(plan.max_slot_occupancy(), 2);
+  // The derived invariant that held only by accident before: every value
+  // is either a slot opener or a reuse event.
+  EXPECT_EQ(plan.num_values, plan.num_slots() + plan.num_reused);
+}
+
+TEST(BufferPlanTest, DeepChainShowsInOccupancy) {
+  // A 10-deep chain: 2 slots, 8 reuse events, and the deepest occupant
+  // chain is 5 — ToString surfaces all three.
+  Graph g;
+  GraphBuilder b(&g);
+  Value* v = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  for (int i = 0; i < 10; ++i) v = b.Unary(OpKind::kTanh, v);
+  b.Output({v});
+  auto exe = DiscCompiler::Compile(g, {{"B", ""}}, CompileOptions::NoFusion());
+  ASSERT_TRUE(exe.ok());
+  const BufferAssignment& plan = (*exe)->buffer_plan();
+  EXPECT_EQ(plan.num_reused, 8);
+  EXPECT_EQ(plan.max_slot_occupancy(), 5);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("deepest chain 5"), std::string::npos) << s;
+}
+
 TEST(BufferPlanTest, ReportCarriesPlanStats) {
   ModelConfig config;
   Model bert = BuildBert(config);

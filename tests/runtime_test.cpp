@@ -2,6 +2,8 @@
 // computation, liveness-driven memory accounting, fused edge-case ops.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "ir/eval.h"
@@ -266,6 +268,135 @@ TEST(RuntimeTest, LibraryEfficiencyOptionChangesGemmTime) {
   auto r2 = (*exe)->RunWithShapes({{1024, 1024}, {1024, 1024}}, tuned);
   ASSERT_TRUE(r1.ok() && r2.ok());
   EXPECT_GT(r1->profile.device_time_us, r2->profile.device_time_us);
+}
+
+// A small graph with several distinct intermediate sizes for the memory-
+// mode tests: matmul + softmax over [B, 64] -> [B, 32].
+Result<std::unique_ptr<Executable>> CompileMemoryModeGraph() {
+  Graph g;
+  GraphBuilder b(&g);
+  Rng rng(11);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim, 64});
+  Tensor w(DType::kF32, {64, 32});
+  for (int64_t i = 0; i < w.num_elements(); ++i) w.f32_data()[i] = rng.Normal();
+  Value* y = b.MatMul(b.Tanh(x), b.Constant(w));
+  b.Output({b.Softmax(y)});
+  return DiscCompiler::Compile(g, {{"B", ""}});
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.dims() != b.dims() || a.dtype() != b.dtype()) return false;
+  return std::memcmp(a.f32_data(), b.f32_data(),
+                     static_cast<size_t>(a.num_elements()) * sizeof(float)) ==
+         0;
+}
+
+TEST(RuntimeTest, ArenaModeDoesOneAllocation) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  ASSERT_TRUE((*exe)->memory_plan().planned);
+  RunOptions arena;
+  arena.memory_mode = MemoryMode::kArena;
+  auto r = (*exe)->RunWithShapes({{16, 64}}, arena);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->profile.alloc_calls, 1);
+  EXPECT_EQ(r->profile.alloc_rounding_waste, 0)
+      << "arena allocation must land exactly on a size class";
+  EXPECT_GT(r->profile.arena_bytes, 0);
+  EXPECT_EQ(r->profile.arena_bytes % kArenaAlignment, 0);
+  EXPECT_EQ(r->profile.peak_memory_bytes, r->profile.arena_bytes);
+}
+
+TEST(RuntimeTest, ArenaAllocationStaysOneOnPlanCacheHit) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  RunOptions arena;
+  arena.memory_mode = MemoryMode::kArena;
+  auto miss = (*exe)->RunWithShapes({{8, 64}}, arena);
+  auto hit = (*exe)->RunWithShapes({{8, 64}}, arena);
+  ASSERT_TRUE(miss.ok() && hit.ok());
+  EXPECT_FALSE(miss->profile.launch_plan_hit);
+  EXPECT_TRUE(hit->profile.launch_plan_hit);
+  EXPECT_EQ(hit->profile.alloc_calls, 1);
+  EXPECT_EQ(hit->profile.arena_bytes, miss->profile.arena_bytes);
+}
+
+TEST(RuntimeTest, MemoryModesProduceBitIdenticalOutputs) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  Rng rng(5);
+  Tensor in = RandomF32(&rng, {8, 64});
+  RunOptions caching, per_slot, arena;
+  per_slot.memory_mode = MemoryMode::kPerSlot;
+  arena.memory_mode = MemoryMode::kArena;
+  auto r0 = (*exe)->Run({in}, caching);
+  auto r1 = (*exe)->Run({in}, per_slot);
+  auto r2 = (*exe)->Run({in}, arena);
+  ASSERT_TRUE(r0.ok() && r1.ok() && r2.ok());
+  ASSERT_EQ(r0->outputs.size(), 1u);
+  EXPECT_TRUE(BitIdentical(r0->outputs[0], r1->outputs[0]));
+  EXPECT_TRUE(BitIdentical(r0->outputs[0], r2->outputs[0]));
+  // Simulated device work is also identical: only allocation accounting
+  // differs between modes.
+  EXPECT_DOUBLE_EQ(r0->profile.device_time_us, r2->profile.device_time_us);
+  EXPECT_EQ(r0->profile.kernel_launches, r2->profile.kernel_launches);
+}
+
+TEST(RuntimeTest, PerSlotModeAllocatesPerSlotNotPerValue) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  RunOptions caching, per_slot;
+  per_slot.memory_mode = MemoryMode::kPerSlot;
+  auto r0 = (*exe)->RunWithShapes({{16, 64}}, caching);
+  auto r1 = (*exe)->RunWithShapes({{16, 64}}, per_slot);
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  // Reused slots collapse allocator calls; constants still allocate.
+  EXPECT_LE(r1->profile.alloc_calls, r0->profile.alloc_calls);
+}
+
+TEST(RuntimeTest, ArenaPeakNotAboveMultiSlotPeak) {
+  // The acceptance criterion of the arena plan: its peak footprint stays
+  // at or below the per-slot plan's on the same shape.
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  RunOptions per_slot, arena;
+  per_slot.memory_mode = MemoryMode::kPerSlot;
+  arena.memory_mode = MemoryMode::kArena;
+  for (int64_t batch : {1, 4, 32, 100}) {
+    auto r1 = (*exe)->RunWithShapes({{batch, 64}}, per_slot);
+    auto r2 = (*exe)->RunWithShapes({{batch, 64}}, arena);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_LE(r2->profile.peak_memory_bytes, r1->profile.peak_memory_bytes)
+        << "batch " << batch;
+  }
+}
+
+TEST(RuntimeTest, PredictPeakBytesMatchesArenaRun) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  auto predicted = (*exe)->PredictPeakBytes({{24, 64}});
+  ASSERT_TRUE(predicted.ok());
+  RunOptions arena;
+  arena.memory_mode = MemoryMode::kArena;
+  auto r = (*exe)->RunWithShapes({{24, 64}}, arena);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*predicted, r->profile.arena_bytes);
+  // Prediction answers off the memoized plan after the run, same value.
+  auto again = (*exe)->PredictPeakBytes({{24, 64}});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *predicted);
+}
+
+TEST(RuntimeTest, ArenaOverLimitIsRetryableResourceExhausted) {
+  auto exe = CompileMemoryModeGraph();
+  ASSERT_TRUE(exe.ok());
+  RunOptions arena;
+  arena.memory_mode = MemoryMode::kArena;
+  arena.memory_limit_bytes = 1024;  // far below any real footprint
+  auto r = (*exe)->RunWithShapes({{64, 64}}, arena);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.status().IsRetryable());
 }
 
 }  // namespace

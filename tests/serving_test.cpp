@@ -388,5 +388,105 @@ TEST(ServingRobustnessTest, DeepQueueShedsWholeBatches) {
   EXPECT_LT(stats->p99_us, 100.0 * (options.max_queue_depth + 2));
 }
 
+// Memory-aware admission on the arena-planning engine: the batcher asks
+// the engine for the predicted footprint of each batch's padded shape and
+// sheds batches that would not fit.
+class ServingMemoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder b(&graph_);
+    Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim, 32});
+    b.Output({b.Softmax(b.Relu(x))});
+  }
+
+  static std::vector<std::vector<int64_t>> ShapeFor(int64_t batch,
+                                                    int64_t seq) {
+    return {{batch, seq, 32}};
+  }
+
+  // Two small and two large requests, spaced so each forms its own batch.
+  static std::vector<Request> MixedRequests() {
+    return FixedRequests({{0, 16}, {1000, 128}, {2000, 16}, {3000, 128}});
+  }
+
+  Graph graph_{"serve-mem"};
+};
+
+TEST_F(ServingMemoryTest, AdmissionShedsPredictedOversizeBatches) {
+  DynamicCompilerEngine engine(DynamicProfile::DiscArena());
+  DISC_CHECK_OK(engine.Prepare(graph_, {{"B", "S", ""}}));
+  auto small = engine.PredictPeakBytes(ShapeFor(1, 16));
+  auto large = engine.PredictPeakBytes(ShapeFor(1, 128));
+  ASSERT_TRUE(small.ok() && large.ok());
+  ASSERT_LT(*small, *large);
+
+  BatcherOptions options;
+  options.max_batch = 1;
+  options.memory_limit_bytes = (*small + *large) / 2;
+  auto stats = SimulateServing(&engine, ShapeFor, MixedRequests(), options,
+                               DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->completed, 2);
+  EXPECT_EQ(stats->memory_shed, 2);
+  // memory_shed is a sub-count of shed: the accounting invariant holds
+  // with no extra term.
+  EXPECT_EQ(stats->shed, 2);
+  EXPECT_EQ(stats->failed, 0);
+  EXPECT_EQ(stats->submitted, stats->completed + stats->shed +
+                                  stats->deadline_missed + stats->failed);
+  EXPECT_NE(stats->ToString().find("memory_shed=2"), std::string::npos);
+  EXPECT_GT(engine.stats().memory_predictions, 0);
+  EXPECT_GT(engine.stats().last_predicted_peak_bytes, 0);
+}
+
+TEST_F(ServingMemoryTest, NoLimitAdmitsEverything) {
+  DynamicCompilerEngine engine(DynamicProfile::DiscArena());
+  DISC_CHECK_OK(engine.Prepare(graph_, {{"B", "S", ""}}));
+  BatcherOptions options;
+  options.max_batch = 1;
+  auto stats = SimulateServing(&engine, ShapeFor, MixedRequests(), options,
+                               DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->completed, 4);
+  EXPECT_EQ(stats->memory_shed, 0);
+  EXPECT_EQ(engine.stats().memory_predictions, 0)
+      << "no predictions should be made when admission is off";
+}
+
+TEST_F(ServingMemoryTest, AdmissionPreventsMidRunExhaustion) {
+  // Device capacity enforced by the engine's allocator. Without admission
+  // the oversized batches burn retries and fail with ResourceExhausted;
+  // with the same budget given to the batcher they are shed up front.
+  auto run = [&](bool admission_on) {
+    DynamicProfile profile = DynamicProfile::DiscArena();
+    DynamicCompilerEngine probe(profile);
+    DISC_CHECK_OK(probe.Prepare(graph_, {{"B", "S", ""}}));
+    auto small = probe.PredictPeakBytes(ShapeFor(1, 16));
+    auto large = probe.PredictPeakBytes(ShapeFor(1, 128));
+    DISC_CHECK_OK(small.status());
+    DISC_CHECK_OK(large.status());
+    const int64_t budget = (*small + *large) / 2;
+
+    profile.memory_limit_bytes = budget;
+    DynamicCompilerEngine engine(profile);
+    DISC_CHECK_OK(engine.Prepare(graph_, {{"B", "S", ""}}));
+    BatcherOptions options;
+    options.max_batch = 1;
+    options.memory_limit_bytes = admission_on ? budget : 0;
+    auto stats = SimulateServing(&engine, ShapeFor, MixedRequests(), options,
+                                 DeviceSpec::T4());
+    DISC_CHECK_OK(stats.status());
+    return *stats;
+  };
+  ServingStats without = run(false);
+  EXPECT_EQ(without.failed, 2);
+  EXPECT_GT(without.retries, 0);  // ResourceExhausted is retryable
+  EXPECT_EQ(without.error_counts["ResourceExhausted"], 2);
+  ServingStats with = run(true);
+  EXPECT_EQ(with.failed, 0);
+  EXPECT_EQ(with.memory_shed, 2);
+  EXPECT_EQ(with.completed, 2);
+}
+
 }  // namespace
 }  // namespace disc

@@ -264,6 +264,105 @@ TEST(SymbolicDimTest, UpperBoundThroughDivision) {
             7);
 }
 
+TEST(SymbolicDimTest, LowerBoundDefaultsToOne) {
+  // Dims are at least 1 by default, so every pure product/sum of symbols
+  // has a lower bound without explicit range facts.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  EXPECT_EQ(m.LowerBound(DimExpr::Symbol(a)), 1);
+  EXPECT_EQ(m.LowerBound(DimExpr::Mul(DimExpr::Symbol(a),
+                                      DimExpr::Symbol(b))),
+            1);
+  EXPECT_EQ(m.LowerBound(C(42)), 42);
+}
+
+TEST(SymbolicDimTest, LowerBoundUsesRangeFacts) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetRange(a, 8, 512).ok());
+  ASSERT_TRUE(m.SetRange(b, 4, 16).ok());
+  DimExpr e = DimExpr::Add(DimExpr::Mul(DimExpr::Symbol(a), DimExpr::Symbol(b)),
+                           C(10));
+  EXPECT_EQ(m.LowerBound(e), 8 * 4 + 10);
+  EXPECT_EQ(m.LowerBound(DimExpr::FloorDiv(DimExpr::Symbol(a), C(4))), 2);
+  EXPECT_EQ(m.LowerBound(DimExpr::CeilDiv(DimExpr::Symbol(a), C(3))), 3);
+  // Mod of a non-negative numerator is at least 0.
+  EXPECT_EQ(m.LowerBound(DimExpr::Mod(DimExpr::Symbol(a), C(8))), 0);
+}
+
+TEST(SymbolicDimTest, LowerBoundNegativeCoefficientNeedsUpperBound) {
+  // -2*a is bounded below only when a is bounded above.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  DimExpr e = DimExpr::Mul(C(-2), DimExpr::Symbol(a));
+  EXPECT_FALSE(m.LowerBound(e).has_value());
+  ASSERT_TRUE(m.SetRange(a, 1, 100).ok());
+  EXPECT_EQ(m.LowerBound(e), -200);
+}
+
+TEST(SymbolicDimTest, ProvablyLeStructural) {
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  DimExpr ea = DimExpr::Symbol(a);
+  // Reflexive, and monotone in a positive coefficient: a <= 2a since
+  // dims are at least 1.
+  EXPECT_TRUE(m.ProvablyLe(ea, ea));
+  EXPECT_TRUE(m.ProvablyLe(ea, DimExpr::Mul(C(2), ea)));
+  EXPECT_TRUE(m.ProvablyLe(DimExpr::Mul(C(256), ea), DimExpr::Mul(C(512), ea)));
+  // The reverse direction needs an upper bound on a and is false anyway.
+  EXPECT_FALSE(m.ProvablyLe(DimExpr::Mul(C(512), ea), DimExpr::Mul(C(256), ea)));
+  EXPECT_TRUE(m.ProvablyLe(C(7), C(9)));
+  EXPECT_FALSE(m.ProvablyLe(C(9), C(7)));
+}
+
+TEST(SymbolicDimTest, ProvablyLeUnrelatedSymbolsIsFalse) {
+  // Conservative: without facts relating a and b, neither direction is
+  // provable.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  EXPECT_FALSE(m.ProvablyLe(DimExpr::Symbol(a), DimExpr::Symbol(b)));
+  EXPECT_FALSE(m.ProvablyLe(DimExpr::Symbol(b), DimExpr::Symbol(a)));
+}
+
+TEST(SymbolicDimTest, ProvablyLeViaRanges) {
+  // Disjoint ranges order the symbols: a in [1,8], b in [8,1024].
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetRange(a, 1, 8).ok());
+  ASSERT_TRUE(m.SetRange(b, 8, 1024).ok());
+  EXPECT_TRUE(m.ProvablyLe(DimExpr::Symbol(a), DimExpr::Symbol(b)));
+  EXPECT_FALSE(m.ProvablyLe(DimExpr::Symbol(b), DimExpr::Symbol(a)));
+}
+
+TEST(SymbolicDimTest, ProvablyLeThroughCeilDiv) {
+  // ceildiv is monotone in its numerator: same divisor and coefficient,
+  // provable numerator order carries through.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetRange(a, 1, 8).ok());
+  ASSERT_TRUE(m.SetRange(b, 8, 1024).ok());
+  DimExpr ca = DimExpr::CeilDiv(DimExpr::Symbol(a), C(256));
+  DimExpr cb = DimExpr::CeilDiv(DimExpr::Symbol(b), C(256));
+  EXPECT_TRUE(m.ProvablyLe(ca, cb));
+  EXPECT_TRUE(m.ProvablyLe(DimExpr::Mul(C(64), ca), DimExpr::Mul(C(64), cb)));
+  EXPECT_FALSE(m.ProvablyLe(cb, ca));
+}
+
+TEST(SymbolicDimTest, ProvablyLeUsesValueFacts) {
+  // A known value participates through canonicalization.
+  SymbolicDimManager m;
+  SymbolId a = m.NewSymbol();
+  SymbolId b = m.NewSymbol();
+  ASSERT_TRUE(m.SetValue(a, 64).ok());
+  EXPECT_TRUE(m.ProvablyLe(DimExpr::Symbol(a),
+                           DimExpr::Mul(C(64), DimExpr::Symbol(b))));
+}
+
 TEST(SymbolicDimTest, TrivialProductFactSkipped) {
   SymbolicDimManager m;
   SymbolId a = m.NewSymbol();
