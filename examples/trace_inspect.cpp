@@ -9,7 +9,7 @@
 // registry. Load the output in chrome://tracing or https://ui.perfetto.dev.
 //
 //   $ ./build/examples/trace_inspect [out.trace.json] [--dump-dir=<dir>]
-//                                    [--no-compile-cache]
+//                                    [--no-compile-cache] [--blame]
 //
 // --dump-dir additionally writes the compilation-introspection artifacts
 // (IR snapshots per pass, pipeline_summary.json, shape_constraints.json,
@@ -17,6 +17,11 @@
 // pipeline_summary.json are joined from the very trace being captured.
 // --no-compile-cache runs the async-compile-service section without a
 // persistent artifact cache (every job compiles, nothing is stored).
+// --blame enables the shape-aware flight recorder, aggregates every
+// completed request's phase ledger into a p99 tail-blame report (printed +
+// exported as blame_report.json), re-parses the export and verifies the
+// blame shares sum to 1.0 — the CI trace-smoke step greps the
+// "blame_report=ok" line this prints.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -30,7 +35,10 @@
 #include "ir/builder.h"
 #include "models/models.h"
 #include "serving/serving.h"
+#include "support/artifact_dump.h"
+#include "support/blame.h"
 #include "support/failpoint.h"
+#include "support/flight_recorder.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -40,17 +48,22 @@ int main(int argc, char** argv) {
   const char* out_path = "trace_inspect.trace.json";
   std::string dump_dir;
   bool no_compile_cache = false;
+  bool blame = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
       dump_dir = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--no-compile-cache") == 0) {
       no_compile_cache = true;
+    } else if (std::strcmp(argv[i], "--blame") == 0) {
+      blame = true;
     } else {
       out_path = argv[i];
     }
   }
   TraceSession& session = TraceSession::Global();
   session.Enable();
+  TailBlameAggregator blame_aggregator;
+  if (blame) FlightRecorder::Global().Enable();
 
   // 1. Compile a dynamic-shape model: emits one span per pipeline phase
   // and per graph pass.
@@ -138,6 +151,7 @@ int main(int argc, char** argv) {
   }
   std::printf("served %zu requests: %s\n", requests.size(),
               stats->ToString().c_str());
+  blame_aggregator.AddAll(stats->completed_requests);
   if (!chain.breaker_transitions().empty()) {
     std::printf("\n== circuit-breaker transitions (simulated clock) ==\n");
     for (const BreakerTransition& t : chain.breaker_transitions()) {
@@ -184,6 +198,7 @@ int main(int argc, char** argv) {
   service.Drain();
   std::printf("\nasync-served %zu requests: %s\n", requests.size(),
               async_stats->ToString().c_str());
+  blame_aggregator.AddAll(async_stats->completed_requests);
   // A second wave after the job landed: the hot-swapped executable serves
   // it compiled (degraded=0).
   auto second_wave = SimulateServing(&async_engine, shape_fn, requests,
@@ -191,6 +206,7 @@ int main(int argc, char** argv) {
   if (second_wave.ok()) {
     std::printf("second wave %zu requests: %s\n", requests.size(),
                 second_wave->ToString().c_str());
+    blame_aggregator.AddAll(second_wave->completed_requests);
   }
   std::printf("  hot swaps=%lld  fallback queries=%lld\n",
               static_cast<long long>(async_engine.swaps()),
@@ -208,7 +224,42 @@ int main(int argc, char** argv) {
       static_cast<long long>(cache_stats_svc.quarantined));
   std::printf("%s", service.cache().ManifestSummary().c_str());
 
-  // 5. Export + metrics dump.
+  // 5. Tail-blame report (--blame): decompose p99 latency into the phase
+  // ledger's causal segments, export blame_report.json through the
+  // deterministic JSON writer, then re-parse the file and verify the
+  // shares sum to 1.0 — what CI's trace-smoke step asserts.
+  if (blame) {
+    BlameReport report = blame_aggregator.Compute(99.0);
+    std::printf("\n== tail-latency blame (p%.0f over %lld requests) ==\n%s",
+                report.tail_percentile,
+                static_cast<long long>(report.total_requests),
+                report.ToString().c_str());
+    const char* report_path = "blame_report.json";
+    Status wrote = report.WriteJsonFile(report_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    auto text = ReadFileToString(report_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    double share_sum = 0.0;
+    Status valid = ValidateBlameReportJson(*text, 1e-6, &share_sum);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "blame_report=invalid: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    std::printf("blame_report=ok sum=%.6f tail_requests=%lld path=%s\n",
+                share_sum, static_cast<long long>(report.tail_requests),
+                report_path);
+    std::printf("\n== flight recorder ==\n%s",
+                FlightRecorder::Global().ToString().c_str());
+  }
+
+  // 6. Export + metrics dump.
   session.Disable();
   Status written = session.WriteJson(out_path);
   if (!written.ok()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/launch_plan.h"
+#include "support/blame.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -116,6 +117,10 @@ Result<EngineTiming> AsyncCompileEngine::Query(
     return Status::FailedPrecondition("Prepare was not called");
   }
   TraceScope query_scope(name_, "engine.query");
+  if (query_scope.active()) {
+    query_scope.AddArg("trace_id",
+                       std::to_string(RequestContext::CurrentTraceId()));
+  }
   CountQuery();
 
   double stall_us = 0.0;
@@ -176,8 +181,11 @@ Result<EngineTiming> AsyncCompileEngine::Query(
   timing.host_us = per_query_host +
                    options_.profile.per_launch_host_us *
                        static_cast<double>(timing.kernel_launches);
+  timing.alloc_us = options_.profile.per_alloc_host_us *
+                    static_cast<double>(result.profile.alloc_calls);
   timing.compile_us = stall_us;
-  timing.total_us = timing.device_us + timing.host_us + stall_us;
+  timing.total_us =
+      timing.device_us + timing.host_us + timing.alloc_us + stall_us;
   return timing;
 }
 

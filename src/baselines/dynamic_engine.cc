@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/launch_plan.h"
+#include "support/blame.h"
 #include "support/string_util.h"
 #include "support/trace.h"
 
@@ -112,7 +113,15 @@ Result<EngineTiming> DynamicCompilerEngine::Query(
   timing.host_us = per_query_host +
                    profile_.per_launch_host_us *
                        static_cast<double>(timing.kernel_launches);
-  timing.total_us = timing.device_us + timing.host_us;
+  timing.alloc_us = profile_.per_alloc_host_us *
+                    static_cast<double>(result.profile.alloc_calls);
+  timing.total_us = timing.device_us + timing.host_us + timing.alloc_us;
+  if (query_scope.active()) {
+    query_scope.AddArg("trace_id",
+                       std::to_string(RequestContext::CurrentTraceId()));
+    query_scope.AddArg("plan", result.profile.launch_plan_hit ? "hit"
+                                                              : "miss");
+  }
   return timing;
 }
 

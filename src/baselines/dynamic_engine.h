@@ -36,6 +36,12 @@ struct DynamicProfile {
   double plan_hit_host_us = 0.1;
   /// Additional host cost per kernel launch.
   double per_launch_host_us = 0.0;
+  /// Host cost per device-allocator call, reported separately as
+  /// EngineTiming::alloc_us so the serving ledger can blame allocator
+  /// traffic. Default 0 keeps every committed baseline byte-stable; the
+  /// F12 blame bench prices it to make the alloc phase visible (arena-mode
+  /// runs then show it collapsing to one call).
+  double per_alloc_host_us = 0.0;
   /// Memoize launch plans per shape signature in the Executable (off for
   /// archetypes that re-check guards on every call, e.g. Inductor).
   bool use_plan_cache = true;

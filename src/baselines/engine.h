@@ -21,12 +21,19 @@
 
 namespace disc {
 
-/// Cost breakdown of answering one inference query.
+/// Cost breakdown of answering one inference query. Invariant (relied on
+/// by the serving simulator's per-request ledger, which decomposes every
+/// completed request's end-to-end latency into these phases and
+/// DISC_CHECKs the sum): total_us == device_us + host_us + compile_us +
+/// alloc_us.
 struct EngineTiming {
   double total_us = 0.0;    // what a client would measure
   double device_us = 0.0;   // simulated GPU time
   double host_us = 0.0;     // framework dispatch / guard / shape overhead
   double compile_us = 0.0;  // compilation stall triggered by this query
+  /// Host-side allocator traffic charged to this query (engines that price
+  /// allocator calls via DynamicProfile::per_alloc_host_us; 0 elsewhere).
+  double alloc_us = 0.0;
   int64_t kernel_launches = 0;
   int64_t bytes_moved = 0;
   /// Extra traffic+compute caused by padding to a bucketed shape.

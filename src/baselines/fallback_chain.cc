@@ -1,5 +1,6 @@
 #include "baselines/fallback_chain.h"
 
+#include "support/blame.h"
 #include "support/metrics.h"
 #include "support/string_util.h"
 #include "support/trace.h"
@@ -44,10 +45,24 @@ Status EngineFallbackChain::EnsurePrimaryPrepared(double* stall_us) {
   CountMetric("engine.fallback.compile_attempts");
   const double before_ms = primary_->stats().total_compile_ms;
   Status status = primary_->Prepare(*graph_, labels_);
+  double this_stall_us = 0.0;
   if (options_.compile_stall_us >= 0.0) {
-    *stall_us += options_.compile_stall_us;
+    this_stall_us = options_.compile_stall_us;
   } else {
-    *stall_us += (primary_->stats().total_compile_ms - before_ms) * 1000.0;
+    this_stall_us = (primary_->stats().total_compile_ms - before_ms) * 1000.0;
+  }
+  *stall_us += this_stall_us;
+  TraceSession& trace = TraceSession::Global();
+  if (trace.enabled() && this_stall_us > 0.0) {
+    // Instant event on the simulated timeline: which request (trace id)
+    // paid this lazy-compile stall — the blame ledger's compile_stall
+    // phase made visible in the span view.
+    trace.AddCompleteEvent(
+        "compile-stall", "engine.compile", sim_now_us_, /*dur_us=*/-1.0,
+        TraceSession::kSimPid, /*tid=*/0,
+        {{"trace_id", std::to_string(RequestContext::CurrentTraceId())},
+         {"stall_us", StrFormat("%.0f", this_stall_us)},
+         {"ok", status.ok() ? "1" : "0"}});
   }
   if (!status.ok()) return status;
   primary_prepared_ = true;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "support/blame.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/metrics.h"
@@ -96,9 +97,18 @@ double CompileService::NowUs() const {
 
 CompileJobHandle CompileService::Submit(CompileJobRequest request) {
   DISC_CHECK(request.graph != nullptr) << "Submit without a graph";
+  // Capture the submitting thread's request context here: the job runs on
+  // a worker thread where the serving thread-local does not reach, so the
+  // trace id must travel inside the job request itself.
+  if (request.origin_trace_id == 0) {
+    request.origin_trace_id = RequestContext::CurrentTraceId();
+  }
   TraceScope scope("job.submit", "compile_service");
   scope.AddArg("model", request.model_name);
   scope.AddArg("priority", JobPriorityName(request.priority));
+  if (request.origin_trace_id != 0) {
+    scope.AddArg("trace_id", std::to_string(request.origin_trace_id));
+  }
 
   CacheKey key = CacheKey::Make(*request.graph, request.labels,
                                 request.options);
@@ -139,6 +149,7 @@ CompileJobHandle CompileService::Submit(CompileJobRequest request) {
   entry.model = job->request.model_name;
   entry.priority = job->request.priority;
   entry.key_id = key_id;
+  entry.origin_trace_id = job->request.origin_trace_id;
   entry.submit_us = NowUs();
   job->timeline_index = timeline_.size();
   timeline_.push_back(std::move(entry));
@@ -190,6 +201,9 @@ void CompileService::RunJob(const std::shared_ptr<CompileJobState>& job) {
   TraceScope scope("job.run", "compile_service");
   scope.AddArg("model", job->request.model_name);
   scope.AddArg("priority", JobPriorityName(job->request.priority));
+  if (job->request.origin_trace_id != 0) {
+    scope.AddArg("trace_id", std::to_string(job->request.origin_trace_id));
+  }
 
   double queued_us =
       std::chrono::duration<double, std::micro>(
@@ -348,6 +362,11 @@ std::string CompileService::JobTimelineString() const {
                   e.submit_us, e.start_us, e.finish_us,
                   e.verdict.empty() ? "in-flight" : e.verdict.c_str());
     out += line;
+    if (e.origin_trace_id != 0) {
+      std::snprintf(line, sizeof(line), "       caused-by trace_id=%llu\n",
+                    static_cast<unsigned long long>(e.origin_trace_id));
+      out += line;
+    }
   }
   return out;
 }

@@ -65,6 +65,12 @@ struct CompileJobRequest {
   /// lookup/compile. Lets tests hold a job "in flight" while asserting the
   /// query path does not block on it.
   std::function<void()> pre_compile_hook;
+  /// Causal-trace id of the serving request that triggered this job (0 =
+  /// none). When left 0, Submit captures RequestContext::CurrentTraceId()
+  /// from the submitting thread, so a compile job spawned under a serving
+  /// request's context is attributable even though it runs on a worker
+  /// thread where the thread-local context does not reach.
+  uint64_t origin_trace_id = 0;
 };
 
 /// Terminal state of one job. Immutable once the handle reports done().
@@ -135,6 +141,8 @@ struct JobTimelineEntry {
   double finish_us = -1.0;
   /// "compiled" | "disk-hit" | "failed" | "cancelled" | "deadline-expired".
   std::string verdict;
+  /// Trace id of the request that caused the job (0 = background/prefetch).
+  uint64_t origin_trace_id = 0;
 };
 
 /// \brief The worker pool. Thread-safe. Destruction shuts down (pending

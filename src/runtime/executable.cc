@@ -7,6 +7,7 @@
 
 #include "ir/eval.h"
 #include "kernel/library.h"
+#include "support/blame.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/math_util.h"
@@ -269,6 +270,12 @@ Result<RunResult> Executable::RunInternal(
                                       ? ShapeSignature(input_dims)
                                       : signature);
     run_scope.AddArg("mode", execute_data ? "data" : "timing-only");
+    // Causal link back to the serving request that issued this Run (0
+    // outside a serving context).
+    const uint64_t trace_id = RequestContext::CurrentTraceId();
+    if (trace_id != 0) {
+      run_scope.AddArg("trace_id", std::to_string(trace_id));
+    }
   }
 
   DISC_ASSIGN_OR_RETURN(RunResult result,

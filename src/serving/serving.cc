@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/flight_recorder.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 #include "support/metrics.h"
@@ -132,7 +133,13 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
                                      const std::vector<Request>& requests,
                                      const BatcherOptions& options,
                                      const DeviceSpec& device) {
-  const std::vector<Request> sorted = SortedByArrival(requests);
+  std::vector<Request> sorted = SortedByArrival(requests);
+  // Mint the causal-trace id at submit (callers may pre-assign for tests;
+  // 0 means "mint here"). FormBatches copies the minted requests into the
+  // batches, so the id rides along through batch formation.
+  for (Request& r : sorted) {
+    if (r.trace_id == 0) r.trace_id = RequestContext::MintTraceId();
+  }
   std::vector<Batch> batches = FormBatches(sorted, options);
   ServingStats stats;
   stats.batches = static_cast<int64_t>(batches.size());
@@ -148,6 +155,10 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       "serving.batch_size", {1, 2, 4, 8, 16, 32, 64});
   Histogram* pad_waste_hist = registry.GetHistogram(
       "serving.padding_waste_pct", {0, 5, 10, 20, 30, 40, 50, 75, 100});
+  // End-to-end per-request latency; exemplars carry the trace ids the
+  // flight recorder retained evidence for (see Histogram::Observe).
+  Histogram* latency_hist = registry.GetHistogram("serving.request_latency_us");
+  FlightRecorder& recorder = FlightRecorder::Global();
   CountMetric("serving.requests", stats.submitted);
   CountMetric("serving.batches", stats.batches);
 
@@ -164,7 +175,11 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
   };
   for (const Batch& batch : batches) {
     const int64_t n = static_cast<int64_t>(batch.requests.size());
-    double start = std::max(clock_us, batch.ready_us);
+    // first_start is the launch attempt before any retry backoff; the
+    // retry loop advances `start` past it, and the gap is the ledger's
+    // backoff phase.
+    const double first_start = std::max(clock_us, batch.ready_us);
+    double start = first_start;
 
     while (arrived_cursor < sorted.size() &&
            sorted[arrived_cursor].arrival_us <= start) {
@@ -203,7 +218,17 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
     }
     if (live.empty()) continue;
 
+    // Activate a request context for the batch's oldest live request so
+    // the synchronous call chain below — PredictPeakBytes, engine Query,
+    // Executable::Run spans, compile-service Submit — can attribute its
+    // work to a concrete trace id (CurrentTraceId()).
+    RequestContext batch_context(live.front()->trace_id);
+    RequestContextScope context_scope(&batch_context);
+
     const auto shapes = shape_fn(batch.padded_batch, batch.padded_seq);
+    const std::string signature =
+        StrFormat("%lldx%lld", static_cast<long long>(batch.padded_batch),
+                  static_cast<long long>(batch.padded_seq));
 
     // Memory-aware admission: evaluate the engine's symbolic peak formula
     // for the batch's padded shape and shed the batch when it would not
@@ -235,6 +260,7 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
     // between attempts.
     const int64_t fallback_before = engine->stats().fallback_queries;
     Result<EngineTiming> attempt_result = EngineTiming{};
+    int64_t batch_retries = 0;
     for (int64_t attempt = 0;; ++attempt) {
       engine->SetSimulatedTimeUs(start);
       attempt_result = engine->Query(shapes, device);
@@ -242,6 +268,7 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       const Status& error = attempt_result.status();
       if (!error.IsRetryable() || attempt >= options.max_retries) break;
       ++stats.retries;
+      ++batch_retries;
       CountMetric("serving.retries");
       start += options.retry_backoff_us * std::pow(2.0, attempt);
     }
@@ -265,21 +292,69 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
     const EngineTiming timing = *attempt_result;
     double done = start + timing.total_us;
     clock_us = done;
-    if (engine->stats().fallback_queries > fallback_before) {
+    const bool batch_degraded =
+        engine->stats().fallback_queries > fallback_before;
+    if (batch_degraded) {
       stats.degraded += static_cast<int64_t>(live.size());
       CountMetric("serving.degraded", static_cast<int64_t>(live.size()));
     }
 
     batch_size_hist->Observe(static_cast<double>(live.size()));
 
+    const double backoff_us = start - first_start;
     int64_t batch_real_tokens = 0;
     for (const Request* r : live) {
-      latencies.push_back(done - r->arrival_us);
+      const double e2e = done - r->arrival_us;
+      latencies.push_back(e2e);
       real_tokens += r->seq_len;
       batch_real_tokens += r->seq_len;
       queue_wait_hist->Observe(start - r->arrival_us);
+      latency_hist->Observe(e2e, r->trace_id);
+
+      // Itemized causal decomposition of this request's latency. The
+      // serving segments (batch_form / queue / backoff) are geometry of
+      // the simulated timeline; the execution segments come from the
+      // engine's component timings — so the DISC_CHECK below also pins
+      // the engine invariant total == device + host + compile + alloc.
+      CompletedRequest record;
+      record.trace_id = r->trace_id;
+      record.request_id = r->id;
+      record.signature = signature;
+      record.arrival_us = r->arrival_us;
+      record.e2e_us = e2e;
+      record.degraded = batch_degraded;
+      record.retries = batch_retries;
+      record.ledger.batch_form_us = batch.ready_us - r->arrival_us;
+      record.ledger.queue_us = first_start - batch.ready_us;
+      record.ledger.backoff_us = backoff_us;
+      record.ledger.compile_stall_us = timing.compile_us;
+      record.ledger.host_plan_us = timing.host_us;
+      record.ledger.alloc_us = timing.alloc_us;
+      record.ledger.device_us = timing.device_us;
+      const double ledger_total = record.ledger.TotalUs();
+      DISC_CHECK(std::abs(ledger_total - e2e) <= 1e-6 * std::max(1.0, e2e))
+          << StrFormat("request %lld ledger drifted: phases sum to %.6f, "
+                       "e2e is %.6f (%s)",
+                       static_cast<long long>(r->id), ledger_total, e2e,
+                       record.ledger.ToString().c_str());
+      stats.completed_requests.push_back(std::move(record));
     }
     stats.completed += static_cast<int64_t>(live.size());
+
+    if (recorder.enabled() && !live.empty()) {
+      // One lock + one signature lookup per batch; annotation strings are
+      // only built if the recorder actually retains an outlier.
+      const size_t first_new = stats.completed_requests.size() - live.size();
+      recorder.ObserveBatch(
+          signature, done, &stats.completed_requests[first_new], live.size(),
+          [&]() -> std::vector<std::pair<std::string, std::string>> {
+            return {{"shape", signature},
+                    {"policy", PadPolicyName(options.pad)},
+                    {"retries", std::to_string(batch_retries)},
+                    {"degraded", batch_degraded ? "1" : "0"},
+                    {"compile_stall_us", StrFormat("%.1f", timing.compile_us)}};
+          });
+    }
     const int64_t batch_padded_tokens = batch.padded_batch * batch.padded_seq;
     padded_tokens += batch_padded_tokens;
     const double batch_waste_pct =
@@ -296,9 +371,7 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       trace.AddCompleteEvent(
           "batch", "serving.batch", start, timing.total_us,
           TraceSession::kSimPid, /*tid=*/0,
-          {{"shape", StrFormat("%lldx%lld",
-                               static_cast<long long>(batch.padded_batch),
-                               static_cast<long long>(batch.padded_seq))},
+          {{"shape", signature},
            {"requests", std::to_string(live.size())},
            {"pad_waste_pct", StrFormat("%.0f", batch_waste_pct)},
            {"policy", PadPolicyName(options.pad)}});
@@ -308,6 +381,7 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
         const int tid = 1 + static_cast<int>(r->id % 16);
         std::vector<TraceArg> args = {
             {"id", std::to_string(r->id)},
+            {"trace_id", std::to_string(r->trace_id)},
             {"seq_len", std::to_string(r->seq_len)}};
         trace.AddCompleteEvent("request", "serving.request", r->arrival_us,
                                done - r->arrival_us, TraceSession::kSimPid,
@@ -318,10 +392,15 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
                                  batch.ready_us - r->arrival_us,
                                  TraceSession::kSimPid, tid);
         }
-        if (start > batch.ready_us) {
+        if (first_start > batch.ready_us) {
           trace.AddCompleteEvent("queue", "serving.request", batch.ready_us,
-                                 start - batch.ready_us,
+                                 first_start - batch.ready_us,
                                  TraceSession::kSimPid, tid);
+        }
+        if (start > first_start) {
+          trace.AddCompleteEvent("backoff", "serving.request", first_start,
+                                 start - first_start, TraceSession::kSimPid,
+                                 tid);
         }
         trace.AddCompleteEvent("execute", "serving.request", start,
                                timing.total_us, TraceSession::kSimPid, tid);

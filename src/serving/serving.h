@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "baselines/engine.h"
+#include "support/blame.h"
 #include "support/status.h"
 
 namespace disc {
@@ -45,6 +46,11 @@ struct Request {
   /// in time but completes late still counts completed — the simulator
   /// models a server that cannot recall work already on the device.
   double deadline_us = 0.0;
+  /// Causal-trace id, minted by SimulateServing at submit (0 = unminted).
+  /// Carried through batch formation into engine-query and compile-service
+  /// spans, and printed by every retained flight record / histogram
+  /// exemplar, so a tail sample links back to its full span tree.
+  uint64_t trace_id = 0;
 };
 
 enum class PadPolicy {
@@ -131,6 +137,12 @@ struct ServingStats {
   int64_t degraded = 0;
   /// Failed requests per StatusCode name (e.g. "Unavailable" -> 12).
   std::map<std::string, int64_t> error_counts;
+  /// Per-completed-request causal record: trace id, shape signature, and a
+  /// PhaseLedger decomposing the end-to-end latency into batch_form /
+  /// queue / backoff / compile_stall / host_plan / alloc / device.
+  /// DISC_CHECKed inside SimulateServing to sum to e2e exactly; feed to
+  /// TailBlameAggregator for p99 blame attribution.
+  std::vector<CompletedRequest> completed_requests;
 
   std::string ToString() const;
 };

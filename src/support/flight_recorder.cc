@@ -1,0 +1,150 @@
+#include "support/flight_recorder.h"
+
+#include <cmath>
+
+#include "support/metrics.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+std::string FlightRecord::ToString() const {
+  std::string s = StrFormat(
+      "trace=%llu sig=%s e2e=%.1fus (sig mean=%.1fus stddev=%.1fus n=%lld) ",
+      static_cast<unsigned long long>(trace_id), signature.c_str(), e2e_us,
+      signature_mean_us, signature_stddev_us,
+      static_cast<long long>(signature_count));
+  s += "ledger[" + ledger.ToString() + "]";
+  s += StrFormat(" dominant=%s", ledger.DominantPhase());
+  for (const auto& [key, value] : annotations) {
+    s += " " + key + "=" + value;
+  }
+  return s;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++stats_.dropped;
+  }
+}
+
+bool FlightRecorder::DecideAndUpdate(Welford* w, double e2e_us,
+                                     double* mean_us, double* stddev_us) {
+  // Retention decision on the statistics *before* this observation.
+  bool retain = false;
+  *mean_us = w->mean;
+  *stddev_us = 0.0;
+  if (w->count >= options_.min_samples) {
+    *stddev_us = std::sqrt(w->m2 / static_cast<double>(w->count));
+    retain = e2e_us > *mean_us + options_.stddev_threshold * *stddev_us &&
+             e2e_us > *mean_us * options_.min_inflation;
+  }
+  // Welford update — skipped for retained anomalies so an outlier burst
+  // cannot poison the baseline it is judged against (and thereby stop
+  // flagging itself).
+  if (!retain) {
+    ++w->count;
+    const double delta = e2e_us - w->mean;
+    w->mean += delta / static_cast<double>(w->count);
+    w->m2 += delta * (e2e_us - w->mean);
+  }
+  return retain;
+}
+
+void FlightRecorder::RetainLocked(FlightRecord&& record) {
+  ++stats_.retained;
+  CountMetric("flight_recorder.retained");
+  ring_.push_back(std::move(record));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++stats_.dropped;
+  }
+}
+
+bool FlightRecorder::Observe(
+    const std::string& signature, double e2e_us, double sim_time_us,
+    uint64_t trace_id, const PhaseLedger& ledger,
+    std::vector<std::pair<std::string, std::string>> annotations) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.observed;
+  Welford& w = signatures_[signature];
+  double mean = 0.0;
+  double stddev = 0.0;
+  if (!DecideAndUpdate(&w, e2e_us, &mean, &stddev)) return false;
+  FlightRecord record;
+  record.trace_id = trace_id;
+  record.signature = signature;
+  record.e2e_us = e2e_us;
+  record.sim_time_us = sim_time_us;
+  record.ledger = ledger;
+  record.signature_mean_us = mean;
+  record.signature_stddev_us = stddev;
+  record.signature_count = w.count;  // samples behind the decision
+  record.annotations = std::move(annotations);
+  RetainLocked(std::move(record));
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightRecord>(ring_.begin(), ring_.end());
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.signatures = static_cast<int64_t>(signatures_.size());
+  return stats;
+}
+
+void FlightRecorder::SignatureStats(const std::string& signature,
+                                    double* mean_us, double* stddev_us,
+                                    int64_t* count) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = signatures_.find(signature);
+  if (it == signatures_.end()) {
+    if (mean_us != nullptr) *mean_us = 0.0;
+    if (stddev_us != nullptr) *stddev_us = 0.0;
+    if (count != nullptr) *count = 0;
+    return;
+  }
+  const Welford& w = it->second;
+  if (mean_us != nullptr) *mean_us = w.mean;
+  if (stddev_us != nullptr) {
+    *stddev_us =
+        w.count > 0 ? std::sqrt(w.m2 / static_cast<double>(w.count)) : 0.0;
+  }
+  if (count != nullptr) *count = w.count;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  signatures_.clear();
+  stats_ = Stats();
+}
+
+std::string FlightRecorder::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string s = StrFormat(
+      "flight recorder: observed=%lld retained=%lld dropped=%lld "
+      "signatures=%lld\n",
+      static_cast<long long>(stats_.observed),
+      static_cast<long long>(stats_.retained),
+      static_cast<long long>(stats_.dropped),
+      static_cast<long long>(signatures_.size()));
+  for (const FlightRecord& record : ring_) {
+    s += "  " + record.ToString() + "\n";
+  }
+  return s;
+}
+
+}  // namespace disc

@@ -1,0 +1,179 @@
+// Shape-aware outlier flight recorder.
+//
+// Dynamic shapes make latency a per-signature quantity: 800us is normal
+// for a 16x128 batch and a 4-sigma outlier for a 1x32 one, so a global
+// threshold either drowns in false positives or misses the real tail.
+// The recorder keeps a streaming mean/variance per shape signature
+// (Welford) and retains the *full* attribution — trace id, phase ledger,
+// batch annotations, the signature statistics at retention time — only
+// for requests whose end-to-end latency is anomalous for their own
+// signature. Retained records live in a bounded ring (oldest drop first),
+// so the recorder is safe to leave always-on in serving: when disabled it
+// costs one relaxed atomic load per observation, mirroring trace.h.
+//
+// Retained trace ids are also planted as histogram exemplars on the
+// serving latency histogram (see Histogram::Observe's exemplar overload),
+// linking the aggregate metric a dashboard alarms on to the concrete
+// requests the recorder kept evidence for.
+#ifndef DISC_SUPPORT_FLIGHT_RECORDER_H_
+#define DISC_SUPPORT_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/blame.h"
+
+namespace disc {
+
+/// One retained outlier: the request's full attribution plus the signature
+/// statistics that made it anomalous.
+struct FlightRecord {
+  uint64_t trace_id = 0;
+  std::string signature;
+  double e2e_us = 0.0;
+  double sim_time_us = 0.0;  // completion time on the simulated clock
+  PhaseLedger ledger;
+  /// Signature statistics at the moment of retention (the evidence).
+  double signature_mean_us = 0.0;
+  double signature_stddev_us = 0.0;
+  int64_t signature_count = 0;
+  /// Span-style key/value detail captured from the serving layer (padded
+  /// shape, policy, retries, degraded route, ...).
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  std::string ToString() const;
+};
+
+/// \brief Process-global outlier recorder. Observe() is thread-safe; when
+/// disabled it is one relaxed atomic load.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Ring capacity in retained records; oldest drop when full.
+    size_t capacity = 64;
+    /// Observations of a signature before its statistics are trusted —
+    /// until then nothing is retained for it (cold signatures would
+    /// otherwise flag their own warmup).
+    int64_t min_samples = 8;
+    /// Retain when e2e > mean + stddev_threshold * stddev ...
+    double stddev_threshold = 3.0;
+    /// ... and e2e > min_inflation * mean (guards near-zero-variance
+    /// signatures, where any epsilon would be "sigmas" away).
+    double min_inflation = 1.25;
+  };
+
+  struct Stats {
+    int64_t observed = 0;
+    int64_t retained = 0;
+    int64_t dropped = 0;  // retained records evicted by the ring bound
+    int64_t signatures = 0;
+  };
+
+  static FlightRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Replaces the retention options (existing records/stats stay).
+  void Configure(const Options& options);
+
+  /// \brief Feeds one completed request. Updates the signature's streaming
+  /// statistics and retains a FlightRecord when the latency is anomalous
+  /// for the signature (decision uses the statistics *before* this
+  /// observation, so an outlier cannot mask itself; retained anomalies are
+  /// excluded from the baseline so a burst cannot normalize itself).
+  /// Returns true when the request was retained. No-op (one relaxed load)
+  /// when disabled.
+  bool Observe(const std::string& signature, double e2e_us,
+               double sim_time_us, uint64_t trace_id,
+               const PhaseLedger& ledger,
+               std::vector<std::pair<std::string, std::string>> annotations =
+                   {});
+
+  /// \brief Feeds one formed batch's completed requests (they share a
+  /// padded-shape signature) with one lock acquisition and one signature
+  /// lookup — the serving hot path, reading straight from the serving
+  /// stats records with no marshalling. The annotation callback
+  /// (returning the span-style key/value vector) runs only when at least
+  /// one request is retained, keeping string formatting off the common
+  /// path entirely. Returns the number of retained records.
+  template <typename AnnotationFn>
+  int64_t ObserveBatch(const std::string& signature, double sim_time_us,
+                       const CompletedRequest* batch, size_t n,
+                       AnnotationFn&& annotate) {
+    if (!enabled()) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.observed += static_cast<int64_t>(n);
+    Welford& w = signatures_[signature];
+    int64_t retained = 0;
+    std::vector<std::pair<std::string, std::string>> annotations;
+    for (size_t i = 0; i < n; ++i) {
+      const CompletedRequest& cr = batch[i];
+      double mean = 0.0;
+      double stddev = 0.0;
+      if (!DecideAndUpdate(&w, cr.e2e_us, &mean, &stddev)) continue;
+      if (retained == 0) annotations = annotate();
+      FlightRecord record;
+      record.trace_id = cr.trace_id;
+      record.signature = signature;
+      record.e2e_us = cr.e2e_us;
+      record.sim_time_us = sim_time_us;
+      record.ledger = cr.ledger;
+      record.signature_mean_us = mean;
+      record.signature_stddev_us = stddev;
+      record.signature_count = w.count;
+      record.annotations = annotations;
+      RetainLocked(std::move(record));
+      ++retained;
+    }
+    return retained;
+  }
+
+  /// \brief Retained records, oldest first.
+  std::vector<FlightRecord> Snapshot() const;
+  Stats stats() const;
+  /// \brief Streaming (mean, stddev, count) for one signature; count 0
+  /// when the signature was never observed.
+  void SignatureStats(const std::string& signature, double* mean_us,
+                      double* stddev_us, int64_t* count) const;
+
+  /// \brief Drops all records and signature statistics (enabled flag and
+  /// options untouched). Test isolation helper.
+  void Clear();
+
+  std::string ToString() const;
+
+ private:
+  struct Welford {
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+
+  FlightRecorder() = default;
+
+  /// Retention decision on the statistics *before* this observation; folds
+  /// non-retained observations into the baseline. Caller holds mu_.
+  bool DecideAndUpdate(Welford* w, double e2e_us, double* mean_us,
+                       double* stddev_us);
+  /// Appends a retained record, enforcing the ring bound. Caller holds mu_.
+  void RetainLocked(FlightRecord&& record);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Options options_;
+  Stats stats_;
+  std::map<std::string, Welford> signatures_;
+  std::deque<FlightRecord> ring_;  // oldest at front
+};
+
+}  // namespace disc
+
+#endif  // DISC_SUPPORT_FLIGHT_RECORDER_H_

@@ -9,7 +9,14 @@ namespace disc {
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplar_ids_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  exemplar_values_ =
+      std::make_unique<std::atomic<double>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0);
+    exemplar_ids_[i].store(0);
+    exemplar_values_[i].store(0.0);
+  }
 }
 
 void Histogram::Observe(double value) {
@@ -21,6 +28,54 @@ void Histogram::Observe(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> is C++20; keep it.
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value, uint64_t exemplar_id) {
+  if (exemplar_id != 0) {
+    size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                 bounds_.begin();
+    exemplar_values_[idx].store(value, std::memory_order_relaxed);
+    exemplar_ids_[idx].store(exemplar_id, std::memory_order_relaxed);
+  }
+  Observe(value);
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> exemplars(bounds_.size() + 1);
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    exemplars[i].id = exemplar_ids_[i].load(std::memory_order_relaxed);
+    exemplars[i].value = exemplar_values_[i].load(std::memory_order_relaxed);
+  }
+  return exemplars;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = bucket_counts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate within [lower, upper) by the fraction of the bucket's
+      // mass below the target. The overflow bucket has no upper bound:
+      // clamp to the last finite bound (conservative under-estimate).
+      if (i >= bounds_.size()) {
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 std::vector<int64_t> Histogram::bucket_counts() const {
@@ -40,6 +95,10 @@ std::string Histogram::ToString() const {
   std::ostringstream out;
   out << StrFormat("count=%lld mean=%.2f", static_cast<long long>(count()),
                    mean());
+  if (count() > 0) {
+    out << StrFormat(" p50=%.6g p90=%.6g p99=%.6g", Quantile(0.50),
+                     Quantile(0.90), Quantile(0.99));
+  }
   std::vector<int64_t> counts = bucket_counts();
   out << " buckets[";
   for (size_t i = 0; i < counts.size(); ++i) {
@@ -53,6 +112,27 @@ std::string Histogram::ToString() const {
     }
   }
   out << "]";
+  std::vector<Exemplar> ex = exemplars();
+  bool any_exemplar = false;
+  for (const Exemplar& e : ex) any_exemplar |= e.id != 0;
+  if (any_exemplar) {
+    out << " exemplars[";
+    bool first = true;
+    for (size_t i = 0; i < ex.size(); ++i) {
+      if (ex[i].id == 0) continue;
+      if (!first) out << " ";
+      first = false;
+      const char* bound_fmt = i < bounds_.size() ? "<=%g" : ">%g";
+      out << StrFormat(bound_fmt,
+                       i < bounds_.size()
+                           ? bounds_[i]
+                           : (bounds_.empty() ? 0.0 : bounds_.back()));
+      out << StrFormat(":trace=%llu@%g",
+                       static_cast<unsigned long long>(ex[i].id),
+                       ex[i].value);
+    }
+    out << "]";
+  }
   return out.str();
 }
 

@@ -42,16 +42,36 @@ class Counter {
 /// bounds; one implicit overflow bucket catches everything above the last.
 class Histogram {
  public:
+  /// One exemplar per bucket: the most recent observation that carried a
+  /// nonzero id (a trace id) — the link from an aggregate metric back to a
+  /// concrete request retained by the tracing layer.
+  struct Exemplar {
+    uint64_t id = 0;  // 0 = no exemplar recorded for the bucket
+    double value = 0.0;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
+  /// \brief Observe + stamp the landing bucket's exemplar with `id` (a
+  /// trace id; id 0 records no exemplar).
+  void Observe(double value, uint64_t exemplar_id);
 
   /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
   std::vector<int64_t> bucket_counts() const;
+  /// Per-bucket exemplars, size bounds().size() + 1 (id 0 = none).
+  std::vector<Exemplar> exemplars() const;
   const std::vector<double>& bounds() const { return bounds_; }
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
+
+  /// \brief Estimated quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket where the cumulative count crosses q*count: consumers
+  /// (trace_inspect, bench reports) read p50/p90/p99 directly instead of
+  /// re-deriving them from raw bucket counts. The overflow bucket clamps
+  /// to the last bound. 0 when empty.
+  double Quantile(double q) const;
 
   std::string ToString() const;
 
@@ -63,6 +83,11 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  /// Parallel to buckets_: packed exemplar id + value per bucket. Written
+  /// with relaxed stores (last writer wins — an exemplar is a sample, not
+  /// an aggregate, so a race only changes *which* recent request links).
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<double>[]> exemplar_values_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

@@ -192,5 +192,55 @@ TEST(MetricsAgreementTest, PlanCacheStatsMatchRegistry) {
   EXPECT_EQ(stats.hits, 3);
 }
 
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations uniform in (0, 10]: p50 interpolates to mid-bucket.
+  for (int i = 1; i <= 10; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  // Add 10 in (10, 20]: the median moves to the first bucket's boundary.
+  for (int i = 11; i <= 20; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+}
+
+TEST(HistogramQuantileTest, EmptyAndOverflowAreClamped) {
+  Histogram h({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);  // empty
+  h.Observe(1000.0);                        // overflow bucket only
+  // No upper bound to interpolate against: clamp to the last finite bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 20.0);
+}
+
+TEST(HistogramQuantileTest, ToStringReportsEstimates) {
+  Histogram h({10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(HistogramExemplarTest, ExemplarsLandInTheValueBucket) {
+  Histogram h({10.0, 100.0});
+  h.Observe(5.0, /*exemplar_id=*/77);
+  h.Observe(50.0, /*exemplar_id=*/88);
+  h.Observe(500.0, /*exemplar_id=*/99);
+  h.Observe(42.0);  // no exemplar — must not disturb the stored ones
+  auto exemplars = h.exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);
+  EXPECT_EQ(exemplars[0].id, 77u);
+  EXPECT_DOUBLE_EQ(exemplars[0].value, 5.0);
+  EXPECT_EQ(exemplars[1].id, 88u);
+  EXPECT_EQ(exemplars[2].id, 99u);
+  // Last writer wins within a bucket.
+  h.Observe(7.0, /*exemplar_id=*/111);
+  EXPECT_EQ(h.exemplars()[0].id, 111u);
+  // Zero ids are "no exemplar" and never stored.
+  h.Observe(8.0, /*exemplar_id=*/0);
+  EXPECT_EQ(h.exemplars()[0].id, 111u);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("trace=111@7"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace disc

@@ -1,10 +1,13 @@
 #include "serving/serving.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "baselines/baselines.h"
 #include "baselines/dynamic_engine.h"
 #include "ir/builder.h"
+#include "support/metrics.h"
 
 namespace disc {
 namespace {
@@ -486,6 +489,40 @@ TEST_F(ServingMemoryTest, AdmissionPreventsMidRunExhaustion) {
   EXPECT_EQ(with.failed, 0);
   EXPECT_EQ(with.memory_shed, 2);
   EXPECT_EQ(with.completed, 2);
+}
+
+TEST(ServingObservabilityTest, EndToEndLatencyHistogramAndLedgers) {
+  Histogram* hist = MetricsRegistry::Global().GetHistogram(
+      "serving.request_latency_us");
+  const int64_t count_before = hist->count();
+  FlakyEngine engine(/*fail_first=*/0);
+  BatcherOptions options;
+  options.max_batch = 2;
+  auto requests = FixedRequests({{0, 8}, {1, 8}, {500, 8}});
+  auto stats =
+      SimulateServing(&engine, UnitShape, requests, options, DeviceSpec::T4());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->completed, 3);
+  // One histogram observation per completed request, and one ledger each
+  // that sums to the request's end-to-end latency.
+  EXPECT_EQ(hist->count() - count_before, 3);
+  ASSERT_EQ(stats->completed_requests.size(), 3u);
+  for (const CompletedRequest& r : stats->completed_requests) {
+    EXPECT_NE(r.trace_id, 0u);
+    EXPECT_NEAR(r.ledger.TotalUs(), r.e2e_us, 1e-6)
+        << r.ledger.ToString();
+    EXPECT_DOUBLE_EQ(r.ledger.device_us, 100.0);  // FlakyEngine's cost
+  }
+  // The exemplar planted for a completed request is one of its trace ids.
+  std::set<uint64_t> ids;
+  for (const CompletedRequest& r : stats->completed_requests) {
+    ids.insert(r.trace_id);
+  }
+  bool exemplar_found = false;
+  for (const Histogram::Exemplar& e : hist->exemplars()) {
+    if (ids.count(e.id)) exemplar_found = true;
+  }
+  EXPECT_TRUE(exemplar_found);
 }
 
 }  // namespace
