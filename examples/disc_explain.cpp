@@ -11,6 +11,15 @@
 //   $ disc_explain --model=layernorm --decisions
 //   $ disc_explain --model=bert --constraints
 //   $ disc_explain --model=bert --memory-plan
+//   $ disc_explain --model=gelu-glue --hotspots
+//   $ disc_explain --model=gelu-glue --no-specialization --regret
+//
+// --hotspots replays the model's shape trace with the kernel observatory
+// enabled and prints the per-(kernel, variant, signature) device-time
+// ledger: top entries, the variant admission histogram, and the
+// launch-bound vs memory-bound split. --regret additionally runs the
+// counterfactual variant-regret audit (joined to the fusion decisions
+// that formed each kernel's group). Both write kernel_profile.json.
 //
 // Node ids are the %N value ids shown in the IR dumps (module_*.ir) and in
 // `--decisions` output. Models: the F2 micro workloads (softmax, layernorm,
@@ -20,6 +29,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,6 +39,7 @@
 #include "ir/builder.h"
 #include "models/models.h"
 #include "support/failpoint.h"
+#include "support/kernel_profile.h"
 #include "support/string_util.h"
 
 namespace disc {
@@ -37,7 +49,23 @@ struct Workload {
   std::string name;
   std::unique_ptr<Graph> graph;
   std::vector<std::vector<std::string>> labels;
+  /// Per-query input shapes replayed by --hotspots / --regret.
+  std::vector<ShapeSet> trace;
 };
+
+// Shape traffic for the micro workloads (the suite models carry their own
+// serving trace): a hot power-of-two batch plus ragged stragglers, so the
+// ledger shows both the vectorized and the fallback variants. The hot batch
+// is large enough that the vec4 variant is modeled faster than generic —
+// under --no-specialization the regret audit then names the denied variant
+// with positive regret.
+std::vector<ShapeSet> MicroTrace(int64_t inner) {
+  std::vector<ShapeSet> trace;
+  const int64_t batches[] = {1024, 1024, 1024, 1024, 1024, 1024,
+                             768,  257,  1024, 431,  1024, 1024};
+  for (int64_t b : batches) trace.push_back({{b, inner}});
+  return trace;
+}
 
 // The F2 micro workloads, built exactly as bench_fusion_ablation does, so
 // a why-not-fused answer here explains the corresponding F2 table row.
@@ -49,6 +77,7 @@ Workload MakeSoftmax() {
   Value* x = b.Input("x", DType::kF32, {kDynamicDim, kDynamicDim});
   b.Output({b.Softmax(x)});
   w.labels = {{"B", "S"}};
+  w.trace = MicroTrace(128);
   return w;
 }
 
@@ -65,6 +94,7 @@ Workload MakeLayerNorm() {
                                        std::vector<float>(kHidden, 0.0f)));
   b.Output({b.LayerNorm(x, scale, bias)});
   w.labels = {{"B", ""}};
+  w.trace = MicroTrace(kHidden);
   return w;
 }
 
@@ -80,6 +110,7 @@ Workload MakeGeluGlue() {
                                  std::vector<float>(kHidden, 0.5f)))));
   b.Output({b.Mul(h, b.ScalarF32(1.1f))});
   w.labels = {{"B", ""}};
+  w.trace = MicroTrace(kHidden);
   return w;
 }
 
@@ -94,6 +125,7 @@ Result<Workload> BuildWorkload(const std::string& name) {
       w.name = m.name;
       w.graph = std::move(m.graph);
       w.labels = std::move(m.input_dim_labels);
+      w.trace = std::move(m.trace);
       return w;
     }
   }
@@ -215,6 +247,128 @@ void PrintMemoryPlan(const Executable& exe) {
   std::printf("\n");
 }
 
+// Replays the workload's shape trace with the kernel observatory enabled,
+// prints the hotspot ledger (and, with `with_regret`, the counterfactual
+// audit joined to fusion provenance), and writes kernel_profile.json.
+int RunObservatory(const Executable& exe, const Workload& workload,
+                   bool with_regret, const std::string& json_path) {
+  KernelProfileLedger& ledger = KernelProfileLedger::Global();
+  ledger.Clear();
+  ledger.Enable();
+  for (const ShapeSet& shapes : workload.trace) {
+    auto run = exe.RunWithShapes(shapes);
+    if (!run.ok()) {
+      std::fprintf(stderr, "trace replay failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<KernelProfileEntry> entries = ledger.Snapshot();
+  std::vector<KernelProfileEntry> by_time = entries;
+  std::sort(by_time.begin(), by_time.end(),
+            [](const KernelProfileEntry& a, const KernelProfileEntry& b) {
+              if (a.total_time_us != b.total_time_us) {
+                return a.total_time_us > b.total_time_us;
+              }
+              return a.kernel < b.kernel;
+            });
+
+  std::printf("== kernel hotspots (%zu trace queries) ==\n",
+              workload.trace.size());
+  double device_total = 0.0, body_total = 0.0;
+  int64_t launches = 0, memory_bound = 0;
+  for (const KernelProfileEntry& e : entries) {
+    device_total += e.total_time_us;
+    body_total += e.total_body_us;
+    launches += e.launches;
+    memory_bound += e.memory_bound_launches;
+  }
+  const size_t top = std::min<size_t>(by_time.size(), 10);
+  for (size_t i = 0; i < top; ++i) {
+    const KernelProfileEntry& e = by_time[i];
+    std::printf("  #%zu %5.1f%%  %s\n", i + 1,
+                device_total > 0.0 ? 100.0 * e.total_time_us / device_total
+                                   : 0.0,
+                e.ToString().c_str());
+  }
+
+  std::printf("  variant admission (launches per compiled variant):\n");
+  std::map<std::string, std::map<std::string, int64_t>> admission;
+  for (const KernelProfileEntry& e : entries) {
+    admission[e.kernel][e.variant] += e.launches;
+  }
+  for (const auto& [kernel, variants] : admission) {
+    std::string line;
+    for (const auto& [variant, count] : variants) {
+      if (!line.empty()) line += "  ";
+      line += StrFormat("%s:%lld", variant.c_str(),
+                        static_cast<long long>(count));
+    }
+    std::printf("    %-24s %s\n", kernel.c_str(), line.c_str());
+  }
+  std::printf(
+      "  split: %lld/%lld launches memory-bound; launch overhead %.1fus of "
+      "%.1fus device (%.1f%%)\n",
+      static_cast<long long>(memory_bound), static_cast<long long>(launches),
+      device_total - body_total, device_total,
+      device_total > 0.0 ? 100.0 * (device_total - body_total) / device_total
+                         : 0.0);
+
+  std::vector<KernelRegret> regrets;
+  if (with_regret) {
+    regrets = ledger.AuditRegret(DeviceSpec::A10());
+    std::printf("\n== variant-regret audit (counterfactual: full "
+                "specialization) ==\n");
+    for (const KernelRegret& r : regrets) {
+      std::printf("  %s\n", r.ToString().c_str());
+      for (const VariantAssessment& a : r.candidates) {
+        std::printf("    rank %d %-12s %s%s%s  modeled=%.2fus\n", a.rank,
+                    a.variant.c_str(),
+                    a.admissible ? "admissible" : "rejected  ",
+                    a.compiled ? "" : " NOT-COMPILED",
+                    a.selected ? " <selected>" : "", a.modeled_us);
+      }
+      // Fusion provenance: the decisions that formed this kernel's group —
+      // regret names a variant choice, these name the fusion choices that
+      // shaped the kernel it happened in.
+      if (r.group >= 0 &&
+          r.group < static_cast<int>(exe.plan().groups.size())) {
+        std::set<int> member_ids;
+        for (const Node* node : exe.plan().groups[r.group].nodes) {
+          if (!node->outputs().empty()) {
+            member_ids.insert(node->output(0)->id());
+          }
+        }
+        for (const FusionDecision& d : exe.plan().decisions) {
+          if (d.fused && member_ids.count(d.producer) &&
+              member_ids.count(d.consumer)) {
+            std::printf("    formed-by: %s\n", d.ToString().c_str());
+          }
+        }
+      }
+    }
+    if (regrets.empty()) std::printf("  (no audited entries)\n");
+  }
+
+  Status written =
+      WriteKernelProfileJson(json_path, entries, regrets, ledger.stats());
+  if (!written.ok()) {
+    std::fprintf(stderr, "writing %s failed: %s\n", json_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  double top_regret_share = regrets.empty() ? 0.0 : regrets[0].regret_share;
+  // Greppable summary for the CI smoke (and for humans scanning logs).
+  std::printf(
+      "\nkernel_profile=ok path=%s entries=%zu regrets=%zu "
+      "top_regret_share=%.4f\n\n",
+      json_path.c_str(), entries.size(), regrets.size(), top_regret_share);
+  ledger.Disable();
+  ledger.Clear();
+  return 0;
+}
+
 }  // namespace
 }  // namespace disc
 
@@ -230,6 +384,10 @@ int main(int argc, char** argv) {
   bool list_decisions = false;
   bool list_constraints = false;
   bool show_memory_plan = false;
+  bool show_hotspots = false;
+  bool show_regret = false;
+  bool no_specialization = false;
+  std::string profile_json = "kernel_profile.json";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--model=", 8) == 0) {
@@ -252,14 +410,23 @@ int main(int argc, char** argv) {
       list_constraints = true;
     } else if (std::strcmp(arg, "--memory-plan") == 0) {
       show_memory_plan = true;
+    } else if (std::strcmp(arg, "--hotspots") == 0) {
+      show_hotspots = true;
+    } else if (std::strcmp(arg, "--regret") == 0) {
+      show_regret = true;
+    } else if (std::strcmp(arg, "--no-specialization") == 0) {
+      no_specialization = true;
+    } else if (std::strncmp(arg, "--profile-json=", 15) == 0) {
+      profile_json = arg + 15;
     } else {
       std::fprintf(
           stderr,
           "usage: disc_explain --model=<name> [--dump-dir=<dir>]\n"
           "           [--dump-filter=<substr>] [--why-not-fused=A,B]\n"
           "           [--static-shapes-only] [--decisions] [--constraints]\n"
-          "           [--memory-plan] [--cache-dir=<dir>] "
-          "[--no-compile-cache]\n");
+          "           [--memory-plan] [--hotspots] [--regret]\n"
+          "           [--no-specialization] [--profile-json=<path>]\n"
+          "           [--cache-dir=<dir>] [--no-compile-cache]\n");
       return 2;
     }
   }
@@ -274,8 +441,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  CompileOptions options =
-      static_only ? CompileOptions::NoSymbolicShapes() : CompileOptions();
+  CompileOptions options = static_only ? CompileOptions::NoSymbolicShapes()
+                           : no_specialization
+                               ? CompileOptions::NoSpecialization()
+                               : CompileOptions();
   options.dump.dir = dump_dir;
   options.dump.filter = filter;
 
@@ -322,7 +491,8 @@ int main(int argc, char** argv) {
   if (show_memory_plan) PrintMemoryPlan(*exe);
 
   if (list_decisions ||
-      (why_pair.empty() && !list_constraints && !show_memory_plan)) {
+      (why_pair.empty() && !list_constraints && !show_memory_plan &&
+       !show_hotspots && !show_regret)) {
     std::printf("== fusion decisions (final verdict per considered pair) ==\n");
     for (const FusionDecision& d : exe->plan().decisions) {
       std::printf("  %s\n", d.ToString().c_str());
@@ -355,6 +525,11 @@ int main(int argc, char** argv) {
     int a = parse_id(why_pair.substr(0, comma));
     int b = parse_id(why_pair.substr(comma + 1));
     WhyNotFused(*exe, a, b);
+  }
+
+  if (show_hotspots || show_regret) {
+    int rc = RunObservatory(*exe, *workload, show_regret, profile_json);
+    if (rc != 0) return rc;
   }
 
   std::printf("\n== compile service ==\n%s",

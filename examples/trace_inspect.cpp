@@ -39,6 +39,7 @@
 #include "support/blame.h"
 #include "support/failpoint.h"
 #include "support/flight_recorder.h"
+#include "support/kernel_profile.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -63,7 +64,13 @@ int main(int argc, char** argv) {
   TraceSession& session = TraceSession::Global();
   session.Enable();
   TailBlameAggregator blame_aggregator;
-  if (blame) FlightRecorder::Global().Enable();
+  if (blame) {
+    FlightRecorder::Global().Enable();
+    // Kernel ledger alongside the flight recorder: an outlier's trace id
+    // joins to the per-kernel breakdown of the Run that served it.
+    KernelProfileLedger::Global().Clear();
+    KernelProfileLedger::Global().Enable();
+  }
 
   // 1. Compile a dynamic-shape model: emits one span per pipeline phase
   // and per graph pass.
@@ -257,6 +264,36 @@ int main(int argc, char** argv) {
                 report_path);
     std::printf("\n== flight recorder ==\n%s",
                 FlightRecorder::Global().ToString().c_str());
+
+    // Join each retained outlier to the kernel ledger's run records: the
+    // same trace id keyed both captures, so the tail request's latency
+    // decomposes one level further — into the kernels of its batch.
+    KernelProfileLedger& kernel_ledger = KernelProfileLedger::Global();
+    std::printf("\n== outlier kernel breakdown (trace-id join) ==\n");
+    int64_t joined = 0;
+    for (const FlightRecord& record : FlightRecorder::Global().Snapshot()) {
+      std::vector<KernelProfileLedger::RunRecord> runs =
+          kernel_ledger.RunsForTrace(record.trace_id);
+      if (runs.empty()) continue;
+      ++joined;
+      std::printf("  trace_id=%llu:\n",
+                  static_cast<unsigned long long>(record.trace_id));
+      for (const auto& run : runs) {
+        std::printf("    %s\n", run.ToString().c_str());
+      }
+    }
+    if (joined == 0) {
+      std::printf("  (no outlier trace ids found in the ledger ring — "
+                  "outliers predate its capacity)\n");
+    }
+    std::printf("kernel_join=%lld outliers matched in run ring "
+                "(ledger: %lld runs retained)\n",
+                static_cast<long long>(joined),
+                static_cast<long long>(kernel_ledger.stats().runs_retained));
+    // Lifetime fence: entries hold kernel pointers into the engines'
+    // executables, which die when this scope unwinds.
+    kernel_ledger.Disable();
+    kernel_ledger.Clear();
   }
 
   // 6. Export + metrics dump.

@@ -159,6 +159,9 @@ Status DynamicCompilerEngine::MaybeRespecialize(
     request.graph = graph_.get();
     request.labels = labels_;
     request.options = profile_.compile_options;
+    // A hint set exists to mint speculative variants; leaving a
+    // no-specialization base config in place would silently discard it.
+    request.options.specialize.enable_specialization = true;
     request.options.likely_dim_values = std::move(*hints);
     request.priority = JobPriority::kRespecialize;
     pending_job_ = service_->Submit(std::move(request));
@@ -167,9 +170,22 @@ Status DynamicCompilerEngine::MaybeRespecialize(
   return RecompileWithFeedback(*hints);
 }
 
+Status DynamicCompilerEngine::NoteKernelRegret(
+    const std::vector<std::vector<int64_t>>& input_dims, double regret_us) {
+  if (profile_.feedback_after <= 0 || regret_us <= 0.0) return Status::OK();
+  feedback_.NoteRegret(labels_, input_dims, regret_us);
+  // Reuse the per-query path: it adopts any finished background job first,
+  // then re-evaluates the armed profile (regret bypasses the recheck
+  // cadence inside the feedback) and routes the recompile sync or async.
+  return MaybeRespecialize(input_dims);
+}
+
 Status DynamicCompilerEngine::RecompileWithFeedback(
     const LikelyDimValues& hints) {
   CompileOptions options = profile_.compile_options;
+  // Same override as the service path: hints are a request for speculative
+  // variants, so respecialization always compiles with specialization on.
+  options.specialize.enable_specialization = true;
   // Hints arrive most-frequent-last (AddLikelyValue keeps most-recent last
   // and speculation takes values from the back).
   for (const auto& hint : hints) options.likely_dim_values.push_back(hint);

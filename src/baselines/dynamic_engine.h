@@ -109,6 +109,14 @@ class DynamicCompilerEngine : public Engine {
   /// feedback application, more after profile shifts.
   int64_t respecializations() const { return feedback_.respecializations(); }
 
+  /// \brief Kernel-observatory back-channel: the regret audit proved the
+  /// compiled variant choice at `input_dims` is leaving device time on the
+  /// table. Feeds the shape into the profile with regret weighting and
+  /// immediately attempts a respecialization (same sync/async routing as
+  /// the per-query path). No-op unless the profile enables feedback.
+  Status NoteKernelRegret(const std::vector<std::vector<int64_t>>& input_dims,
+                          double regret_us);
+
  private:
   /// \brief Observes this query's dims and, when the hot-value profile is
   /// confident or shifted, respecializes: synchronously on the query

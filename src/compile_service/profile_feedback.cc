@@ -21,12 +21,24 @@ void ShapeProfileFeedback::Observe(
   }
 }
 
+void ShapeProfileFeedback::NoteRegret(
+    const std::vector<std::vector<std::string>>& labels,
+    const std::vector<std::vector<int64_t>>& input_dims, double regret_us) {
+  if (regret_us <= 0.0) return;
+  for (int64_t w = 0; w < options_.regret_observation_weight; ++w) {
+    Observe(labels, input_dims);
+  }
+  regret_pending_ = true;
+  CountMetric("compile_service.profile.regret_hints");
+}
+
 std::optional<LikelyDimValues> ShapeProfileFeedback::MaybeRespecialize() {
   if (observations_ < options_.min_observations) return std::nullopt;
-  if (!active_signature_.empty() &&
+  if (!regret_pending_ && !active_signature_.empty() &&
       observations_ - last_checked_at_ < options_.recheck_interval) {
     return std::nullopt;
   }
+  regret_pending_ = false;
   last_checked_at_ = observations_;
 
   LikelyDimValues hints;

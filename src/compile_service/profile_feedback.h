@@ -47,6 +47,11 @@ struct ShapeProfileOptions {
   /// After the first emission, re-evaluate the profile only every this
   /// many observations (cheap steady state).
   int64_t recheck_interval = 8;
+  /// Weight of one high-regret sighting (NoteRegret) relative to a plain
+  /// observation: the kernel observatory proved the compiled variant
+  /// choice is costing device time at this shape, so it pulls the
+  /// histogram toward the offending values that much harder.
+  int64_t regret_observation_weight = 4;
 };
 
 /// \brief Aggregates observed dynamic-dim values and emits hint sets when
@@ -61,6 +66,16 @@ class ShapeProfileFeedback {
   /// engine's inputs (one label per dim, "" = anonymous/static).
   void Observe(const std::vector<std::vector<std::string>>& labels,
                const std::vector<std::vector<int64_t>>& input_dims);
+
+  /// \brief The kernel observatory's respecialization trigger: records a
+  /// shape whose selected kernel variant carries positive audited regret.
+  /// Counts as `regret_observation_weight` observations of these dims and
+  /// arms the next MaybeRespecialize to bypass the recheck interval — a
+  /// proven misprediction should not wait out the steady-state cadence.
+  /// Non-positive regret is a no-op.
+  void NoteRegret(const std::vector<std::vector<std::string>>& labels,
+                  const std::vector<std::vector<int64_t>>& input_dims,
+                  double regret_us);
 
   /// \brief Returns a fresh hint set when (a) enough observations exist,
   /// (b) at least one label passes the confidence bar, and (c) the
@@ -84,6 +99,9 @@ class ShapeProfileFeedback {
   std::map<std::string, std::map<int64_t, int64_t>> histograms_;
   int64_t observations_ = 0;
   int64_t last_checked_at_ = 0;
+  /// Set by NoteRegret; the next MaybeRespecialize skips the recheck-
+  /// interval gate (min_observations still applies).
+  bool regret_pending_ = false;
   std::string active_signature_;
   int64_t respecializations_ = 0;
 };

@@ -89,6 +89,15 @@ FusedKernel::FusedKernel(FusionGroup group, const ShapeAnalysis* analysis,
   BuildVariants(this, options);
 }
 
+std::vector<KernelVariant> FusedKernel::VariantsUnder(
+    const SpecializeOptions& options) const {
+  // Re-run variant generation on a scratch kernel over the same group and
+  // analysis. Cheap (no codegen, just guard construction) and guarantees
+  // the counterfactual uses exactly the compile-time preference order.
+  FusedKernel scratch(group_, analysis_, options);
+  return std::move(scratch.variants_);
+}
+
 Result<const KernelVariant*> FusedKernel::SelectVariant(
     const SymbolBindings& bindings) const {
   DISC_ASSIGN_OR_RETURN(int index, SelectVariantIndex(bindings));

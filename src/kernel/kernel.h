@@ -123,6 +123,13 @@ class FusedKernel {
   Result<KernelStats> ComputeStats(const SymbolBindings& bindings,
                                    const KernelVariant& variant) const;
 
+  /// \brief The variant list this kernel WOULD have been compiled with
+  /// under `options` — the counterfactual the regret audit compares the
+  /// compiled selection against. Does not mutate this kernel; the returned
+  /// variants are valid inputs to ComputeStats.
+  std::vector<KernelVariant> VariantsUnder(
+      const SpecializeOptions& options) const;
+
   /// \brief Row length (product of reduced trailing dims) for reduce-
   /// bearing kernels; invalid DimExpr for pure loop kernels.
   const DimExpr& row_extent() const { return row_extent_; }

@@ -8,6 +8,7 @@
 #include "ir/eval.h"
 #include "kernel/library.h"
 #include "support/blame.h"
+#include "support/kernel_profile.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/math_util.h"
@@ -28,6 +29,10 @@ double ElapsedUs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 }  // namespace
+
+Executable::~Executable() {
+  KernelProfileLedger::Global().Forget(this);
+}
 
 std::string RunProfile::ToString() const {
   std::ostringstream out;
@@ -278,8 +283,14 @@ Result<RunResult> Executable::RunInternal(
     }
   }
 
-  DISC_ASSIGN_OR_RETURN(RunResult result,
-                        ExecutePlan(*plan, inputs, options, record_host));
+  // The observatory keys entries by shape signature; reuse the cache key
+  // when it exists, compute it only for ledger-enabled cache-off runs.
+  if (signature.empty() && KernelProfileLedger::Global().enabled()) {
+    signature = ShapeSignature(input_dims);
+  }
+  DISC_ASSIGN_OR_RETURN(
+      RunResult result,
+      ExecutePlan(*plan, inputs, options, signature, record_host));
   result.profile.launch_plan_hit = hit;
   result.profile.host_plan_us = host_plan_us;
 
@@ -303,12 +314,19 @@ Result<RunResult> Executable::RunInternal(
 Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
                                           const std::vector<Tensor>* inputs,
                                           const RunOptions& options,
+                                          const std::string& signature,
                                           LaunchPlan* record_host) const {
   DISC_TRACE_SCOPE("plan-execute", "runtime");
   const SymbolBindings& bindings = plan.bindings;
   DeviceModel model(options.device);
   RunResult result;
   RunProfile& profile = result.profile;
+  // One relaxed atomic load decides whether this Run feeds the kernel
+  // observatory; launches are buffered locally and flushed in ONE
+  // ObserveRun (one lock) after the step loop.
+  KernelProfileLedger& kernel_ledger = KernelProfileLedger::Global();
+  const bool profile_kernels = kernel_ledger.enabled();
+  std::vector<KernelLaunchObservation> kernel_observations;
   CachingAllocator allocator(options.memory_limit_bytes);
   const bool execute_data = inputs != nullptr;
   const MemoryMode mode = options.memory_mode;
@@ -454,6 +472,28 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
         profile.bytes_written += stats.bytes_written;
         profile.variant_counts[kernel.name() + "/" + variant.name] += 1;
         if (cost.memory_bound) profile.memory_bound_launches += 1;
+        if (profile_kernels) {
+          KernelLaunchObservation obs;
+          obs.kernel = &kernel;
+          obs.variant_index = ps.variant_index;
+          obs.time_us = cost.time_us;
+          obs.body_us = cost.body_us;
+          obs.memory_bound = cost.memory_bound;
+          obs.utilization = cost.utilization;
+          obs.bytes = stats.total_bytes();
+          obs.flops = stats.flops;
+          kernel_observations.push_back(obs);
+        }
+        // KernelCost.utilization was computed and dropped before; the
+        // histogram makes the launch-bound/memory-bound story visible
+        // without enabling the ledger. Pointer cached: stable for the
+        // process lifetime, and the non-default bounds (utilization is a
+        // fraction) only apply on first registration anyway.
+        static Histogram* utilization_hist =
+            MetricsRegistry::Global().GetHistogram(
+                "runtime.kernel.utilization",
+                {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+        utilization_hist->Observe(cost.utilization);
         for (const Value* out : kernel.group().outputs) {
           DISC_RETURN_IF_ERROR(allocate_value(out));
         }
@@ -490,6 +530,16 @@ Result<RunResult> Executable::ExecutePlan(const LaunchPlan& plan,
   CountMetric("runtime.alloc.cache_hits", profile.alloc_cache_hits);
   CountMetric("runtime.alloc.bytes_rounding_waste",
               profile.alloc_rounding_waste);
+  // Same mirror discipline for the memory-bound verdict the device model
+  // computes per launch (generated kernels and library calls both count).
+  CountMetric("runtime.kernel.memory_bound", profile.memory_bound_launches);
+  CountMetric("runtime.kernel.launches", profile.kernel_launches);
+
+  if (profile_kernels && !kernel_observations.empty()) {
+    kernel_ledger.ObserveRun(this, signature, bindings,
+                             RequestContext::CurrentTraceId(),
+                             profile.device_time_us, kernel_observations);
+  }
 
   if (execute_data) {
     for (const Value* out : graph_->outputs()) {

@@ -154,6 +154,11 @@ struct CompileReport {
 /// \brief A compiled, shape-polymorphic module. Create via DiscCompiler.
 class Executable {
  public:
+  /// Forgets this executable's entries in the kernel-profile ledger: a
+  /// feedback-driven hot swap can destroy an observed executable while
+  /// the ledger still holds pointers into its kernels.
+  ~Executable();
+
   /// \brief Full run: numerics + simulated timing.
   Result<RunResult> Run(const std::vector<Tensor>& inputs,
                         const RunOptions& options = {}) const;
@@ -228,9 +233,12 @@ class Executable {
   /// Phase 2: charge the cost model and (optionally) execute numerics from
   /// a finished plan. `record_host` (nullable) receives deep copies of the
   /// host shape-step results so the plan can replay them on later hits.
+  /// `signature` keys the kernel-observatory flush (empty when the ledger
+  /// is disabled — RunInternal only computes it on demand).
   Result<RunResult> ExecutePlan(const LaunchPlan& plan,
                                 const std::vector<Tensor>* inputs,
                                 const RunOptions& options,
+                                const std::string& signature,
                                 LaunchPlan* record_host) const;
 
   /// Shape-independent buffer liveness: values to free after each step.

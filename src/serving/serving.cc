@@ -49,6 +49,11 @@ std::string ServingStats::ToString() const {
   if (degraded > 0) {
     s += StrFormat(" degraded=%lld", static_cast<long long>(degraded));
   }
+  if (kernel_launches > 0) {
+    s += StrFormat(" kernel_launches=%lld memory_bound=%lld",
+                   static_cast<long long>(kernel_launches),
+                   static_cast<long long>(memory_bound_launches));
+  }
   for (const auto& [code, count] : error_counts) {
     s += StrFormat(" err[%s]=%lld", code.c_str(),
                    static_cast<long long>(count));
@@ -148,6 +153,15 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
   const int64_t misses_before = engine->stats().launch_plan_misses;
   TraceSession& trace = TraceSession::Global();
   MetricsRegistry& registry = MetricsRegistry::Global();
+  // Kernel-observatory attribution: the runtime mirrors its per-run launch
+  // counters into the registry, so the delta across this simulation is
+  // exactly the launches this request stream caused (interpreter-degraded
+  // batches contribute nothing — they never reach ExecutePlan).
+  Counter* launch_counter = registry.GetCounter("runtime.kernel.launches");
+  Counter* memory_bound_counter =
+      registry.GetCounter("runtime.kernel.memory_bound");
+  const int64_t launches_before = launch_counter->value();
+  const int64_t memory_bound_before = memory_bound_counter->value();
   Histogram* queue_wait_hist = registry.GetHistogram("serving.queue_wait_us");
   Histogram* queue_depth_hist = registry.GetHistogram(
       "serving.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128});
@@ -438,6 +452,9 @@ Result<ServingStats> SimulateServing(Engine* engine, const ShapeFn& shape_fn,
       hits + misses > 0
           ? static_cast<double>(hits) / static_cast<double>(hits + misses)
           : 0.0;
+  stats.kernel_launches = launch_counter->value() - launches_before;
+  stats.memory_bound_launches =
+      memory_bound_counter->value() - memory_bound_before;
   DISC_CHECK_EQ(accounted(), stats.submitted)
       << "serving accounting drifted";
   return stats;

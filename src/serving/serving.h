@@ -135,6 +135,13 @@ struct ServingStats {
   /// Requests served on a degraded path (the engine's fallback leg),
   /// attributed per batch via the delta of EngineStats::fallback_queries.
   int64_t degraded = 0;
+  /// Generated-kernel launches this stream caused (delta of the runtime's
+  /// mirrored `runtime.kernel.launches` counter — interpreter-degraded
+  /// batches contribute nothing), and how many of all device launches
+  /// (library calls included) the device model judged memory-bound. Both 0
+  /// for engines that never reach the compiled runtime.
+  int64_t kernel_launches = 0;
+  int64_t memory_bound_launches = 0;
   /// Failed requests per StatusCode name (e.g. "Unavailable" -> 12).
   std::map<std::string, int64_t> error_counts;
   /// Per-completed-request causal record: trace id, shape signature, and a

@@ -1,6 +1,7 @@
 #include "support/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "support/string_util.h"
@@ -53,7 +54,9 @@ double Histogram::Quantile(double q) const {
   const std::vector<int64_t> counts = bucket_counts();
   int64_t total = 0;
   for (int64_t c : counts) total += c;
-  if (total == 0) return 0.0;
+  // An empty histogram has no quantiles; 0.0 here used to masquerade as a
+  // real (excellent) latency in dashboards. NaN is unambiguous.
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::min(1.0, std::max(0.0, q));
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
@@ -63,9 +66,11 @@ double Histogram::Quantile(double q) const {
     if (next >= target) {
       // Interpolate within [lower, upper) by the fraction of the bucket's
       // mass below the target. The overflow bucket has no upper bound:
-      // clamp to the last finite bound (conservative under-estimate).
+      // clamping to the last finite bound used to report "p99 = 4.2s"
+      // when the truth was "p99 exceeds every bound" — +inf says that
+      // honestly (and, unlike a clamp, trips threshold alerts).
       if (i >= bounds_.size()) {
-        return bounds_.empty() ? 0.0 : bounds_.back();
+        return std::numeric_limits<double>::infinity();
       }
       const double lower = i == 0 ? 0.0 : bounds_[i - 1];
       const double upper = bounds_[i];
@@ -75,7 +80,7 @@ double Histogram::Quantile(double q) const {
     }
     cumulative = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return std::numeric_limits<double>::infinity();
 }
 
 std::vector<int64_t> Histogram::bucket_counts() const {

@@ -1,0 +1,252 @@
+#include "support/kernel_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "support/blame.h"
+#include "support/json.h"
+
+namespace disc {
+namespace {
+
+// 1-D elementwise chain: one loop-fusion kernel whose vec4 variant is
+// guarded (divisibility unprovable for a bare dynamic N).
+std::unique_ptr<Graph> BuildExpChain() {
+  auto g = std::make_unique<Graph>("exp_chain");
+  GraphBuilder b(g.get());
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({b.Relu(b.Exp(b.Add(x, x)))});
+  return g;
+}
+
+class KernelProfileTest : public ::testing::Test {
+ protected:
+  // The ledger is process-global: isolate every test and fence kernel
+  // pointers before the Executables of this test die.
+  void SetUp() override {
+    KernelProfileLedger::Global().Clear();
+    KernelProfileLedger::Global().Configure({});
+    KernelProfileLedger::Global().Enable();
+  }
+  void TearDown() override {
+    KernelProfileLedger::Global().Clear();
+    KernelProfileLedger::Global().Disable();
+  }
+};
+
+TEST_F(KernelProfileTest, DisabledLedgerObservesNothing) {
+  KernelProfileLedger::Global().Disable();
+  auto g = BuildExpChain();
+  auto exe = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());
+  auto stats = KernelProfileLedger::Global().stats();
+  EXPECT_EQ(stats.launches_observed, 0);
+  EXPECT_EQ(stats.runs_observed, 0);
+  EXPECT_TRUE(KernelProfileLedger::Global().Snapshot().empty());
+}
+
+TEST_F(KernelProfileTest, AggregatesPerVariantAndSignature) {
+  auto g = BuildExpChain();
+  auto exe = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  // 3 runs admit vec4 (256), 2 fall back to generic (255), under two
+  // distinct signatures.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE((*exe)->RunWithShapes({{255}}).ok());
+
+  auto entries = KernelProfileLedger::Global().Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  const KernelProfileEntry* vec = nullptr;
+  const KernelProfileEntry* gen = nullptr;
+  for (const auto& e : entries) {
+    if (e.variant == "vec4") vec = &e;
+    if (e.variant == "generic") gen = &e;
+  }
+  ASSERT_NE(vec, nullptr);
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(vec->launches, 3);
+  EXPECT_EQ(gen->launches, 2);
+  EXPECT_NE(vec->signature, gen->signature);
+  EXPECT_EQ(vec->fusion_kind, FusionKindName(FusionKind::kLoop));
+  EXPECT_GE(vec->group, 0);
+  EXPECT_GT(vec->total_time_us, 0.0);
+  EXPECT_GT(vec->total_body_us, 0.0);
+  EXPECT_LT(vec->total_body_us, vec->total_time_us);  // launch overhead > 0
+  EXPECT_DOUBLE_EQ(vec->avg_time_us(), vec->total_time_us / 3.0);
+  // Identical shapes every launch: min == max == avg.
+  EXPECT_DOUBLE_EQ(vec->min_time_us, vec->max_time_us);
+  EXPECT_GT(vec->total_bytes, 0);
+  EXPECT_GT(vec->total_flops, 0);
+  // Fused elementwise at these sizes is memory bound on the modeled A10.
+  EXPECT_EQ(vec->memory_bound_launches, vec->launches);
+  EXPECT_GT(vec->mean_utilization(), 0.0);
+
+  auto stats = KernelProfileLedger::Global().stats();
+  EXPECT_EQ(stats.launches_observed, 5);
+  EXPECT_EQ(stats.runs_observed, 5);
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.entries_dropped, 0);
+}
+
+TEST_F(KernelProfileTest, EntryBoundDropsNewKeysAndCounts) {
+  KernelProfileLedger::Global().Configure({/*max_entries=*/1,
+                                           /*run_capacity=*/256});
+  auto g = BuildExpChain();
+  auto exe = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+  ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());  // first key: retained
+  ASSERT_TRUE((*exe)->RunWithShapes({{255}}).ok());  // second key: dropped
+  ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());  // existing key: fine
+
+  auto entries = KernelProfileLedger::Global().Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].launches, 2);
+  auto stats = KernelProfileLedger::Global().stats();
+  EXPECT_EQ(stats.entries_dropped, 1);
+  EXPECT_EQ(stats.launches_observed, 3);  // observed, even when dropped
+}
+
+TEST_F(KernelProfileTest, DyingExecutableForgetsItsEntriesButKeepsRuns) {
+  auto g = BuildExpChain();
+  auto survivor = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE((*survivor)->RunWithShapes({{256}}).ok());
+
+  RequestContext context(RequestContext::MintTraceId());
+  {
+    auto doomed = DiscCompiler::Compile(*g, {{"N"}});
+    ASSERT_TRUE(doomed.ok());
+    RequestContextScope scope(&context);
+    ASSERT_TRUE((*doomed)->RunWithShapes({{255}}).ok());
+    EXPECT_EQ(KernelProfileLedger::Global().Snapshot().size(), 2u);
+  }  // ~Executable: the ledger Forgets the doomed executable's entries
+
+  auto entries = KernelProfileLedger::Global().Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].variant, "vec4");  // the survivor's 256-run
+  // Run records hold no kernel pointers and outlive their executable —
+  // the trace-id join keeps working after a hot swap.
+  EXPECT_EQ(KernelProfileLedger::Global().RunsForTrace(context.trace_id)
+                .size(),
+            1u);
+  // The audit walks only live kernels: it must not touch the dead one.
+  auto regrets = KernelProfileLedger::Global().AuditRegret(DeviceSpec::A10());
+  ASSERT_EQ(regrets.size(), 1u);
+  EXPECT_EQ(regrets[0].signature, entries[0].signature);
+}
+
+TEST_F(KernelProfileTest, RunRecordsJoinByTraceIdAndAreBounded) {
+  KernelProfileLedger::Global().Configure({/*max_entries=*/1024,
+                                           /*run_capacity=*/2});
+  auto g = BuildExpChain();
+  auto exe = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(exe.ok());
+
+  // No request context: nothing retained in the run ring.
+  ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());
+  EXPECT_EQ(KernelProfileLedger::Global().stats().runs_retained, 0);
+
+  RequestContext context(RequestContext::MintTraceId());
+  {
+    RequestContextScope scope(&context);
+    ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());
+  }
+  auto runs = KernelProfileLedger::Global().RunsForTrace(context.trace_id);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].trace_id, context.trace_id);
+  EXPECT_EQ(runs[0].kernel_launches, 1);
+  ASSERT_EQ(runs[0].kernels.size(), 1u);
+  EXPECT_EQ(runs[0].kernels[0].variant, "vec4");
+  EXPECT_GT(runs[0].device_time_us, 0.0);
+
+  // Ring capacity 2: two more traced runs evict the first record.
+  for (int i = 0; i < 2; ++i) {
+    RequestContext later(RequestContext::MintTraceId());
+    RequestContextScope scope(&later);
+    ASSERT_TRUE((*exe)->RunWithShapes({{256}}).ok());
+  }
+  EXPECT_TRUE(KernelProfileLedger::Global().RunsForTrace(context.trace_id)
+                  .empty());
+  auto stats = KernelProfileLedger::Global().stats();
+  EXPECT_EQ(stats.runs_retained, 2);
+  EXPECT_EQ(stats.runs_dropped, 1);
+}
+
+TEST_F(KernelProfileTest, RegretAuditNamesTheDeniedVectorizedVariant) {
+  auto g = BuildExpChain();
+  auto nospec =
+      DiscCompiler::Compile(*g, {{"N"}}, CompileOptions::NoSpecialization());
+  ASSERT_TRUE(nospec.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*nospec)->RunWithShapes({{1 << 18}}).ok());
+  }
+
+  auto regrets = KernelProfileLedger::Global().AuditRegret(DeviceSpec::A10());
+  ASSERT_EQ(regrets.size(), 1u);
+  const KernelRegret& r = regrets[0];
+  EXPECT_EQ(r.selected_variant, "generic");
+  EXPECT_EQ(r.best_variant, "vec4");
+  EXPECT_FALSE(r.best_compiled);  // denied at compile time — the blame
+  EXPECT_GT(r.regret_us, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_regret_us, r.regret_us * 4);
+  EXPECT_GT(r.regret_share, 0.0);
+  EXPECT_LE(r.regret_share, 1.0);
+  EXPECT_EQ(r.launches, 4);
+  // The candidate table covers the counterfactual in preference order.
+  ASSERT_EQ(r.candidates.size(), 2u);
+  EXPECT_EQ(r.candidates[0].variant, "vec4");
+  EXPECT_TRUE(r.candidates[0].admissible);
+  EXPECT_FALSE(r.candidates[0].compiled);
+  EXPECT_TRUE(r.candidates[1].selected);
+  EXPECT_TRUE(r.candidates[1].compiled);
+  EXPECT_LT(r.candidates[0].modeled_us, r.candidates[1].modeled_us);
+
+  // Same workload fully specialized: the selection IS the best admissible
+  // variant, regret collapses to zero.
+  KernelProfileLedger::Global().Clear();
+  auto spec = DiscCompiler::Compile(*g, {{"N"}});
+  ASSERT_TRUE(spec.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*spec)->RunWithShapes({{1 << 18}}).ok());
+  }
+  auto specialized = KernelProfileLedger::Global().AuditRegret(
+      DeviceSpec::A10());
+  ASSERT_EQ(specialized.size(), 1u);
+  EXPECT_EQ(specialized[0].selected_variant, "vec4");
+  EXPECT_DOUBLE_EQ(specialized[0].regret_us, 0.0);
+  EXPECT_TRUE(specialized[0].best_compiled);
+  KernelProfileLedger::Global().Clear();  // fence before exes die
+}
+
+TEST_F(KernelProfileTest, JsonRoundTripsAndRegretSharesAreNonNegative) {
+  auto g = BuildExpChain();
+  auto exe =
+      DiscCompiler::Compile(*g, {{"N"}}, CompileOptions::NoSpecialization());
+  ASSERT_TRUE(exe.ok());
+  ASSERT_TRUE((*exe)->RunWithShapes({{4096}}).ok());
+
+  auto& ledger = KernelProfileLedger::Global();
+  JsonValue doc = KernelProfileJson(
+      ledger.Snapshot(), ledger.AuditRegret(DeviceSpec::A10()),
+      ledger.stats());
+  auto parsed = ParseJson(doc.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue::Object& obj = parsed->as_object();
+  EXPECT_EQ(obj.at("schema_version").as_number(), 1.0);
+  const auto& entries = obj.at("entries").as_array();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].as_object().at("variant").as_string(), "generic");
+  EXPECT_GT(entries[0].as_object().at("total_time_us").as_number(), 0.0);
+  const auto& regret = obj.at("regret").as_array();
+  ASSERT_EQ(regret.size(), 1u);
+  EXPECT_GE(regret[0].as_object().at("regret_share").as_number(), 0.0);
+  EXPECT_EQ(regret[0].as_object().at("best_variant").as_string(), "vec4");
+  EXPECT_EQ(obj.at("stats").as_object().at("launches_observed").as_number(),
+            1.0);
+  KernelProfileLedger::Global().Clear();
+}
+
+}  // namespace
+}  // namespace disc

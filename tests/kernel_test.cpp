@@ -149,6 +149,137 @@ TEST(KernelTest, NoSpecializationLeavesOnlyGeneric) {
   EXPECT_EQ(c->kernels[0]->variants()[0].name, "generic");
 }
 
+// Compiles a 1-D elementwise kernel after seeding a likely value for its
+// dynamic dim, so the variant list is exact_<domain> -> vec4 -> generic.
+std::unique_ptr<Compiled> CompileSpeculativeExpKernel(int64_t likely_n) {
+  auto c = std::make_unique<Compiled>();
+  GraphBuilder b(&c->graph);
+  Value* x = b.Input("x", DType::kF32, {kDynamicDim});
+  b.Output({b.Exp(x)});
+  c->analysis =
+      std::make_unique<ShapeAnalysis>(&c->graph, std::vector<std::vector<std::string>>{{"N"}});
+  EXPECT_TRUE(c->analysis->Run().ok());
+  const SymShape& shape = c->analysis->GetShape(c->graph.inputs()[0]);
+  EXPECT_TRUE(shape[0].IsSymbol());
+  c->analysis->manager().AddLikelyValue(shape[0].symbol(), likely_n);
+  FusionPlanner planner(&c->graph, c->analysis.get());
+  auto plan = planner.Plan();
+  EXPECT_TRUE(plan.ok());
+  c->plan = std::move(plan).value();
+  for (const FusionGroup& group : c->plan.groups) {
+    c->kernels.push_back(std::make_unique<FusedKernel>(
+        group, c->analysis.get(), SpecializeOptions{}));
+  }
+  return c;
+}
+
+TEST(KernelSelectTest, GuardOrderIsDeterministicFirstAdmittedWins) {
+  auto c = CompileSpeculativeExpKernel(64);
+  ASSERT_EQ(c->kernels.size(), 1u);
+  const FusedKernel& kernel = *c->kernels[0];
+  ASSERT_EQ(kernel.variants().size(), 3u);
+  EXPECT_EQ(kernel.variants()[0].name, "exact_64");
+  EXPECT_EQ(kernel.variants()[1].name, "vec4");
+  EXPECT_EQ(kernel.variants()[2].name, "generic");
+
+  // N=64 admits ALL THREE guards (64 == 64, 64 % 4 == 0, unconditional).
+  // Selection must resolve the ambiguity by preference order — index 0 —
+  // and keep resolving it the same way on every evaluation.
+  auto bindings = c->analysis->BindInputs({{64}});
+  ASSERT_TRUE(bindings.ok());
+  for (const KernelVariant& v : kernel.variants()) {
+    EXPECT_TRUE(*v.guard.Evaluate(*bindings)) << v.name;
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto index = kernel.SelectVariantIndex(*bindings);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(*index, 0);
+  }
+}
+
+TEST(KernelSelectTest, ExactShapeAdmissionAtBoundaryBindings) {
+  auto c = CompileSpeculativeExpKernel(64);
+  const FusedKernel& kernel = *c->kernels[0];
+  // Exactly the speculated shape: the exact variant wins.
+  EXPECT_EQ((*kernel.SelectVariant(*c->analysis->BindInputs({{64}})))->name,
+            "exact_64");
+  // One element off in either direction rejects the equality guard; 60
+  // still divides by 4 so the vectorized variant admits it.
+  EXPECT_EQ((*kernel.SelectVariant(*c->analysis->BindInputs({{60}})))->name,
+            "vec4");
+  EXPECT_EQ((*kernel.SelectVariant(*c->analysis->BindInputs({{68}})))->name,
+            "vec4");
+  // 63 and 65 fail both the equality and divisibility guards.
+  EXPECT_EQ((*kernel.SelectVariant(*c->analysis->BindInputs({{63}})))->name,
+            "generic");
+  EXPECT_EQ((*kernel.SelectVariant(*c->analysis->BindInputs({{65}})))->name,
+            "generic");
+}
+
+TEST(KernelSelectTest, GenericVariantIsLastAndUnconditional) {
+  // Across option combinations, a loop kernel's LAST variant must be the
+  // unconditional fallback — SelectVariantIndex relies on it to never
+  // fail — and every earlier variant must carry a real guard here (the
+  // dim is dynamic with nothing provable, so nothing can be baked in).
+  std::vector<SpecializeOptions> combos(4);
+  combos[1].enable_specialization = false;
+  combos[2].enable_vectorization = false;
+  combos[3].max_speculative_variants = 1;
+  for (const SpecializeOptions& options : combos) {
+    auto c = CompileKernels(
+        [](GraphBuilder* b) {
+          Value* x = b->Input("x", DType::kF32, {kDynamicDim});
+          b->Output({b->Exp(x)});
+        },
+        {{"N"}}, options);
+    ASSERT_EQ(c->kernels.size(), 1u);
+    const auto& variants = c->kernels[0]->variants();
+    ASSERT_FALSE(variants.empty());
+    EXPECT_EQ(variants.back().name, "generic");
+    EXPECT_TRUE(variants.back().guard.always_true());
+    for (size_t i = 0; i + 1 < variants.size(); ++i) {
+      EXPECT_FALSE(variants[i].guard.always_true()) << variants[i].name;
+    }
+    // The fallback admits a shape every other guard rejects (prime 7).
+    auto bindings = c->analysis->BindInputs({{7}});
+    ASSERT_TRUE(bindings.ok());
+    auto index = c->kernels[0]->SelectVariantIndex(*bindings);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(*index, static_cast<int>(variants.size()) - 1);
+  }
+}
+
+TEST(KernelTest, VariantsUnderBuildsCounterfactualWithoutMutating) {
+  SpecializeOptions nospec;
+  nospec.enable_specialization = false;
+  auto c = CompileKernels(
+      [](GraphBuilder* b) {
+        Value* x = b->Input("x", DType::kF32, {kDynamicDim});
+        b->Output({b->Exp(x)});
+      },
+      {{"N"}}, nospec);
+  const FusedKernel& kernel = *c->kernels[0];
+  ASSERT_EQ(kernel.variants().size(), 1u);  // generic only
+
+  // The counterfactual under full specialization has the vec4 variant the
+  // compiled kernel was denied; the compiled kernel itself is untouched.
+  std::vector<KernelVariant> reference = kernel.VariantsUnder({});
+  ASSERT_EQ(reference.size(), 2u);
+  EXPECT_EQ(reference[0].name, "vec4");
+  EXPECT_EQ(reference[1].name, "generic");
+  EXPECT_EQ(kernel.variants().size(), 1u);
+  EXPECT_EQ(kernel.variants()[0].name, "generic");
+
+  // Counterfactual variants are valid ComputeStats inputs: 4 lanes per
+  // thread means the vectorized variant launches a quarter of the blocks.
+  auto bindings = c->analysis->BindInputs({{4096}});
+  ASSERT_TRUE(bindings.ok());
+  auto vec_stats = kernel.ComputeStats(*bindings, reference[0]);
+  auto gen_stats = kernel.ComputeStats(*bindings, kernel.variants()[0]);
+  ASSERT_TRUE(vec_stats.ok() && gen_stats.ok());
+  EXPECT_LT(vec_stats->num_blocks, gen_stats->num_blocks);
+}
+
 TEST(KernelTest, ReduceKernelSchedulesAndRowExprs) {
   auto c = CompileKernels(
       [](GraphBuilder* b) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -171,6 +172,39 @@ TEST(MetricsAgreementTest, RunProfileAllocatorCountersMatchRegistry) {
   EXPECT_GT(profile_calls, 0);
 }
 
+TEST(MetricsAgreementTest, KernelMemoryBoundCounterMatchesRunProfile) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* memory_bound = reg.GetCounter("runtime.kernel.memory_bound");
+  // Same bounds ExecutePlan registers with — first registration wins, so
+  // the pointer is identical regardless of which side ran first.
+  Histogram* utilization = reg.GetHistogram(
+      "runtime.kernel.utilization",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  const int64_t mb0 = memory_bound->value();
+  const int64_t util0 = utilization->count();
+
+  ModelConfig config;
+  Model model = BuildMlp(config);
+  auto exe = DiscCompiler::Compile(*model.graph, model.input_dim_labels);
+  ASSERT_TRUE(exe.ok());
+  int64_t profile_memory_bound = 0, generated_launches = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto r = (*exe)->RunWithShapes(model.trace[i % model.trace.size()]);
+    ASSERT_TRUE(r.ok());
+    profile_memory_bound += r->profile.memory_bound_launches;
+    generated_launches += r->profile.kernel_launches;
+  }
+  // Same choke point feeds both, so the deltas agree exactly.
+  EXPECT_EQ(memory_bound->value() - mb0, profile_memory_bound);
+  // One utilization observation per *generated* kernel launch (library
+  // calls count toward memory_bound but not the codegen histogram).
+  EXPECT_EQ(utilization->count() - util0, generated_launches);
+  EXPECT_GT(profile_memory_bound, 0);  // fused elementwise = memory bound
+  // Utilization is a fraction of peak: first registration fixed bounds
+  // at <= 1.0, so nothing can land in the overflow bucket.
+  EXPECT_EQ(utilization->bucket_counts().back(), 0);
+}
+
 TEST(MetricsAgreementTest, PlanCacheStatsMatchRegistry) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   Counter* hits = reg.GetCounter("runtime.plan_cache.hit");
@@ -204,12 +238,30 @@ TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
 }
 
-TEST(HistogramQuantileTest, EmptyAndOverflowAreClamped) {
+TEST(HistogramQuantileTest, EmptyHistogramReturnsNaN) {
+  // An empty histogram used to report Quantile = 0.0 — indistinguishable
+  // from a genuinely instant p99. The sentinel is NaN at every q.
   Histogram h({10.0, 20.0});
-  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);  // empty
-  h.Observe(1000.0);                        // overflow bucket only
-  // No upper bound to interpolate against: clamp to the last finite bound.
-  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 20.0);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.99)));
+  // Histograms with no finite bounds at all are also "empty" until fed.
+  Histogram unbounded({});
+  EXPECT_TRUE(std::isnan(unbounded.Quantile(0.5)));
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReturnsInfinity) {
+  Histogram h({10.0, 20.0});
+  h.Observe(1000.0);  // overflow bucket only
+  // No upper bound to interpolate against: the old clamp reported "p99 =
+  // 20" when every observation exceeded 20. +inf is the honest answer.
+  EXPECT_TRUE(std::isinf(h.Quantile(0.99)));
+  EXPECT_GT(h.Quantile(0.99), 0.0);  // positive infinity, specifically
+  // Mixed mass: quantiles below the overflow share stay finite and exact.
+  for (int i = 0; i < 9; ++i) h.Observe(5.0);  // 9 finite, 1 overflow
+  // target = 0.5*10 = 5 of 9 in (0, 10]: interpolates to 10 * 5/9.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0 * 5.0 / 9.0);
+  EXPECT_TRUE(std::isinf(h.Quantile(0.99)));  // still in overflow
 }
 
 TEST(HistogramQuantileTest, ToStringReportsEstimates) {
