@@ -13,6 +13,7 @@
 //   $ disc_explain --model=bert --memory-plan
 //   $ disc_explain --model=gelu-glue --hotspots
 //   $ disc_explain --model=gelu-glue --no-specialization --regret
+//   $ disc_explain --model=softmax --no-compile-cache --validation
 //
 // --hotspots replays the model's shape trace with the kernel observatory
 // enabled and prints the per-(kernel, variant, signature) device-time
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "compile_service/compile_service.h"
+#include "compile_service/shadow_validate.h"
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "models/models.h"
@@ -387,6 +389,7 @@ int main(int argc, char** argv) {
   bool show_hotspots = false;
   bool show_regret = false;
   bool no_specialization = false;
+  bool run_validation = false;
   std::string profile_json = "kernel_profile.json";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -416,6 +419,8 @@ int main(int argc, char** argv) {
       show_regret = true;
     } else if (std::strcmp(arg, "--no-specialization") == 0) {
       no_specialization = true;
+    } else if (std::strcmp(arg, "--validation") == 0) {
+      run_validation = true;
     } else if (std::strncmp(arg, "--profile-json=", 15) == 0) {
       profile_json = arg + 15;
     } else {
@@ -426,7 +431,8 @@ int main(int argc, char** argv) {
           "           [--static-shapes-only] [--decisions] [--constraints]\n"
           "           [--memory-plan] [--hotspots] [--regret]\n"
           "           [--no-specialization] [--profile-json=<path>]\n"
-          "           [--cache-dir=<dir>] [--no-compile-cache]\n");
+          "           [--cache-dir=<dir>] [--no-compile-cache]\n"
+          "           [--validation]\n");
       return 2;
     }
   }
@@ -492,7 +498,7 @@ int main(int argc, char** argv) {
 
   if (list_decisions ||
       (why_pair.empty() && !list_constraints && !show_memory_plan &&
-       !show_hotspots && !show_regret)) {
+       !show_hotspots && !show_regret && !run_validation)) {
     std::printf("== fusion decisions (final verdict per considered pair) ==\n");
     for (const FusionDecision& d : exe->plan().decisions) {
       std::printf("  %s\n", d.ToString().c_str());
@@ -530,6 +536,30 @@ int main(int argc, char** argv) {
   if (show_hotspots || show_regret) {
     int rc = RunObservatory(*exe, *workload, show_regret, profile_json);
     if (rc != 0) return rc;
+  }
+
+  // Differential validation: replay the workload's shape trace (plus the
+  // guard-boundary probes derived from the compiled variants) through the
+  // executable and the IR reference evaluator. With DISC_FAILPOINTS
+  // arming kernel.miscompile / kernel.guard.mispredict at compile time,
+  // this is the from-the-outside proof that the admission gate catches a
+  // wrong executable before it could serve.
+  if (run_validation) {
+    ShadowValidator validator;
+    std::vector<std::vector<std::vector<int64_t>>> observed(
+        workload->trace.begin(), workload->trace.end());
+    std::vector<ProbeBinding> probes = validator.BuildProbes(
+        *exe, workload->labels, observed, {}, {});
+    ValidationReport vreport =
+        validator.Validate(*exe, /*incumbent=*/nullptr, *workload->graph,
+                           probes, workload->name, outcome.key.ToId());
+    std::printf("\n== differential validation (vs reference evaluator) ==\n");
+    std::printf("%s\n", vreport.Summary().c_str());
+    for (const ProbeOutcome& po : vreport.outcomes) {
+      std::printf("  probe %-18s %-9s %s%s%s\n", po.signature.c_str(),
+                  po.source.c_str(), po.outcome.c_str(),
+                  po.detail.empty() ? "" : ": ", po.detail.c_str());
+    }
   }
 
   std::printf("\n== compile service ==\n%s",

@@ -10,6 +10,7 @@
 //
 //   $ ./build/examples/trace_inspect [out.trace.json] [--dump-dir=<dir>]
 //                                    [--no-compile-cache] [--blame]
+//                                    [--validation]
 //
 // --dump-dir additionally writes the compilation-introspection artifacts
 // (IR snapshots per pass, pipeline_summary.json, shape_constraints.json,
@@ -22,6 +23,11 @@
 // exported as blame_report.json), re-parses the export and verifies the
 // blame shares sum to 1.0 — the CI trace-smoke step greps the
 // "blame_report=ok" line this prints.
+// --validation turns on the differential admission gate for the async
+// compile section: the compiled candidate is shadow-validated against the
+// reference evaluator before the hot swap, and the deterministic verdict
+// is exported as validation_report.json (re-parsed here; the CI
+// trace-smoke step greps the "validation_report=ok" line).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,6 +56,7 @@ int main(int argc, char** argv) {
   std::string dump_dir;
   bool no_compile_cache = false;
   bool blame = false;
+  bool validation = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
       dump_dir = argv[i] + 11;
@@ -57,6 +64,8 @@ int main(int argc, char** argv) {
       no_compile_cache = true;
     } else if (std::strcmp(argv[i], "--blame") == 0) {
       blame = true;
+    } else if (std::strcmp(argv[i], "--validation") == 0) {
+      validation = true;
     } else {
       out_path = argv[i];
     }
@@ -187,6 +196,7 @@ int main(int argc, char** argv) {
   }
   CompileService service(service_options);
   AsyncEngineOptions async_options;
+  async_options.validate_adoptions = validation;
   AsyncCompileEngine async_engine(
       &service,
       std::make_unique<InterpreterEngine>(InterpreterProfile::PyTorch()),
@@ -218,6 +228,37 @@ int main(int argc, char** argv) {
   std::printf("  hot swaps=%lld  fallback queries=%lld\n",
               static_cast<long long>(async_engine.swaps()),
               static_cast<long long>(async_engine.stats().fallback_queries));
+
+  // Admission-gate report (--validation): the candidate was
+  // shadow-validated before the swap above; export the deterministic
+  // verdict and re-parse it — what CI's trace-smoke step asserts.
+  if (validation) {
+    // The gate resolves opportunistically on the serving path (production
+    // mode has no simulated clock to gate on): drain the service so the
+    // low-priority validation task has finished, then one more query
+    // adopts — or rejects — the candidate.
+    service.Drain();
+    async_engine.Query(shape_fn(8, 32), DeviceSpec::A10());
+    const ValidationReport* vreport = async_engine.last_validation_report();
+    if (vreport == nullptr) {
+      std::fprintf(stderr, "validation_report=missing: the admission gate "
+                           "never resolved a candidate\n");
+      return 1;
+    }
+    const char* vreport_path = "validation_report.json";
+    Status vwrote = vreport->WriteJsonFile(vreport_path);
+    if (!vwrote.ok()) {
+      std::fprintf(stderr, "%s\n", vwrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n== admission gate ==\n%s\n", vreport->Summary().c_str());
+    std::printf("validation_report=ok verdict=%s probes=%lld "
+                "validations_run=%lld caught=%lld path=%s\n",
+                vreport->verdict(), static_cast<long long>(vreport->probes),
+                static_cast<long long>(async_engine.validations_run()),
+                static_cast<long long>(async_engine.validations_caught()),
+                vreport_path);
+  }
   std::printf("\n== compile service ==\n%s",
               service.JobTimelineString().c_str());
   ArtifactCacheStats cache_stats_svc = service.cache().stats();

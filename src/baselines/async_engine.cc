@@ -1,11 +1,20 @@
 #include "baselines/async_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "runtime/launch_plan.h"
 #include "support/blame.h"
+#include "support/flight_recorder.h"
+#include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+
+namespace {
+// Probe fodder: how many recently served bindings the engine retains for
+// the shadow validator (deduped again inside BuildProbes).
+constexpr size_t kMaxRecentObserved = 8;
+}  // namespace
 
 namespace disc {
 
@@ -44,12 +53,25 @@ void AsyncCompileEngine::SubmitJob(JobPriority priority,
     request.options.likely_dim_values.push_back(std::move(hint));
   }
   request.priority = priority;
+  // Quarantine refusal: a poisoned CacheKey must never be recompiled — not
+  // in this process and not after a warm restart. The engine keeps serving
+  // on the fallback leg instead (the operator clears the quarantine).
+  CacheKey key = CacheKey::Make(*graph_, request.labels, request.options);
+  if (service_->cache().IsPoisoned(key)) {
+    ++poisoned_skips_;
+    CountMetric("engine.poisoned_skip");
+    pending_has_hints_ = false;
+    return;
+  }
   pending_has_hints_ = !request.options.likely_dim_values.empty();
   pending_submit_sim_us_ = sim_now_us_;
   pending_job_ = service_->Submit(std::move(request));
 }
 
 void AsyncCompileEngine::MaybeAdopt(bool sync_wait, double* waited_gate_us) {
+  // A validation in flight resolves first — it may install its candidate
+  // (pass) or reject it (caught) before the next compile outcome lands.
+  MaybeResolveValidation(sync_wait);
   if (!pending_job_.valid()) return;
 
   const double gate_compile = options_.simulated_compile_latency_us;
@@ -93,7 +115,25 @@ void AsyncCompileEngine::MaybeAdopt(bool sync_wait, double* waited_gate_us) {
     return;
   }
 
+  if (options_.validate_adoptions) {
+    // Admission gate: the candidate is NOT installed yet. It replays the
+    // probe set against the incumbent (or reference evaluator) on a
+    // low-priority worker first; installation happens when the validation
+    // resolves with a pass.
+    StartValidation(std::move(adopted), had_hints);
+    if (sync_wait) MaybeResolveValidation(true);
+    return;
+  }
+  AdoptNow(adopted, had_hints);
+}
+
+void AsyncCompileEngine::AdoptNow(const CompileJobOutcome& adopted,
+                                  bool had_hints) {
   slot_.Swap(adopted.executable);
+  previous_key_ = current_key_;
+  has_previous_key_ = has_current_key_;
+  current_key_ = adopted.key;
+  has_current_key_ = true;
   CountMetric("engine.hot_swap");
   if (adopted.from_disk_cache) {
     ++disk_restores_;
@@ -110,6 +150,133 @@ void AsyncCompileEngine::MaybeAdopt(bool sync_wait, double* waited_gate_us) {
   }
 }
 
+void AsyncCompileEngine::StartValidation(CompileJobOutcome adopted,
+                                         bool had_hints) {
+  ShadowValidator validator(options_.validation);
+  std::vector<std::vector<std::vector<int64_t>>> observed(
+      recent_observed_dims_.begin(), recent_observed_dims_.end());
+  LikelyDimValues hot = feedback_.TopValues(3);
+  std::vector<std::string> outlier_signatures;
+  for (const FlightRecord& record : FlightRecorder::Global().Snapshot()) {
+    outlier_signatures.push_back(record.signature);
+  }
+  std::vector<ProbeBinding> probes = validator.BuildProbes(
+      *adopted.executable, labels_, observed, hot, outlier_signatures);
+
+  // Everything the worker touches is captured by value / shared ownership
+  // so the task stays safe even if the engine dies while it is queued.
+  std::shared_ptr<const Executable> candidate = adopted.executable;
+  std::shared_ptr<const Executable> incumbent = slot_.Acquire();
+  std::shared_ptr<const Graph> reference_graph = graph_->Clone();
+  auto report = std::make_shared<ValidationReport>();
+  std::string model = graph_->name();
+  std::string key_id = adopted.key.ToId();
+
+  validation_candidate_ = std::move(adopted);
+  validation_had_hints_ = had_hints;
+  validation_submit_sim_us_ = sim_now_us_;
+  validation_inflight_report_ = report;
+  CountMetric("engine.validation.submitted");
+  pending_validation_ = service_->SubmitTask(
+      model + ":shadow-validate", JobPriority::kValidate,
+      [validator, candidate, incumbent, reference_graph, probes, report,
+       model, key_id]() {
+        *report = validator.Validate(*candidate, incumbent.get(),
+                                     *reference_graph, probes, model, key_id);
+        CompileJobOutcome outcome;
+        if (!report->passed) {
+          outcome.status =
+              Status::DataLoss("shadow validation caught candidate: " +
+                               report->Summary());
+        }
+        return outcome;
+      });
+}
+
+void AsyncCompileEngine::MaybeResolveValidation(bool sync_wait) {
+  if (!pending_validation_.valid()) return;
+
+  const double gate = std::max(0.0, options_.simulated_validation_latency_us);
+  const CompileJobOutcome* done = nullptr;
+  if (sync_wait) {
+    done = &pending_validation_.Wait();
+  } else if (options_.simulated_compile_latency_us < 0.0) {
+    done = pending_validation_.TryGet();
+  } else if (sim_now_us_ >= validation_submit_sim_us_ + gate) {
+    // Deterministic mode: same charge-free Wait as the compile gate.
+    done = &pending_validation_.Wait();
+  }
+  if (done == nullptr) return;
+
+  Status task_status = done->status;  // copy before dropping the handle
+  pending_validation_ = CompileJobHandle();
+  ++validations_run_;
+  CountMetric("engine.validation.run");
+  std::shared_ptr<ValidationReport> report =
+      std::move(validation_inflight_report_);
+  CompileJobOutcome candidate = std::move(validation_candidate_);
+  validation_candidate_ = CompileJobOutcome();
+  bool had_hints = validation_had_hints_;
+  validation_had_hints_ = false;
+  if (report != nullptr) last_validation_report_ = report;
+
+  if (report != nullptr && report->passed && task_status.ok()) {
+    AdoptNow(candidate, had_hints);
+    return;
+  }
+  // Caught: the incumbent keeps serving, and the candidate's key goes to
+  // the persisted quarantine so neither this process nor a warm restart
+  // re-adopts the artifact.
+  ++validations_caught_;
+  CountMetric("engine.validation.caught");
+  std::string reason =
+      report != nullptr ? report->Summary() : task_status.ToString();
+  Status poison = service_->cache().Poison(
+      candidate.key, "shadow validation: " + reason);
+  if (!poison.ok()) {
+    DISC_LOG(Warning) << "poison failed for " << candidate.key.ToId() << ": "
+                      << poison.ToString();
+  }
+  DISC_LOG(Warning) << "admission gate rejected " << candidate.key.ToId()
+                    << ": " << reason;
+}
+
+void AsyncCompileEngine::OnDataLoss(const Status& status) {
+  ++data_loss_events_;
+  CountMetric("engine.data_loss");
+  TraceScope rollback_scope(name_, "engine.rollback");
+  if (rollback_scope.active()) {
+    rollback_scope.AddArg("reason", status.message());
+  }
+  if (has_current_key_) {
+    Status poison = service_->cache().Poison(
+        current_key_, "runtime data loss: " + status.message());
+    if (!poison.ok()) {
+      DISC_LOG(Warning) << "poison failed for " << current_key_.ToId() << ": "
+                        << poison.ToString();
+    }
+  }
+  if (slot_.Rollback()) {
+    CountMetric("engine.rollback");
+    current_key_ = previous_key_;
+    has_current_key_ = has_previous_key_;
+    has_previous_key_ = false;
+  } else {
+    // Nothing to roll back to: empty the slot entirely (retaining the bad
+    // executable as rollback history would defeat the quarantine) and let
+    // the fallback leg serve.
+    slot_.Clear();
+    has_current_key_ = false;
+    has_previous_key_ = false;
+    CountMetric("engine.slot_clear");
+  }
+  // Plan caches were cleared by the slot; CUDA-graph captures are
+  // per-executable state too.
+  captured_signatures_.clear();
+  DISC_LOG(Warning) << name_ << ": data loss while serving — "
+                    << status.message();
+}
+
 Result<EngineTiming> AsyncCompileEngine::Query(
     const std::vector<std::vector<int64_t>>& input_dims,
     const DeviceSpec& device) {
@@ -123,29 +290,32 @@ Result<EngineTiming> AsyncCompileEngine::Query(
   }
   CountQuery();
 
+  if (options_.validate_adoptions) {
+    recent_observed_dims_.push_back(input_dims);
+    while (recent_observed_dims_.size() > kMaxRecentObserved) {
+      recent_observed_dims_.pop_front();
+    }
+  }
+
   double stall_us = 0.0;
   MaybeAdopt(options_.sync_compile && !slot_.has_executable(), &stall_us);
 
   // Profile feedback: watch the traffic; when the hot-value profile is
   // confident (or has shifted), respecialize in the background. One
-  // pending job at a time — the profile keeps aggregating meanwhile.
+  // pending job at a time — the profile keeps aggregating meanwhile (a
+  // pending shadow validation counts as pending work: its candidate must
+  // resolve before the next respecialization makes sense).
   if (options_.profile.feedback_after > 0) {
     feedback_.Observe(labels_, input_dims);
-    if (!pending_job_.valid() && slot_.has_executable()) {
+    if (!pending_job_.valid() && !pending_validation_.valid() &&
+        slot_.has_executable()) {
       if (auto hints = feedback_.MaybeRespecialize()) {
         SubmitJob(JobPriority::kRespecialize, std::move(*hints));
       }
     }
   }
 
-  std::shared_ptr<const Executable> exe = slot_.Acquire();
-  if (exe == nullptr) {
-    // Not compiled yet: degrade to the fallback leg, never block. Announce
-    // the miss at foreground priority if the job somehow vanished
-    // (failed/cancelled) so the next swap still arrives.
-    if (!pending_job_.valid()) {
-      SubmitJob(JobPriority::kForegroundMiss, {});
-    }
+  auto serve_fallback = [&]() -> Result<EngineTiming> {
     auto result = fallback_->Query(input_dims, device);
     if (!result.ok()) return result.status();
     ++stats_.fallback_queries;
@@ -154,6 +324,18 @@ Result<EngineTiming> AsyncCompileEngine::Query(
     timing.compile_us += stall_us;
     timing.total_us += stall_us;
     return timing;
+  };
+
+  std::shared_ptr<const Executable> exe = slot_.Acquire();
+  if (exe == nullptr) {
+    // Not compiled yet: degrade to the fallback leg, never block. Announce
+    // the miss at foreground priority if the job somehow vanished
+    // (failed/cancelled) so the next swap still arrives — unless a shadow
+    // validation is already deciding a candidate's fate.
+    if (!pending_job_.valid() && !pending_validation_.valid()) {
+      SubmitJob(JobPriority::kForegroundMiss, {});
+    }
+    return serve_fallback();
   }
 
   RunOptions options;
@@ -163,8 +345,25 @@ Result<EngineTiming> AsyncCompileEngine::Query(
     options.batch_launches =
         !captured_signatures_.insert(ShapeSignature(input_dims)).second;
   }
-  DISC_ASSIGN_OR_RETURN(RunResult result,
-                        exe->RunWithShapes(input_dims, options));
+  Result<RunResult> run = exe->RunWithShapes(input_dims, options);
+  if (!run.ok() && run.status().code() == StatusCode::kDataLoss) {
+    // The installed executable is provably bad at this binding (guard
+    // violation / corruption). Poison it, roll back to the previous
+    // generation, and retry the query there; no previous generation (or
+    // the previous one is bad too) means the fallback leg serves it.
+    OnDataLoss(run.status());
+    exe = slot_.Acquire();
+    if (exe != nullptr) {
+      run = exe->RunWithShapes(input_dims, options);
+      if (!run.ok() && run.status().code() == StatusCode::kDataLoss) {
+        OnDataLoss(run.status());
+        exe = nullptr;
+      }
+    }
+    if (exe == nullptr) return serve_fallback();
+  }
+  if (!run.ok()) return run.status();
+  RunResult result = std::move(*run);
   if (options_.profile.use_plan_cache) {
     CountPlanLookup(result.profile.launch_plan_hit);
   }
@@ -194,15 +393,38 @@ Result<std::vector<Tensor>> AsyncCompileEngine::Execute(
   if (graph_ == nullptr) {
     return Status::FailedPrecondition("Prepare was not called");
   }
+  if (options_.validate_adoptions) {
+    std::vector<std::vector<int64_t>> input_dims;
+    input_dims.reserve(inputs.size());
+    for (const Tensor& t : inputs) input_dims.push_back(t.dims());
+    recent_observed_dims_.push_back(std::move(input_dims));
+    while (recent_observed_dims_.size() > kMaxRecentObserved) {
+      recent_observed_dims_.pop_front();
+    }
+  }
   MaybeAdopt(options_.sync_compile && !slot_.has_executable(), nullptr);
-  std::shared_ptr<const Executable> exe = slot_.Acquire();
-  if (exe == nullptr) {
+  auto serve_fallback = [&]() -> Result<std::vector<Tensor>> {
     ++stats_.fallback_queries;
     CountMetric("engine.fallback.queries");
     return fallback_->Execute(inputs);
+  };
+  std::shared_ptr<const Executable> exe = slot_.Acquire();
+  if (exe == nullptr) return serve_fallback();
+  Result<RunResult> run = exe->Run(inputs);
+  if (!run.ok() && run.status().code() == StatusCode::kDataLoss) {
+    OnDataLoss(run.status());
+    exe = slot_.Acquire();
+    if (exe != nullptr) {
+      run = exe->Run(inputs);
+      if (!run.ok() && run.status().code() == StatusCode::kDataLoss) {
+        OnDataLoss(run.status());
+        exe = nullptr;
+      }
+    }
+    if (exe == nullptr) return serve_fallback();
   }
-  DISC_ASSIGN_OR_RETURN(RunResult result, exe->Run(inputs));
-  return result.outputs;
+  if (!run.ok()) return run.status();
+  return run->outputs;
 }
 
 void AsyncCompileEngine::SetSimulatedTimeUs(double now_us) {

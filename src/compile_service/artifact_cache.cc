@@ -67,11 +67,34 @@ std::string PersistentArtifactCache::ManifestPath() const {
   return options_.dir + "/manifest.json";
 }
 
+std::string PersistentArtifactCache::PoisonPath() const {
+  // Lives beside manifest.json, NOT inside quarantine/ — quarantine/ holds
+  // exactly the moved-aside entry files and tooling counts them.
+  return options_.dir + "/poisoned.json";
+}
+
 void PersistentArtifactCache::LoadManifestLocked() {
   if (manifest_loaded_) return;
   manifest_loaded_ = true;
   if (!enabled()) return;
   (void)EnsureDirectory(options_.dir + "/entries");
+
+  // Poison list first: even with a corrupt/missing manifest, poisoned keys
+  // must stay refused.
+  if (auto poison_text = ReadFileToString(PoisonPath()); poison_text.ok()) {
+    auto parsed = ParseJson(*poison_text);
+    if (parsed.ok() && parsed->is_object()) {
+      const JsonValue* keys = parsed->Find("poisoned");
+      if (keys != nullptr && keys->is_object()) {
+        for (const auto& [id, reason] : keys->as_object()) {
+          poisoned_[id] = reason.is_string() ? reason.as_string() : "";
+        }
+      }
+    } else {
+      DISC_LOG(Warning) << "artifact-cache poison list corrupt at "
+                        << PoisonPath() << "; keeping it untouched";
+    }
+  }
 
   auto text = ReadFileToString(ManifestPath());
   if (text.ok()) {
@@ -162,8 +185,52 @@ void PersistentArtifactCache::QuarantineLocked(const std::string& id,
   if (ec) fs::remove(EntryPath(id), ec);
   manifest_.erase(id);
   (void)WriteManifestLocked();
+  // Session poison: a corrupt entry must not be re-stored and re-served
+  // under the same key within this process — whatever wrote it is still
+  // running. Not persisted: after a restart a fresh compile may store the
+  // key again (the bytes were bad, not the recipe).
+  session_poisoned_.emplace(id, reason);
   ++stats_.quarantined;
   CountMetric("compile_service.cache.quarantine");
+}
+
+bool PersistentArtifactCache::IsPoisonedLocked(const std::string& id) const {
+  return poisoned_.count(id) > 0 || session_poisoned_.count(id) > 0;
+}
+
+Status PersistentArtifactCache::WritePoisonListLocked() {
+  JsonValue::Object keys;
+  for (const auto& [id, reason] : poisoned_) keys[id] = JsonValue(reason);
+  JsonValue::Object o;
+  o["schema_version"] =
+      JsonValue(static_cast<int64_t>(kArtifactSchemaVersion));
+  o["poisoned"] = JsonValue(std::move(keys));
+  return AtomicWrite(PoisonPath(), JsonValue(std::move(o)).SerializePretty());
+}
+
+Status PersistentArtifactCache::Poison(const CacheKey& key,
+                                       const std::string& reason) {
+  TraceScope scope("cache.poison", "compile_service");
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadManifestLocked();
+  std::string id = key.ToId();
+  bool fresh = poisoned_.emplace(id, reason).second;
+  CountMetric("compile_service.cache.poison");
+  DISC_LOG(Warning) << "poisoning cache key " << id << ": " << reason;
+  if (!enabled()) return Status::OK();  // in-memory refusal only
+  // Move any on-disk entry aside so even a manifest rebuild cannot
+  // resurrect it.
+  std::error_code ec;
+  if (fresh && (manifest_.count(id) > 0 || fs::exists(EntryPath(id), ec))) {
+    QuarantineLocked(id, "poisoned: " + reason);
+  }
+  return WritePoisonListLocked();
+}
+
+bool PersistentArtifactCache::IsPoisoned(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadManifestLocked();
+  return IsPoisonedLocked(key.ToId());
 }
 
 void PersistentArtifactCache::EvictOverBudgetLocked() {
@@ -199,6 +266,14 @@ std::optional<CacheArtifact> PersistentArtifactCache::Lookup(
   if (!enabled()) return miss();
 
   std::string id = key.ToId();
+  if (IsPoisonedLocked(id)) {
+    // The recipe itself was proven bad — refuse without touching disk, so
+    // a warm restart performs zero loads (and zero compiles, the engine
+    // checks IsPoisoned before submitting) of the poisoned key.
+    ++stats_.poison_rejects;
+    CountMetric("compile_service.cache.poison_reject");
+    return miss();
+  }
   // Fault seam: a load failure (bad disk, truncated entry) must degrade to
   // recompilation, never crash or return a wrong executable.
   Status injected = [] {
@@ -208,6 +283,12 @@ std::optional<CacheArtifact> PersistentArtifactCache::Lookup(
   std::string entry_path = EntryPath(id);
   auto text = injected.ok() ? ReadFileToString(entry_path)
                             : Result<std::string>(injected);
+  // Fault seam: bitrot in a loaded recipe. Flips the leading brace so the
+  // corruption is structural and deterministic — caught below by the
+  // parse/schema checks, quarantined, and session-poisoned.
+  if (text.ok() && !text->empty() && !CheckFailpoint("cache.bitrot").ok()) {
+    (*text)[0] ^= 0x20;
+  }
   if (!text.ok()) {
     if (manifest_.count(id) > 0) {
       // The manifest promised this entry; the file is unreadable.
@@ -272,6 +353,13 @@ Status PersistentArtifactCache::Store(const CacheKey& key,
   std::lock_guard<std::mutex> lock(mu_);
   LoadManifestLocked();
   if (!enabled()) return Status::OK();
+  std::string poison_id = key.ToId();
+  if (IsPoisonedLocked(poison_id)) {
+    ++stats_.poison_rejects;
+    CountMetric("compile_service.cache.poison_reject");
+    return Status::FailedPrecondition("cache key " + poison_id +
+                                      " is poisoned; refusing to store");
+  }
 
   // Fault seam: a failed store must leave serving untouched (the compiled
   // executable lives in memory) and the on-disk state consistent.
@@ -302,6 +390,13 @@ Status PersistentArtifactCache::Store(const CacheKey& key,
 ArtifactCacheStats PersistentArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ArtifactCacheStats stats = stats_;
+  {
+    int64_t distinct = static_cast<int64_t>(poisoned_.size());
+    for (const auto& [id, reason] : session_poisoned_) {
+      if (poisoned_.count(id) == 0) ++distinct;
+    }
+    stats.poisoned = distinct;
+  }
   stats.entries = static_cast<int64_t>(manifest_.size());
   stats.total_bytes = 0;
   for (const auto& [id, entry] : manifest_) stats.total_bytes += entry.bytes;
@@ -315,6 +410,12 @@ std::string PersistentArtifactCache::ManifestSummary() const {
   std::string out = "artifact cache at " + options_.dir + " (schema v" +
                     std::to_string(kArtifactSchemaVersion) + "): " +
                     std::to_string(manifest_.size()) + " entries\n";
+  if (!poisoned_.empty()) {
+    out += "  poisoned keys (" + std::to_string(poisoned_.size()) + "):\n";
+    for (const auto& [id, reason] : poisoned_) {
+      out += "    " + id + "  " + reason + "\n";
+    }
+  }
   // Most-recently-used first.
   std::vector<std::pair<std::string, const ManifestEntry*>> ranked;
   for (const auto& [id, entry] : manifest_) ranked.emplace_back(id, &entry);

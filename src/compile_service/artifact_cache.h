@@ -20,6 +20,14 @@
 //   quarantine/<id>.json    entries that failed to parse/validate on load,
 //                           moved aside (not deleted — debuggable) and
 //                           recompiled fresh.
+//   poisoned.json           persisted quarantine list: CacheKey ids that
+//                           differential validation proved miscompiled
+//                           (output divergence / guard violation). Unlike
+//                           quarantine/ (corrupt bytes: recompiling fresh
+//                           is safe), a poisoned key's *recipe* is wrong —
+//                           Lookup and Store refuse it in this process and
+//                           after a warm restart, until the list is
+//                           cleared or kCompileCodeVersion is bumped.
 //
 // What an "artifact" is here: this repo's executables hold live pointers
 // into their owning Graph, and IR text does not round-trip large constant
@@ -66,6 +74,10 @@ struct ArtifactCacheStats {
   int64_t stores = 0;
   int64_t evictions = 0;
   int64_t quarantined = 0;
+  /// Keys on the persisted poison list (durable) plus session-poisoned ids.
+  int64_t poisoned = 0;
+  /// Lookups/Stores refused because the key was poisoned.
+  int64_t poison_rejects = 0;
   int64_t entries = 0;
   int64_t total_bytes = 0;
 };
@@ -89,6 +101,17 @@ class PersistentArtifactCache {
                const CompileOptions& options,
                const std::string& report_summary);
 
+  /// \brief Durably poisons `key`: the admission gate proved the artifact
+  /// it produces is wrong (divergence, guard violation). Any on-disk entry
+  /// is moved to quarantine/, the id is appended to poisoned.json, and
+  /// Lookup/Store refuse the key from now on — including after a warm
+  /// restart. Recovery: delete poisoned.json or bump kCompileCodeVersion
+  /// (a new code_version yields a different id).
+  Status Poison(const CacheKey& key, const std::string& reason);
+
+  /// \brief True when `key` is on the poison list (durable or session).
+  bool IsPoisoned(const CacheKey& key);
+
   ArtifactCacheStats stats() const;
 
   /// \brief Human-readable manifest dump for trace_inspect/disc_explain:
@@ -106,11 +129,14 @@ class PersistentArtifactCache {
 
   std::string EntryPath(const std::string& id) const;
   std::string ManifestPath() const;
+  std::string PoisonPath() const;
   // All private helpers assume mu_ is held.
   void LoadManifestLocked();
   void RebuildManifestLocked();
   Status WriteManifestLocked();
+  Status WritePoisonListLocked();
   void QuarantineLocked(const std::string& id, const std::string& reason);
+  bool IsPoisonedLocked(const std::string& id) const;
   void EvictOverBudgetLocked();
 
   ArtifactCacheOptions options_;
@@ -118,6 +144,13 @@ class PersistentArtifactCache {
   bool manifest_loaded_ = false;
   int64_t lru_clock_ = 0;
   std::map<std::string, ManifestEntry> manifest_;
+  /// Durable poison list (mirrors poisoned.json): id -> reason.
+  std::map<std::string, std::string> poisoned_;
+  /// Session-only poison: ids whose on-disk entry was quarantined as
+  /// corrupt. Not persisted (recompiling fresh is safe after a restart),
+  /// but within this process the same CacheKey must not be re-stored and
+  /// immediately re-served from the cache it just corrupted.
+  std::map<std::string, std::string> session_poisoned_;
   ArtifactCacheStats stats_;
 };
 

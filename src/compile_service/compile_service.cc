@@ -22,6 +22,8 @@ struct CompileJobState {
   std::string key_id;
   std::chrono::steady_clock::time_point submit_time;
   size_t timeline_index = 0;
+  /// Non-null for SubmitTask jobs: runs instead of the compile pipeline.
+  std::function<CompileJobOutcome()> task;
 
   std::atomic<bool> cancel_requested{false};
 
@@ -43,6 +45,8 @@ const char* JobPriorityName(JobPriority priority) {
       return "respecialize";
     case JobPriority::kPrefetch:
       return "prefetch";
+    case JobPriority::kValidate:
+      return "validate";
   }
   return "unknown";
 }
@@ -164,6 +168,56 @@ CompileJobHandle CompileService::Submit(CompileJobRequest request) {
   return CompileJobHandle(job);
 }
 
+CompileJobHandle CompileService::SubmitTask(
+    const std::string& name, JobPriority priority,
+    std::function<CompileJobOutcome()> task) {
+  DISC_CHECK(task != nullptr) << "SubmitTask without a task";
+  TraceScope scope("task.submit", "compile_service");
+  scope.AddArg("name", name);
+  scope.AddArg("priority", JobPriorityName(priority));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.tasks_submitted;
+  if (shutdown_) {
+    auto job = std::make_shared<CompileJobState>();
+    job->job_id = next_job_id_++;
+    job->done = true;
+    job->outcome.status = Status::FailedPrecondition("service shut down");
+    ++stats_.cancelled;
+    return CompileJobHandle(std::move(job));
+  }
+
+  auto job = std::make_shared<CompileJobState>();
+  job->job_id = next_job_id_++;
+  job->request.model_name = name;
+  job->request.priority = priority;
+  job->request.origin_trace_id = RequestContext::CurrentTraceId();
+  job->task = std::move(task);
+  // Unique pseudo-id: tasks are never deduplicated and must not collide
+  // with compile-job CacheKey ids in in_flight_.
+  job->key_id = "task:" + std::to_string(job->job_id);
+  job->submit_time = std::chrono::steady_clock::now();
+
+  JobTimelineEntry entry;
+  entry.job_id = job->job_id;
+  entry.model = name;
+  entry.priority = priority;
+  entry.key_id = job->key_id;
+  entry.origin_trace_id = job->request.origin_trace_id;
+  entry.submit_us = NowUs();
+  job->timeline_index = timeline_.size();
+  timeline_.push_back(std::move(entry));
+
+  in_flight_[job->key_id] = job;
+  queue_.push_back(job);
+  int64_t depth = static_cast<int64_t>(queue_.size());
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  ObserveMetric("compile_service.queue_depth", static_cast<double>(depth));
+  CountMetric("compile_service.task.submitted");
+  work_cv_.notify_one();
+  return CompileJobHandle(job);
+}
+
 void CompileService::WorkerLoop(int worker_index) {
   (void)worker_index;
   for (;;) {
@@ -228,6 +282,15 @@ void CompileService::RunJob(const std::shared_ptr<CompileJobState>& job) {
     return;
   }
   if (job->request.pre_compile_hook) job->request.pre_compile_hook();
+
+  if (job->task) {
+    // Generic worker task (shadow validation, tuning): the closure is the
+    // whole job — no cache, no compiler.
+    outcome = job->task();
+    const char* verdict = outcome.status.ok() ? "task-done" : "task-failed";
+    FinishJob(job, std::move(outcome), verdict);
+    return;
+  }
 
   // Fault seam: a worker dying mid-job must fail only this job; the engine
   // keeps serving on its fallback leg and may resubmit.
@@ -300,6 +363,11 @@ void CompileService::FinishJob(const std::shared_ptr<CompileJobState>& job,
     if (verdict == "failed") ++stats_.failed;
     if (verdict == "cancelled") ++stats_.cancelled;
     if (verdict == "deadline-expired") ++stats_.deadline_expired;
+    if (verdict == "task-done") ++stats_.tasks_completed;
+    if (verdict == "task-failed") {
+      ++stats_.tasks_completed;
+      ++stats_.tasks_failed;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(job->mu);

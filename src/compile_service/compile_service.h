@@ -47,6 +47,7 @@ enum class JobPriority : uint8_t {
   kForegroundMiss = 0,  // a live query is degrading to the fallback leg
   kRespecialize = 1,    // profile feedback wants better kernels
   kPrefetch = 2,        // nothing is waiting; warm the cache
+  kValidate = 3,        // shadow-validate a candidate before adoption
 };
 
 const char* JobPriorityName(JobPriority priority);
@@ -127,6 +128,11 @@ struct CompileServiceStats {
   int64_t cancelled = 0;
   int64_t deadline_expired = 0;
   int64_t max_queue_depth = 0;
+  /// Generic worker tasks (SubmitTask) — counted apart from compile jobs
+  /// so compile/disk-hit accounting stays comparable across configs.
+  int64_t tasks_submitted = 0;
+  int64_t tasks_completed = 0;
+  int64_t tasks_failed = 0;
 };
 
 /// One row of the job timeline (trace_inspect/disc_explain output).
@@ -158,6 +164,16 @@ class CompileService {
   /// \brief Enqueues a job (or coalesces onto the in-flight job with the
   /// same CacheKey) and returns its future. Never blocks on compilation.
   CompileJobHandle Submit(CompileJobRequest request);
+
+  /// \brief Enqueues a generic worker task (shadow validation, tuning)
+  /// under the same priority queue — low-priority classes like kValidate
+  /// never delay a foreground compile, and serving never blocks on them.
+  /// The task's returned outcome resolves the handle; a non-OK status
+  /// counts as tasks_failed, never as a compile failure. Tasks are not
+  /// deduplicated (each carries its own closure) and skip the artifact
+  /// cache entirely.
+  CompileJobHandle SubmitTask(const std::string& name, JobPriority priority,
+                              std::function<CompileJobOutcome()> task);
 
   /// \brief Blocks until every submitted job has completed. Test/shutdown
   /// aid; serving never calls this.

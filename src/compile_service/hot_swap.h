@@ -35,12 +35,18 @@ class ExecutableSlot {
 
   /// \brief Installs `next` (may be null to clear) and returns the
   /// previous executable, its launch-plan cache already cleared.
+  ///
+  /// The displaced executable is additionally *retained* as the previous
+  /// generation so a post-swap guard violation or output divergence can
+  /// Rollback() to it. Only one generation of history is kept: swapping
+  /// twice forgets the older incumbent.
   std::shared_ptr<const Executable> Swap(
       std::shared_ptr<const Executable> next) {
     std::shared_ptr<const Executable> previous;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      previous = std::move(current_);
+      previous = current_;
+      previous_ = std::move(current_);
       current_ = std::move(next);
       ++generation_;
     }
@@ -48,18 +54,70 @@ class ExecutableSlot {
     return previous;
   }
 
+  /// \brief Reinstates the previous generation, discarding the current
+  /// executable (its plan cache cleared so a later re-install cannot
+  /// replay stale plans). Returns false when there is no previous
+  /// generation to roll back to — the caller must fall back instead.
+  /// A successful rollback consumes the history: a second Rollback()
+  /// without an intervening Swap() returns false.
+  bool Rollback() {
+    std::shared_ptr<const Executable> rejected;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (previous_ == nullptr) return false;
+      rejected = std::move(current_);
+      current_ = std::move(previous_);
+      previous_ = nullptr;
+      ++generation_;
+      ++rollbacks_;
+    }
+    if (rejected != nullptr) rejected->ClearPlanCache();
+    return true;
+  }
+
+  /// \brief Drops BOTH generations (plan caches cleared). For the
+  /// poisoned-with-no-history case: the current executable is proven bad
+  /// and there is nothing to roll back to, so the slot must empty out
+  /// rather than retain the bad executable as a rollback target.
+  void Clear() {
+    std::shared_ptr<const Executable> cur;
+    std::shared_ptr<const Executable> prev;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cur = std::move(current_);
+      prev = std::move(previous_);
+      current_ = nullptr;
+      previous_ = nullptr;
+      ++generation_;
+    }
+    if (cur != nullptr) cur->ClearPlanCache();
+    if (prev != nullptr) prev->ClearPlanCache();
+  }
+
   bool has_executable() const { return Acquire() != nullptr; }
-  /// Number of Swap() calls; lets engines detect "a new executable arrived
-  /// since I last looked" without holding the snapshot.
+  /// True when a Rollback() would succeed (a previous generation exists).
+  bool has_previous() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return previous_ != nullptr;
+  }
+  /// Number of Swap()+Rollback() transitions; lets engines detect "a new
+  /// executable arrived since I last looked" without holding the snapshot.
   int64_t generation() const {
     std::lock_guard<std::mutex> lock(mu_);
     return generation_;
+  }
+  /// Number of successful Rollback() calls over the slot's lifetime.
+  int64_t rollbacks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rollbacks_;
   }
 
  private:
   mutable std::mutex mu_;
   std::shared_ptr<const Executable> current_;
+  std::shared_ptr<const Executable> previous_;  // rollback target
   int64_t generation_ = 0;
+  int64_t rollbacks_ = 0;
 };
 
 }  // namespace disc

@@ -21,6 +21,7 @@
 #ifndef DISC_COMPILE_SERVICE_PROFILE_FEEDBACK_H_
 #define DISC_COMPILE_SERVICE_PROFILE_FEEDBACK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -92,6 +93,29 @@ class ShapeProfileFeedback {
   /// \brief Canonical text of a hint set, e.g. "B:8,512;S:1024" — used for
   /// shift detection and exposed for tests/introspection.
   static std::string Signature(const LikelyDimValues& hints);
+
+  /// \brief Top `k` observed values per label, most frequent first (ties:
+  /// smaller value first, deterministic). The shadow validator turns these
+  /// into probe bindings: the shapes traffic actually takes are exactly
+  /// where a candidate executable must agree with the incumbent.
+  LikelyDimValues TopValues(int k) const {
+    LikelyDimValues out;
+    for (const auto& [label, histogram] : histograms_) {
+      std::vector<std::pair<int64_t, int64_t>> ranked(histogram.begin(),
+                                                      histogram.end());
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      std::vector<int64_t> values;
+      for (const auto& [value, count] : ranked) {
+        if (static_cast<int>(values.size()) >= k) break;
+        values.push_back(value);
+      }
+      if (!values.empty()) out.emplace_back(label, std::move(values));
+    }
+    return out;
+  }
 
  private:
   ShapeProfileOptions options_;

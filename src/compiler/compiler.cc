@@ -182,6 +182,17 @@ Result<std::unique_ptr<Executable>> DiscCompiler::Compile(
       exe->kernels_.push_back(std::make_unique<FusedKernel>(
           group, exe->analysis_.get(), options.specialize));
       kernel_of_group[group.id] = exe->kernels_.back().get();
+      // Injected miscompiles taint the *artifact* at compile time, so the
+      // produced executable is persistently wrong — the case differential
+      // admission validation exists to catch. Armed here (not in the
+      // FusedKernel ctor) so scratch kernels built for counterfactual
+      // audits never consume failpoint hits.
+      if (!CheckFailpoint("kernel.miscompile").ok()) {
+        exe->kernels_.back()->set_miscompiled(true);
+      }
+      if (!CheckFailpoint("kernel.guard.mispredict").ok()) {
+        exe->kernels_.back()->set_guard_mispredict(true);
+      }
       exe->report_.num_variants +=
           static_cast<int64_t>(exe->kernels_.back()->variants().size());
     }

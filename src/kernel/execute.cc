@@ -319,7 +319,20 @@ Status FusedKernel::Execute(
     const SymbolBindings& bindings,
     std::unordered_map<const Value*, Tensor>* env) const {
   GroupEvaluator evaluator(group_, analysis_, bindings, env);
-  return evaluator.Run();
+  DISC_RETURN_IF_ERROR(evaluator.Run());
+  if (miscompiled_) {
+    // Injected miscompile: perturb one element of the first group output.
+    // Deterministic (same wrong answer every run) so differential
+    // validation can prove exactly which artifact is bad.
+    for (const Value* output : group_.outputs) {
+      auto it = env->find(output);
+      if (it == env->end() || it->second.num_elements() == 0) continue;
+      it->second.SetElementFromDouble(0,
+                                      it->second.ElementAsDouble(0) + 1.0);
+      break;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace disc

@@ -106,6 +106,13 @@ Result<const KernelVariant*> FusedKernel::SelectVariant(
 
 Result<int> FusedKernel::SelectVariantIndex(
     const SymbolBindings& bindings) const {
+  if (guard_mispredict_ && variants_.size() > 1) {
+    // Injected guard miscompile: dispatch the first (most specialized)
+    // variant without consulting its guard. At bindings the guard would
+    // reject, this is exactly the wrong-variant bug the admission gate's
+    // per-probe guard re-evaluation must catch.
+    return 0;
+  }
   for (size_t i = 0; i < variants_.size(); ++i) {
     DISC_ASSIGN_OR_RETURN(bool admitted,
                           variants_[i].guard.Evaluate(bindings));

@@ -139,6 +139,17 @@ class FusedKernel {
   /// \brief Element count of the root output (the launch domain).
   const DimExpr& root_elements() const { return root_elements_; }
 
+  /// Compile-time taint flags, set by the `kernel.miscompile` /
+  /// `kernel.guard.mispredict` failpoints when the compiler emits this
+  /// kernel. They model a *persistently* wrong artifact — the same
+  /// executable is wrong at every run, which is what differential
+  /// validation and quarantine must catch — as opposed to transient
+  /// per-run faults (those are the runtime.* failpoints).
+  void set_miscompiled(bool v) { miscompiled_ = v; }
+  bool miscompiled() const { return miscompiled_; }
+  void set_guard_mispredict(bool v) { guard_mispredict_ = v; }
+  bool guard_mispredict() const { return guard_mispredict_; }
+
   std::string ToString() const;
 
  private:
@@ -152,6 +163,8 @@ class FusedKernel {
   DimExpr row_extent_;     // valid iff the group contains a reduction
   DimExpr row_count_;      // valid iff the group contains a reduction
   DimExpr root_elements_;  // symbolic launch domain size
+  bool miscompiled_ = false;       // injected: perturbs one output element
+  bool guard_mispredict_ = false;  // injected: always dispatches variant 0
 };
 
 /// \brief Per-element arithmetic cost of an op (relative to one FMA).

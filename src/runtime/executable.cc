@@ -187,6 +187,22 @@ Result<LaunchPlan> Executable::BuildLaunchPlan(
         const FusedKernel& kernel = *step.kernel;
         DISC_ASSIGN_OR_RETURN(ps.variant_index,
                               kernel.SelectVariantIndex(plan.bindings));
+        // Guard soundness check: the selected variant's guard must admit
+        // these bindings. Dispatch normally guarantees this (guards are
+        // evaluated in order), so a violation here means the dispatch
+        // itself is miscompiled — surface it as kDataLoss so the engine
+        // rolls back instead of retrying the same broken artifact.
+        {
+          const Guard& guard = kernel.variants()[ps.variant_index].guard;
+          DISC_ASSIGN_OR_RETURN(bool admitted, guard.Evaluate(plan.bindings));
+          if (!admitted) {
+            return Status::DataLoss(StrFormat(
+                "guard violation: kernel %s selected variant %d ('%s') whose "
+                "guard rejects the bound shapes",
+                kernel.name().c_str(), ps.variant_index,
+                kernel.variants()[ps.variant_index].name.c_str()));
+          }
+        }
         DISC_ASSIGN_OR_RETURN(
             ps.kernel_stats,
             kernel.ComputeStats(plan.bindings,

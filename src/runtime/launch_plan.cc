@@ -18,6 +18,42 @@ std::string ShapeSignature(
   return signature;
 }
 
+Result<std::vector<std::vector<int64_t>>> ParseShapeSignature(
+    const std::string& signature) {
+  std::vector<std::vector<int64_t>> input_dims;
+  std::vector<int64_t> dims;
+  std::string digits;
+  auto flush_dim = [&]() -> Status {
+    if (digits.empty()) {
+      return Status::InvalidArgument("bad shape signature '" + signature +
+                                     "': empty dim");
+    }
+    dims.push_back(std::stoll(digits));
+    digits.clear();
+    return Status::OK();
+  };
+  for (char c : signature) {
+    if (c >= '0' && c <= '9') {
+      digits += c;
+    } else if (c == 'x') {
+      DISC_RETURN_IF_ERROR(flush_dim());
+    } else if (c == ';') {
+      // A rank-0 input contributes a bare ';' (no digits): valid.
+      if (!digits.empty()) DISC_RETURN_IF_ERROR(flush_dim());
+      input_dims.push_back(std::move(dims));
+      dims.clear();
+    } else {
+      return Status::InvalidArgument("bad shape signature '" + signature +
+                                     "': unexpected character");
+    }
+  }
+  if (!digits.empty() || !dims.empty()) {
+    return Status::InvalidArgument("bad shape signature '" + signature +
+                                   "': missing terminating ';'");
+  }
+  return input_dims;
+}
+
 std::shared_ptr<const LaunchPlan> LaunchPlanCache::Lookup(
     const std::string& signature) {
   std::lock_guard<std::mutex> lock(mu_);

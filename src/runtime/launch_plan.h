@@ -50,6 +50,13 @@ namespace disc {
 /// and the engines' CUDA-graph capture sets.
 std::string ShapeSignature(const std::vector<std::vector<int64_t>>& input_dims);
 
+/// \brief Inverse of ShapeSignature: "1x8x256;1x32x256;" back into dims.
+/// Used to turn recorded signatures (flight-recorder outliers, plan-cache
+/// keys) into replayable probe bindings for differential validation.
+/// Rejects strings ShapeSignature could not have produced.
+Result<std::vector<std::vector<int64_t>>> ParseShapeSignature(
+    const std::string& signature);
+
 /// Recorded host-side decisions for one executable step.
 struct PlannedStep {
   /// Index into FusedKernel::variants() (kKernel steps only).

@@ -28,6 +28,7 @@ constexpr CodeName kCodeNames[] = {
     {"deadline-exceeded", StatusCode::kDeadlineExceeded},
     {"resource-exhausted", StatusCode::kResourceExhausted},
     {"unavailable", StatusCode::kUnavailable},
+    {"data-loss", StatusCode::kDataLoss},
 };
 
 Result<StatusCode> ParseCodeName(const std::string& name) {

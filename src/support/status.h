@@ -24,6 +24,12 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kUnavailable,
+  /// Unrecoverable corruption of data the operation depended on: output
+  /// divergence detected by differential validation, a guard selecting an
+  /// inadmissible kernel variant, bit-rotted cache entries. Never
+  /// retryable — retrying replays the same corrupt artifact; the caller
+  /// must discard/quarantine it instead.
+  kDataLoss,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -233,6 +233,49 @@ TEST_F(ChaosTest, DegradedExecuteIsBitIdenticalToFallbackAlone) {
   EXPECT_TRUE(Tensor::AllClose((*healthy)[0], (*reference)[0]));
 }
 
+TEST_F(ChaosTest, DataLossFailuresOpenBreakerAndDegradeCleanly) {
+  // kDataLoss (miscompile/guard-violation detection) is never retried —
+  // replaying the same corrupt artifact cannot help — but it DOES count
+  // toward the circuit breaker like any other primary failure: a primary
+  // that keeps producing data loss must stop being tried.
+  ASSERT_FALSE(Status::DataLoss("x").IsRetryable());
+  Graph g("chaos");
+  BuildModel(&g);
+  FallbackChainOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_us = 1e9;  // stays open for the whole test
+  options.compile_stall_us = 0.0;
+  auto chain = MakeChain(g, options);
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("runtime.kernel=always:code=data-loss")
+                  .ok());
+
+  const auto shapes = ShapeFor(2, 8);
+  const DeviceSpec device = DeviceSpec::T4();
+  chain->SetSimulatedTimeUs(0.0);
+  for (int i = 0; i < 5; ++i) {
+    // Every query completes on the fallback leg — data loss never
+    // reaches the caller.
+    ASSERT_TRUE(chain->Query(shapes, device).ok());
+  }
+  EXPECT_EQ(chain->breaker_state(), BreakerState::kOpen);
+  EXPECT_GE(chain->consecutive_failures(), 3);
+
+  // Degraded math is still correct: the interpreter leg serves Execute.
+  FailpointRegistry::Global().DisarmAll();
+  InterpreterEngine reference(InterpreterProfile::PyTorch());
+  ASSERT_TRUE(reference.Prepare(g, {{"B", "S", ""}}).ok());
+  Tensor input = DeterministicInput(2, 8);
+  auto want = reference.Execute({input});
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("runtime.kernel=always:code=data-loss")
+                  .ok());
+  auto got = chain->Execute({input});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(Tensor::AllClose((*got)[0], (*want)[0], 0.0, 0.0));
+}
+
 TEST_F(ChaosTest, BreakerFollowsOpenHalfOpenClosedSchedule) {
   // Deterministic lifecycle walk on a manually advanced simulated clock:
   // 3 failures open the breaker at t=0; probes at t=1000 and t=2000 fail

@@ -427,15 +427,133 @@ TEST(CompileServiceTest, CorruptedEntryIsQuarantinedAndRecompiled) {
   EXPECT_FALSE(outcome.from_disk_cache);
   EXPECT_EQ(second_life.stats().compiled, 1);
   EXPECT_EQ(second_life.cache().stats().quarantined, 1);
-  // The bad entry was moved aside, not deleted, and a good one re-stored.
+  // The bad entry was moved aside, not deleted. The key whose bytes just
+  // lied is session-poisoned: the recompiled artifact is NOT re-stored by
+  // the same lifetime (no trusting a key that served corruption).
   EXPECT_TRUE(fs::exists(dir.path() + "/quarantine"));
   EXPECT_EQ(std::distance(fs::directory_iterator(dir.path() + "/quarantine"),
                           fs::directory_iterator{}),
             1);
 
-  // Third lifetime: the re-stored entry hits clean.
-  CompileService third_life(options);
-  EXPECT_TRUE(third_life.Submit(MakeRequest(g.get())).Wait().from_disk_cache);
+  // Third lifetime: a fresh session carries no session poison (bitrot
+  // convicts the copy, not the artifact) — it compiles honestly and its
+  // store sticks.
+  {
+    CompileService third_life(options);
+    const CompileJobOutcome& third =
+        third_life.Submit(MakeRequest(g.get())).Wait();
+    ASSERT_TRUE(third.status.ok()) << third.status.ToString();
+    EXPECT_FALSE(third.from_disk_cache);
+    EXPECT_EQ(third_life.cache().stats().stores, 1);
+  }
+
+  // Fourth lifetime: the re-stored entry hits clean.
+  CompileService fourth_life(options);
+  EXPECT_TRUE(fourth_life.Submit(MakeRequest(g.get())).Wait().from_disk_cache);
+}
+
+// ---------------------------------------------------------------------------
+// (e) Miscompile quarantine: poisoned keys are refused durably; corrupt
+// loads are refused for the rest of the session.
+
+TEST(CompileServiceTest, PoisonedKeyIsRefusedDurablyAcrossRestart) {
+  CacheDir dir("poison");
+  auto g = EwModel("poisoned");
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = dir.path();
+  CompileOptions copts;
+  CacheKey key = CacheKey::Make(*g, {{"B", "S"}}, copts);
+
+  PersistentArtifactCache cache(cache_options);
+  ASSERT_TRUE(cache.Store(key, g->name(), copts, "report").ok());
+  ASSERT_TRUE(cache.Lookup(key).has_value());
+
+  ASSERT_TRUE(cache.Poison(key, "admission gate: divergence").ok());
+  EXPECT_TRUE(cache.IsPoisoned(key));
+  EXPECT_EQ(cache.stats().poisoned, 1);
+  // Lookup refuses without touching the (quarantined) entry...
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_GE(cache.stats().poison_rejects, 1);
+  // ...and Store refuses to re-create it under the same key.
+  EXPECT_EQ(cache.Store(key, g->name(), copts, "report").code(),
+            StatusCode::kFailedPrecondition);
+  // The on-disk entry was moved aside (quarantine/ counts it), and the
+  // poison list lives beside the manifest, not inside quarantine/.
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir.path() + "/quarantine"),
+                          fs::directory_iterator{}),
+            1);
+  EXPECT_TRUE(fs::exists(dir.path() + "/poisoned.json"));
+
+  // A warm restart reloads the poison list before anything else.
+  PersistentArtifactCache revived(cache_options);
+  EXPECT_TRUE(revived.IsPoisoned(key));
+  EXPECT_FALSE(revived.Lookup(key).has_value());
+  EXPECT_EQ(revived.Store(key, g->name(), copts, "report").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CompileServiceTest, BitrotLoadIsQuarantinedAndSessionPoisoned) {
+  CacheDir dir("bitrot");
+  auto g = EwModel("rotten");
+  ArtifactCacheOptions cache_options;
+  cache_options.dir = dir.path();
+  CompileOptions copts;
+  CacheKey key = CacheKey::Make(*g, {{"B", "S"}}, copts);
+  {
+    PersistentArtifactCache writer(cache_options);
+    ASSERT_TRUE(writer.Store(key, g->name(), copts, "report").ok());
+  }
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().ArmFromSpec("cache.bitrot=once").ok());
+  PersistentArtifactCache cache(cache_options);
+  // The flipped byte breaks the parse: miss, entry quarantined.
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_EQ(cache.stats().quarantined, 1);
+
+  // Session poison: the same key cannot be re-stored or re-served in this
+  // process — a corrupt artifact must not come straight back under the
+  // CacheKey that just failed.
+  EXPECT_TRUE(cache.IsPoisoned(key));
+  EXPECT_EQ(cache.Store(key, g->name(), copts, "report").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_GE(cache.stats().poison_rejects, 1);
+
+  // Unlike Poison(), the session quarantine is NOT persisted: a fresh
+  // process may re-store a good artifact under the key.
+  PersistentArtifactCache fresh(cache_options);
+  EXPECT_FALSE(fresh.IsPoisoned(key));
+  EXPECT_TRUE(fresh.Store(key, g->name(), copts, "report").ok());
+  EXPECT_TRUE(fresh.Lookup(key).has_value());
+}
+
+TEST(CompileServiceTest, ValidateJobClassRunsAtLowestPriority) {
+  CompileService service;
+  CompileJobHandle task = service.SubmitTask(
+      "probe-task", JobPriority::kValidate,
+      [] { return CompileJobOutcome(); });
+  ASSERT_TRUE(task.valid());
+  const CompileJobOutcome& outcome = task.Wait();
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.executable, nullptr);
+  service.Drain();
+  EXPECT_EQ(service.stats().tasks_submitted, 1);
+  EXPECT_EQ(service.stats().tasks_completed, 1);
+  EXPECT_EQ(service.stats().tasks_failed, 0);
+  // Worker tasks are not compiles: compile accounting stays untouched.
+  EXPECT_EQ(service.stats().compiled, 0);
+
+  CompileJobHandle failing = service.SubmitTask(
+      "doomed-task", JobPriority::kValidate,
+      [] {
+        CompileJobOutcome outcome;
+        outcome.status = Status::DataLoss("caught");
+        return outcome;
+      });
+  EXPECT_EQ(failing.Wait().status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(service.stats().tasks_failed, 1);
 }
 
 TEST(CompileServiceTest, CacheStoreFaultDegradesNotCrashes) {

@@ -38,6 +38,7 @@ TEST(StatusTest, AllConstructorsSetCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
@@ -58,6 +59,7 @@ TEST(StatusTest, EveryCodeHasAName) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(StatusTest, RetryableCodes) {
@@ -69,6 +71,9 @@ TEST(StatusTest, RetryableCodes) {
   EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
   EXPECT_FALSE(Status::Internal("x").IsRetryable());
   EXPECT_FALSE(Status::OK().IsRetryable());
+  // Retrying data loss would replay the same corrupt artifact; the caller
+  // must discard/quarantine it instead.
+  EXPECT_FALSE(Status::DataLoss("x").IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -297,6 +302,47 @@ TEST_F(FailpointTest, InjectedCodeIsHonoured) {
                   .ArmFromSpec("t.code=always:code=deadline-exceeded")
                   .ok());
   EXPECT_EQ(CheckFailpoint("t.code").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FailpointTest, DataLossCodeIsInjectable) {
+  ASSERT_TRUE(FailpointRegistry::Global()
+                  .ArmFromSpec("t.dataloss=always:code=data-loss")
+                  .ok());
+  Status s = CheckFailpoint("t.dataloss");
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(s.IsRetryable());
+}
+
+// Grammar boundary values: the extremes of each trigger are legal specs
+// with well-defined schedules.
+TEST_F(FailpointTest, ProbabilityZeroParsesAndNeverFires) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().ArmFromSpec("t.p0=prob:0:seed=5").ok());
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(CheckFailpoint("t.p0").ok());
+  EXPECT_EQ(FailpointRegistry::Global().fires("t.p0"), 0);
+}
+
+TEST_F(FailpointTest, ProbabilityOneParsesAndAlwaysFires) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().ArmFromSpec("t.p1=prob:1:seed=5").ok());
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(CheckFailpoint("t.p1").ok());
+  EXPECT_EQ(FailpointRegistry::Global().fires("t.p1"), 16);
+}
+
+TEST_F(FailpointTest, EveryOneFiresOnEveryHit) {
+  ASSERT_TRUE(FailpointRegistry::Global().ArmFromSpec("t.e1=every:1").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(CheckFailpoint("t.e1").ok());
+  EXPECT_EQ(FailpointRegistry::Global().fires("t.e1"), 5);
+}
+
+// An unknown parameter is a parse error surfaced as InvalidArgument — the
+// process must not abort, and nothing gets armed.
+TEST_F(FailpointTest, UnknownParamIsParseErrorNotAbort) {
+  FailpointRegistry::Global().DisarmAll();
+  Status s = FailpointRegistry::Global().ArmFromSpec("t.bad=once:retries=3");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(CheckFailpoint("t.bad").ok());
 }
 
 TEST_F(FailpointTest, ArmFromSpecParsesMultipleEntries) {
