@@ -1,0 +1,169 @@
+// Extension experiment F15: continuous-batching decode serving.
+//
+// Autoregressive decode is where dynamic-shape compilation earns its keep:
+// every iteration shifts the sequence lengths, so a pad-to-bucket static
+// engine either recompiles per step shape or burns flops on padding, and a
+// whole-request batcher holds finished sequences hostage to the longest
+// member. This bench replays ONE realistic decode trace (short chat turns
+// dominating, heavy tail of long generations) through three legs:
+//   * continuous    — iteration-level scheduler on the DISC dynamic
+//                     engine: join/retire/preempt every step, step shapes
+//                     block-quantized so launch plans replay;
+//   * whole-request — same dynamic engine, but batch membership fixed at
+//                     launch and finished rows frozen until the batch
+//                     drains (src/serving-style request batching);
+//   * static-pow2   — whole-request batching on the bucketed static
+//                     engine (XLA archetype): step shapes pad to powers
+//                     of two, each new bucket charges a full static
+//                     compile stall.
+// Reported per leg: tokens/sec, p50/p99 time-between-tokens, per-step
+// padding waste, steps, preemptions, plan-hit rate. The headline claims —
+// continuous beats both baselines on tokens/sec AND padding waste — are
+// DISC_CHECKed, so CI fails if the subsystem regresses into losing its
+// own experiment. All metrics are simulated-clock deterministic and gated
+// byte-stable against bench/baselines/BENCH_F15.json.
+#include "baselines/dynamic_engine.h"
+#include "baselines/static_engine.h"
+#include "bench/bench_util.h"
+#include "decode/decode_replay.h"
+#include "decode/decode_scheduler.h"
+#include "models/models.h"
+
+namespace disc {
+namespace {
+
+struct LegResult {
+  std::string name;
+  DecodeStats stats;
+};
+
+LegResult RunLeg(const std::string& name, Engine* engine,
+                 const ModelConfig& config,
+                 const std::vector<DecodeRequest>& requests,
+                 DecodePolicy policy, bool pad_pow2,
+                 bench::JsonReporter* report) {
+  DecodeOptions options;
+  options.policy = policy;
+  options.pad_pow2 = pad_pow2;
+  options.max_batch = 8;
+  // Sized for the whole-request leg's up-front reservation of each
+  // member's FULL eventual footprint (prompt+decode, up to 192 tokens):
+  // continuous needs far less at once — its high-water mark below shows
+  // how much less.
+  options.kv.capacity_blocks = 160;
+  options.kv.block_tokens = 16;
+  options.kv.bytes_per_token = 2 * config.hidden * sizeof(float);
+  auto stats = SimulateDecode(engine, GptStepBatchShapeFn(config.hidden),
+                              requests, options, DeviceSpec::A10());
+  DISC_CHECK_OK(stats.status());
+  const ServingStats& sv = stats->serving;
+  DISC_CHECK_EQ(sv.completed, sv.submitted)
+      << name << ": every sequence must finish for tokens/sec to compare";
+  if (report != nullptr) {
+    const std::string prefix = "decode." + name + ".";
+    report->AddMetric(prefix + "tokens_per_sec", sv.tokens_per_sec, "tok/s");
+    report->AddMetric(prefix + "p50_tbt_us", sv.p50_tbt_us, "us");
+    report->AddMetric(prefix + "p99_tbt_us", sv.p99_tbt_us, "us");
+    report->AddMetric(prefix + "padding_waste_pct",
+                      100.0 * sv.step_padding_waste, "%");
+    report->AddMetric(prefix + "steps", static_cast<double>(sv.decode_steps),
+                      "steps");
+    report->AddMetric(prefix + "preemptions",
+                      static_cast<double>(sv.preemptions), "events");
+    report->AddMetric(prefix + "plan_hit_rate", sv.plan_hit_rate, "ratio");
+    report->AddMetric(prefix + "kv_high_water_blocks",
+                      static_cast<double>(sv.kv_high_water_blocks), "blocks");
+  }
+  return {name, std::move(*stats)};
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  using namespace disc;
+  bench::TraceFlag trace_flag(argc, argv);
+  bench::JsonReporter report("F15", argc, argv);
+  report.AddMeta("device", "simulated A10");
+  report.AddMeta("workload", "96-request synthetic decode trace, seed 17");
+  std::printf("== F15 (extension): continuous-batching decode serving ==\n\n");
+
+  ModelConfig config;
+  config.hidden = 32;
+  config.trace_length = 4;
+  auto requests = SyntheticDecodeStream(/*count=*/96, /*mean_gap_us=*/40.0,
+                                        /*seed=*/17);
+
+  std::vector<LegResult> legs;
+  {
+    Model model = BuildGptStepBatch(config);
+    DynamicCompilerEngine engine(DynamicProfile::Disc());
+    DISC_CHECK_OK(engine.Prepare(*model.graph, model.input_dim_labels));
+    legs.push_back(RunLeg("continuous", &engine, config, requests,
+                          DecodePolicy::kContinuous, /*pad_pow2=*/false,
+                          &report));
+  }
+  {
+    Model model = BuildGptStepBatch(config);
+    DynamicCompilerEngine engine(DynamicProfile::Disc());
+    DISC_CHECK_OK(engine.Prepare(*model.graph, model.input_dim_labels));
+    legs.push_back(RunLeg("whole_request", &engine, config, requests,
+                          DecodePolicy::kWholeRequest, /*pad_pow2=*/false,
+                          &report));
+  }
+  {
+    Model model = BuildGptStepBatch(config);
+    StaticProfile profile = StaticProfile::Xla();
+    profile.name = "XLA-pow2";
+    profile.bucketing = true;
+    StaticCompilerEngine engine(profile);
+    DISC_CHECK_OK(engine.Prepare(*model.graph, model.input_dim_labels));
+    legs.push_back(RunLeg("static_pow2", &engine, config, requests,
+                          DecodePolicy::kWholeRequest, /*pad_pow2=*/true,
+                          &report));
+  }
+
+  bench::Table table({"leg", "tok/s", "p50 tbt", "p99 tbt", "pad waste",
+                      "steps", "preempt", "plan hits", "kv high-water"});
+  for (const LegResult& leg : legs) {
+    const ServingStats& sv = leg.stats.serving;
+    table.AddRow({leg.name, bench::Fmt("%.0f", sv.tokens_per_sec),
+                  bench::FmtUs(sv.p50_tbt_us), bench::FmtUs(sv.p99_tbt_us),
+                  bench::Fmt("%.1f%%", 100.0 * sv.step_padding_waste),
+                  std::to_string(sv.decode_steps),
+                  std::to_string(sv.preemptions),
+                  bench::Fmt("%.0f%%", 100.0 * sv.plan_hit_rate),
+                  std::to_string(sv.kv_high_water_blocks)});
+  }
+  table.Print();
+
+  const ServingStats& cont = legs[0].stats.serving;
+  const ServingStats& whole = legs[1].stats.serving;
+  const ServingStats& stat = legs[2].stats.serving;
+  // The experiment's claims, enforced: losing either headline is a bug in
+  // the scheduler (or an accidental gift to a baseline), not a new result.
+  DISC_CHECK_GT(cont.tokens_per_sec, whole.tokens_per_sec)
+      << "continuous must out-throughput whole-request batching";
+  DISC_CHECK_GT(cont.tokens_per_sec, stat.tokens_per_sec)
+      << "continuous must out-throughput the static bucketed engine";
+  DISC_CHECK_LT(cont.step_padding_waste, whole.step_padding_waste)
+      << "continuous must waste less padding than whole-request batching";
+  DISC_CHECK_LT(cont.step_padding_waste, stat.step_padding_waste)
+      << "continuous must waste less padding than pow2 bucketing";
+  report.AddMetric("decode.continuous_vs_whole_speedup",
+                   cont.tokens_per_sec / whole.tokens_per_sec, "x");
+  report.AddMetric("decode.continuous_vs_static_speedup",
+                   cont.tokens_per_sec / stat.tokens_per_sec, "x");
+
+  std::printf(
+      "\nReading: per-step rescheduling keeps the batch full of LIVE rows\n"
+      "(finished sequences retire immediately, arrivals join mid-flight),\n"
+      "so tokens/sec rises while per-step padding falls. Block-quantized\n"
+      "step signatures keep the launch-plan cache warm — the dynamic\n"
+      "engine pays no per-shape recompiles — while the pow2-bucketed\n"
+      "static engine charges a compile stall per new bucket and drags\n"
+      "every row to the bucket grid. p99 time-between-tokens is the\n"
+      "client-visible cost of batching policy: whole-request batching\n"
+      "stalls new arrivals behind the longest member.\n");
+  return 0;
+}

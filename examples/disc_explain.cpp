@@ -14,6 +14,14 @@
 //   $ disc_explain --model=gelu-glue --hotspots
 //   $ disc_explain --model=gelu-glue --no-specialization --regret
 //   $ disc_explain --model=softmax --no-compile-cache --validation
+//   $ disc_explain --decode [--decode-json=decode_timeline.json]
+//
+// --decode prints the continuous-batching step timeline — per-step batch
+// occupancy, joins/retires/preemptions, KV-pool blocks with the
+// high-water step flagged — from a decode_timeline.json dump written by
+// `trace_inspect --decode` or bench_decode_serving. When the dump does
+// not exist yet, a small synthetic decode replay is run first to produce
+// one, so the flag also works standalone.
 //
 // --hotspots replays the model's shape trace with the kernel observatory
 // enabled and prints the per-(kernel, variant, signature) device-time
@@ -35,11 +43,15 @@
 #include <string>
 #include <vector>
 
+#include "baselines/dynamic_engine.h"
 #include "compile_service/compile_service.h"
 #include "compile_service/shadow_validate.h"
 #include "compiler/compiler.h"
+#include "decode/decode_replay.h"
+#include "decode/decode_scheduler.h"
 #include "ir/builder.h"
 #include "models/models.h"
+#include "support/artifact_dump.h"
 #include "support/failpoint.h"
 #include "support/kernel_profile.h"
 #include "support/string_util.h"
@@ -371,6 +383,60 @@ int RunObservatory(const Executable& exe, const Workload& workload,
   return 0;
 }
 
+// Prints the decode step timeline from a decode_timeline.json dump. A
+// missing dump is produced on the spot by a small synthetic replay (real
+// compiled GPT step-batch model), so `disc_explain --decode` works both
+// as a viewer for another tool's dump and standalone.
+int ShowDecodeTimeline(const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::printf("no dump at %s — running a synthetic decode replay to "
+                "produce one\n\n",
+                path.c_str());
+    ModelConfig config;
+    config.hidden = 32;
+    config.trace_length = 4;
+    Model model = BuildGptStepBatch(config);
+    DynamicCompilerEngine engine(DynamicProfile::Disc());
+    if (!engine.Prepare(*model.graph, model.input_dim_labels).ok()) {
+      std::fprintf(stderr, "decode engine setup failed\n");
+      return 1;
+    }
+    DecodeOptions options;
+    options.max_batch = 8;
+    options.kv.capacity_blocks = 96;
+    options.kv.block_tokens = 16;
+    options.kv.bytes_per_token = 2 * config.hidden * sizeof(float);
+    auto stats = SimulateDecode(&engine, GptStepBatchShapeFn(config.hidden),
+                                SyntheticDecodeStream(48, 40.0, 11), options,
+                                DeviceSpec::A10());
+    if (!stats.ok()) {
+      std::fprintf(stderr, "decode replay failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    Status wrote = stats->WriteTimelineJson(path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    text = ReadFileToString(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto rendered = FormatDecodeTimelineJson(*text);
+  if (!rendered.ok()) {
+    std::fprintf(stderr, "decode_timeline=invalid: %s\n",
+                 rendered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", rendered->c_str());
+  std::printf("\ndecode_timeline=ok path=%s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace disc
 
@@ -390,6 +456,8 @@ int main(int argc, char** argv) {
   bool show_regret = false;
   bool no_specialization = false;
   bool run_validation = false;
+  bool show_decode = false;
+  std::string decode_json = "decode_timeline.json";
   std::string profile_json = "kernel_profile.json";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -421,6 +489,11 @@ int main(int argc, char** argv) {
       no_specialization = true;
     } else if (std::strcmp(arg, "--validation") == 0) {
       run_validation = true;
+    } else if (std::strcmp(arg, "--decode") == 0) {
+      show_decode = true;
+    } else if (std::strncmp(arg, "--decode-json=", 14) == 0) {
+      show_decode = true;
+      decode_json = arg + 14;
     } else if (std::strncmp(arg, "--profile-json=", 15) == 0) {
       profile_json = arg + 15;
     } else {
@@ -432,10 +505,12 @@ int main(int argc, char** argv) {
           "           [--memory-plan] [--hotspots] [--regret]\n"
           "           [--no-specialization] [--profile-json=<path>]\n"
           "           [--cache-dir=<dir>] [--no-compile-cache]\n"
-          "           [--validation]\n");
+          "           [--validation] [--decode] [--decode-json=<path>]\n");
       return 2;
     }
   }
+  // --decode is a pure dump viewer: no model compile involved.
+  if (show_decode) return ShowDecodeTimeline(decode_json);
   // Introspection artifacts are written only by a real compile, so a dump
   // request disables the artifact cache (a disk restore would silently
   // skip the dump).

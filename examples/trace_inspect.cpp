@@ -10,7 +10,7 @@
 //
 //   $ ./build/examples/trace_inspect [out.trace.json] [--dump-dir=<dir>]
 //                                    [--no-compile-cache] [--blame]
-//                                    [--validation]
+//                                    [--validation] [--decode]
 //
 // --dump-dir additionally writes the compilation-introspection artifacts
 // (IR snapshots per pass, pipeline_summary.json, shape_constraints.json,
@@ -28,6 +28,14 @@
 // reference evaluator before the hot swap, and the deterministic verdict
 // is exported as validation_report.json (re-parsed here; the CI
 // trace-smoke step greps the "validation_report=ok" line).
+// --decode switches to a decode-only capture: a synthetic decode trace
+// replays through the continuous-batching scheduler on the compiled GPT
+// step-batch model, the per-step timeline is dumped as
+// decode_timeline.json, and the printed timeline is re-parsed from that
+// very dump (the same reader disc_explain --decode uses). With
+// DISC_FAILPOINTS arming runtime.alloc, memory pressure must surface as
+// preemptions — not failures — which the CI chaos-smoke step greps from
+// the "decode_timeline=ok" line alongside accounting=ok.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,6 +46,8 @@
 #include "baselines/fallback_chain.h"
 #include "baselines/interpreter_engine.h"
 #include "compiler/compiler.h"
+#include "decode/decode_replay.h"
+#include "decode/decode_scheduler.h"
 #include "ir/builder.h"
 #include "models/models.h"
 #include "serving/serving.h"
@@ -51,12 +61,95 @@
 
 using namespace disc;
 
+// --decode: decode-only capture. The step spans, per-sequence ledger
+// phases (including decode_wait), and KV-pool metrics all land in the
+// same Chrome trace; the printed timeline round-trips through the
+// decode_timeline.json dump so the reader the other tools use is
+// exercised on a freshly written file.
+static int RunDecodeDemo(const char* out_path) {
+  TraceSession& session = TraceSession::Global();
+  ModelConfig config;
+  config.hidden = 32;
+  config.trace_length = 4;
+  Model model = BuildGptStepBatch(config);
+  DynamicCompilerEngine engine(DynamicProfile::Disc());
+  if (!engine.Prepare(*model.graph, model.input_dim_labels).ok()) {
+    std::fprintf(stderr, "decode engine setup failed\n");
+    return 1;
+  }
+  DecodeOptions options;
+  options.max_batch = 8;
+  options.kv.capacity_blocks = 96;
+  options.kv.block_tokens = 16;
+  options.kv.bytes_per_token = 2 * config.hidden * sizeof(float);
+  auto requests = SyntheticDecodeStream(48, 40.0, 11);
+  auto stats = SimulateDecode(&engine, GptStepBatchShapeFn(config.hidden),
+                              requests, options, DeviceSpec::A10());
+  if (!stats.ok()) {
+    std::fprintf(stderr, "decode replay failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  const char* timeline_path = "decode_timeline.json";
+  Status wrote = stats->WriteTimelineJson(timeline_path);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  // Print from the dump, not from the in-memory stats: what this renders
+  // is exactly what a later `disc_explain --decode` will see.
+  auto text = ReadFileToString(timeline_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto rendered = FormatDecodeTimelineJson(*text);
+  if (!rendered.ok()) {
+    std::fprintf(stderr, "decode_timeline=invalid: %s\n",
+                 rendered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", rendered->c_str());
+  std::printf("\nserving view: %s\n", stats->ToString().c_str());
+
+  const ServingStats& sv = stats->serving;
+  const bool accounting_ok =
+      sv.submitted == sv.completed + sv.shed + sv.deadline_missed + sv.failed;
+  std::printf(
+      "decode_timeline=ok policy=%s steps=%lld completed=%lld/%lld "
+      "preemptions=%lld resumes=%lld accounting=%s path=%s\n",
+      stats->policy.c_str(), static_cast<long long>(sv.decode_steps),
+      static_cast<long long>(sv.completed),
+      static_cast<long long>(sv.submitted),
+      static_cast<long long>(sv.preemptions),
+      static_cast<long long>(sv.resumes), accounting_ok ? "ok" : "DRIFTED",
+      timeline_path);
+
+  session.Disable();
+  Status written = session.WriteJson(out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu trace events to %s\n", session.num_events(),
+              out_path);
+  std::string failpoints = FailpointRegistry::Global().Summary();
+  if (!failpoints.empty()) {
+    std::printf("\n== active failpoints (DISC_FAILPOINTS) ==\n%s",
+                failpoints.c_str());
+  }
+  std::printf("\n== metrics registry ==\n%s",
+              MetricsRegistry::Global().ToString().c_str());
+  return accounting_ok ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   const char* out_path = "trace_inspect.trace.json";
   std::string dump_dir;
   bool no_compile_cache = false;
   bool blame = false;
   bool validation = false;
+  bool decode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
       dump_dir = argv[i] + 11;
@@ -66,12 +159,15 @@ int main(int argc, char** argv) {
       blame = true;
     } else if (std::strcmp(argv[i], "--validation") == 0) {
       validation = true;
+    } else if (std::strcmp(argv[i], "--decode") == 0) {
+      decode = true;
     } else {
       out_path = argv[i];
     }
   }
   TraceSession& session = TraceSession::Global();
   session.Enable();
+  if (decode) return RunDecodeDemo(out_path);
   TailBlameAggregator blame_aggregator;
   if (blame) {
     FlightRecorder::Global().Enable();

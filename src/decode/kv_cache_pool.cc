@@ -1,0 +1,140 @@
+#include "decode/kv_cache_pool.h"
+
+#include <algorithm>
+
+#include "runtime/memory_plan.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+namespace disc {
+
+KvCachePool::KvCachePool(const KvCachePoolOptions& options)
+    : options_(options) {
+  DISC_CHECK_GT(options_.capacity_blocks, 0);
+  DISC_CHECK_GT(options_.block_tokens, 0);
+  DISC_CHECK_GT(options_.bytes_per_token, 0);
+
+  // Lay the block arena out through the symbolic planner: capacity_blocks
+  // pinned (never recycled by the *planner* — recycling is this pool's
+  // job) items of one block's raw bytes. The planner aligns every slot to
+  // kArenaAlignment and returns the peak-bytes formula, which is constant
+  // here — the dynamism lives in how many blocks a sequence holds, not in
+  // the block geometry.
+  std::vector<ArenaItem> items(static_cast<size_t>(options_.capacity_blocks));
+  const int64_t raw_block_bytes =
+      options_.block_tokens * options_.bytes_per_token;
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].bytes = DimExpr::Const(raw_block_bytes);
+    items[i].def_step = 0;
+    items[i].last_use_step = 0;
+    items[i].pinned = true;
+    items[i].value_id = static_cast<int>(i);
+  }
+  ArenaLayout layout = PlanArenaItems(items, symbols_);
+  DISC_CHECK_EQ(static_cast<int64_t>(layout.slots.size()),
+                options_.capacity_blocks);
+  Result<int64_t> block_bytes = layout.slots[0].bytes.Evaluate({});
+  DISC_CHECK(block_bytes.ok());
+  block_bytes_ = *block_bytes;
+  Result<int64_t> arena_bytes = layout.peak_bytes.Evaluate({});
+  DISC_CHECK(arena_bytes.ok());
+  arena_bytes_ = *arena_bytes;
+
+  // Symbolic per-sequence growth: bytes(T) = ceildiv(T, block_tokens) *
+  // block_bytes. Admission evaluates it at a sequence's eventual length.
+  tokens_symbol_ = symbols_.NewSymbol("kv_tokens");
+  growth_bytes_ = DimExpr::Mul(
+      DimExpr::CeilDiv(DimExpr::Symbol(tokens_symbol_),
+                       DimExpr::Const(options_.block_tokens)),
+      DimExpr::Const(block_bytes_));
+  growth_formula_ = growth_bytes_.ToString();
+
+  free_list_.reserve(static_cast<size_t>(options_.capacity_blocks));
+  // LIFO free list seeded in descending id order so the first grant hands
+  // out block 0 — deterministic block ids for timeline dumps and tests.
+  for (int64_t id = options_.capacity_blocks - 1; id >= 0; --id) {
+    free_list_.push_back(id);
+  }
+}
+
+int64_t KvCachePool::BlocksFor(int64_t tokens) const {
+  return CeilDiv(std::max<int64_t>(tokens, 1), options_.block_tokens);
+}
+
+int64_t KvCachePool::SequencePeakBytes(int64_t total_tokens) const {
+  Result<int64_t> bytes = growth_bytes_.Evaluate(
+      {{tokens_symbol_, std::max<int64_t>(total_tokens, 1)}});
+  DISC_CHECK(bytes.ok());
+  return *bytes;
+}
+
+void KvCachePool::GrantBlocks(std::vector<int64_t>* blocks, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    blocks->push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  used_blocks_ += count;
+  stats_.block_grants += count;
+  stats_.high_water_blocks = std::max(stats_.high_water_blocks, used_blocks_);
+}
+
+Status KvCachePool::Reserve(int64_t seq_id, int64_t tokens) {
+  if (blocks_of_seq_.count(seq_id) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("sequence %lld already holds KV blocks",
+                  static_cast<long long>(seq_id)));
+  }
+  const int64_t needed = BlocksFor(tokens);
+  if (needed > free_blocks()) {
+    ++stats_.failed_grants;
+    return Status::ResourceExhausted(StrFormat(
+        "KV pool: %lld blocks needed, %lld free",
+        static_cast<long long>(needed),
+        static_cast<long long>(free_blocks())));
+  }
+  GrantBlocks(&blocks_of_seq_[seq_id], needed);
+  return Status::OK();
+}
+
+Status KvCachePool::Grow(int64_t seq_id, int64_t tokens) {
+  auto it = blocks_of_seq_.find(seq_id);
+  if (it == blocks_of_seq_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("sequence %lld holds no KV blocks",
+                  static_cast<long long>(seq_id)));
+  }
+  const int64_t needed =
+      BlocksFor(tokens) - static_cast<int64_t>(it->second.size());
+  if (needed <= 0) return Status::OK();
+  if (needed > free_blocks()) {
+    ++stats_.failed_grants;
+    return Status::ResourceExhausted(StrFormat(
+        "KV pool: %lld more blocks needed, %lld free",
+        static_cast<long long>(needed),
+        static_cast<long long>(free_blocks())));
+  }
+  GrantBlocks(&it->second, needed);
+  return Status::OK();
+}
+
+void KvCachePool::Release(int64_t seq_id) {
+  auto it = blocks_of_seq_.find(seq_id);
+  if (it == blocks_of_seq_.end()) return;
+  const int64_t count = static_cast<int64_t>(it->second.size());
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    free_list_.push_back(*rit);
+  }
+  used_blocks_ -= count;
+  stats_.block_recycles += count;
+  blocks_of_seq_.erase(it);
+}
+
+int64_t KvCachePool::blocks_of(int64_t seq_id) const {
+  auto it = blocks_of_seq_.find(seq_id);
+  return it == blocks_of_seq_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.size());
+}
+
+}  // namespace disc

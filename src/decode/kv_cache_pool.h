@@ -1,0 +1,132 @@
+// Block-granular KV-cache pool for continuous-batching decode.
+//
+// Autoregressive decode grows one KV entry per sequence per iteration; a
+// naive per-sequence contiguous buffer either reallocates every step
+// (allocator churn in the hottest loop) or over-reserves max_len for every
+// sequence (capacity collapse). The pool takes the paged middle ground:
+//   * KV space is carved into fixed blocks of `block_tokens` tokens;
+//   * a sequence holds ceil(kv_len / block_tokens) blocks and acquires its
+//     next block only when growth crosses a block boundary;
+//   * retire/preempt returns blocks to a free list — recycling, never
+//     freeing, so the steady-state decode loop performs ZERO allocator
+//     calls (the "zero mid-step allocator churn" invariant the decode
+//     scheduler's plan-hit fast path relies on).
+//
+// The pool's backing store is planned, not ad-hoc: the block arena layout
+// (slot offsets, aligned sizes, the peak-bytes formula) comes from the
+// PR 6 symbolic arena planner (`PlanArenaItems` over `capacity_blocks`
+// pinned block-sized items), so one construction-time allocation of
+// exactly `arena_bytes()` backs every block, offsets are kArenaAlignment-
+// aligned, and the symbolic per-sequence growth formula
+//   bytes(T) = ceildiv(T, block_tokens) * block_bytes
+// is carried as a DimExpr — `SequencePeakBytes(total_tokens)` evaluates it
+// so admission can price a sequence's *eventual* footprint (prompt +
+// decode budget) before letting it join, the same PredictPeakBytes-style
+// gate serving uses for activations.
+#ifndef DISC_DECODE_KV_CACHE_POOL_H_
+#define DISC_DECODE_KV_CACHE_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shape/dim_expr.h"
+#include "shape/symbolic_dim.h"
+#include "support/status.h"
+
+namespace disc {
+
+struct KvCachePoolOptions {
+  /// Total pool capacity in blocks; the arena holds exactly this many.
+  int64_t capacity_blocks = 128;
+  /// Tokens per block. Also the decode scheduler's step-signature quantum:
+  /// padded kv lengths are rounded to block boundaries, so launch-plan
+  /// signatures repeat every `block_tokens` steps.
+  int64_t block_tokens = 16;
+  /// Device bytes per cached token per sequence (K + V rows), e.g.
+  /// 2 * hidden * sizeof(float) for a single-layer f32 cache.
+  int64_t bytes_per_token = 512;
+};
+
+struct KvCachePoolStats {
+  /// Blocks handed out over the pool's lifetime (including re-grants after
+  /// preemption) and blocks returned by Release.
+  int64_t block_grants = 0;
+  int64_t block_recycles = 0;
+  /// Grow/Reserve requests denied because the free list was empty — each
+  /// one is a memory-pressure event the scheduler answers with preemption.
+  int64_t failed_grants = 0;
+  /// Peak simultaneous block occupancy.
+  int64_t high_water_blocks = 0;
+};
+
+class KvCachePool {
+ public:
+  explicit KvCachePool(const KvCachePoolOptions& options);
+
+  /// \brief Blocks required to cover `tokens` KV entries (>= 1 token).
+  int64_t BlocksFor(int64_t tokens) const;
+
+  /// \brief True when `blocks` more blocks could be granted right now.
+  bool CanReserve(int64_t blocks) const { return blocks <= free_blocks(); }
+
+  /// \brief Grants the blocks covering `tokens` entries to a sequence that
+  /// holds none (join or resume). ResourceExhausted when the free list
+  /// cannot cover it; InvalidArgument if the sequence already holds blocks.
+  Status Reserve(int64_t seq_id, int64_t tokens);
+
+  /// \brief Ensures the sequence's blocks cover `tokens` entries, granting
+  /// at most the missing blocks. ResourceExhausted (and a failed_grants
+  /// bump) when the pool is out of blocks — the caller's cue to preempt.
+  Status Grow(int64_t seq_id, int64_t tokens);
+
+  /// \brief Returns all of the sequence's blocks to the free list
+  /// (retire or preempt). No-op for an unknown sequence.
+  void Release(int64_t seq_id);
+
+  int64_t used_blocks() const { return used_blocks_; }
+  int64_t free_blocks() const {
+    return options_.capacity_blocks - used_blocks_;
+  }
+  /// Blocks currently held by one sequence (0 when unknown).
+  int64_t blocks_of(int64_t seq_id) const;
+
+  /// Device bytes currently committed (used blocks x block bytes).
+  int64_t committed_bytes() const { return used_blocks_ * block_bytes_; }
+  /// The single construction-time backing allocation: the planner's
+  /// peak-bytes formula evaluated (== capacity_blocks x aligned block).
+  int64_t arena_bytes() const { return arena_bytes_; }
+  int64_t block_bytes() const { return block_bytes_; }
+  /// Canonical rendering of the symbolic per-sequence growth formula
+  /// bytes(T); printed by the decode timeline dump.
+  const std::string& growth_formula() const { return growth_formula_; }
+
+  /// \brief Evaluates the symbolic growth formula at T = `total_tokens`:
+  /// the footprint a sequence will peak at after decoding to that length.
+  int64_t SequencePeakBytes(int64_t total_tokens) const;
+
+  const KvCachePoolOptions& options() const { return options_; }
+  const KvCachePoolStats& stats() const { return stats_; }
+
+ private:
+  // Grants `count` blocks to `blocks` (the free list is LIFO: most
+  // recently recycled block first, deterministic).
+  void GrantBlocks(std::vector<int64_t>* blocks, int64_t count);
+
+  KvCachePoolOptions options_;
+  int64_t block_bytes_ = 0;   // aligned to kArenaAlignment by the planner
+  int64_t arena_bytes_ = 0;
+  int64_t used_blocks_ = 0;
+  std::string growth_formula_;
+  SymbolicDimManager symbols_;
+  SymbolId tokens_symbol_ = -1;
+  DimExpr growth_bytes_;  // bytes(T), T = tokens_symbol_
+  std::vector<int64_t> free_list_;  // block ids, LIFO
+  std::unordered_map<int64_t, std::vector<int64_t>> blocks_of_seq_;
+  KvCachePoolStats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_DECODE_KV_CACHE_POOL_H_

@@ -479,6 +479,86 @@ Model BuildGptStep(const ModelConfig& config) {
   return model;
 }
 
+Model BuildGptStepBatch(const ModelConfig& config) {
+  Model model;
+  model.name = "gpt-step-batch";
+  model.graph = std::make_unique<Graph>("gpt_step_batch");
+  GraphBuilder b(model.graph.get());
+  Rng rng(config.seed);
+  int64_t hidden = config.hidden;
+
+  Value* token = b.Input("token", DType::kF32, {kDynamicDim, 1, hidden});
+  Value* k_cache =
+      b.Input("k_cache", DType::kF32, {kDynamicDim, kDynamicDim, hidden});
+  Value* v_cache =
+      b.Input("v_cache", DType::kF32, {kDynamicDim, kDynamicDim, hidden});
+  // 1.0 for valid cache positions, 0.0 for ragged padding. The new token's
+  // own K/V is always attended (scored separately below), so the mask
+  // covers exactly the T cache columns.
+  Value* mask = b.Input("kv_mask", DType::kF32, {kDynamicDim, kDynamicDim});
+
+  // Weight draw order matches BuildGptStep (Wk, Wv, Wq, Wo, ln scale/bias,
+  // Wl) so both models share weights for the same config.seed.
+  Value* k_new = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* v_new = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* k_next = b.Concat({k_cache, k_new}, 1);  // [B, T+1, H]
+  Value* v_next = b.Concat({v_cache, v_new}, 1);
+
+  Value* q = b.MatMul(token, Weight(&b, &rng, {hidden, hidden}));
+  Value* scale =
+      b.ScalarF32(1.0f / std::sqrt(static_cast<float>(hidden)));
+  // Cache keys and the appended key are scored separately so the mask can
+  // silence padded cache rows without touching the new token: a masked
+  // logit of -1e9 underflows to exp(...) == +0.0 after the softmax shift,
+  // and a 0.0 attention weight contributes exactly nothing to the context
+  // matmul — row-wise bit-identical to the unpadded single-sequence step.
+  Value* s_cache = b.Mul(b.MatMul(q, k_cache, false, true), scale);  // [B,1,T]
+  Value* s_new = b.Mul(b.MatMul(q, k_new, false, true), scale);      // [B,1,1]
+  Value* mask3 = b.ReshapeDynamic(
+      mask, b.Concat({b.Reshape(b.Dim(mask, 0), {1}),
+                      b.Constant(Tensor::I64({1}, {1})),
+                      b.Reshape(b.Dim(mask, 1), {1})},
+                     0));
+  Value* keep = b.Greater(mask3, b.ScalarF32(0.5f));
+  Value* masked = b.Select(
+      keep, s_cache,
+      b.BroadcastToDynamic(b.ScalarF32(-1e9f), b.ShapeOf(s_cache)));
+  Value* scores = b.Concat({masked, s_new}, 2);  // [B, 1, T+1]
+  Value* probs = b.Softmax(scores);
+  Value* ctx = b.MatMul(probs, v_next);  // [B, 1, H]
+  Value* h1 = b.Add(token, b.MatMul(ctx, Weight(&b, &rng, {hidden, hidden})));
+  Value* ln = b.LayerNorm(h1, Weight(&b, &rng, {hidden}, 1.0f),
+                          Weight(&b, &rng, {hidden}));
+  Value* logits = b.MatMul(ln, Weight(&b, &rng, {hidden, 96}));
+  b.Output({b.Softmax(logits), k_next, v_next});
+
+  model.input_dim_labels = {
+      {"B", "", ""}, {"B", "T", ""}, {"B", "T", ""}, {"B", "T"}};
+  model.small_shapes = {
+      {2, 1, hidden}, {2, 3, hidden}, {2, 3, hidden}, {2, 3}};
+  for (int64_t i = 0; i < config.trace_length; ++i) {
+    // A continuous-batching step trace: occupancy wanders, kv length is
+    // block-quantized (multiples of 16) the way the decode scheduler pads.
+    int64_t batch = 1 + (i * 5 % 7);
+    int64_t t = 16 * (1 + i % 6);
+    model.trace.push_back(
+        {{batch, 1, hidden}, {batch, t, hidden}, {batch, t, hidden},
+         {batch, t}});
+  }
+  model.make_inputs = [](const ShapeSet& shapes, uint64_t seed) {
+    std::vector<Tensor> inputs = RandomF32Inputs(
+        {shapes[0], shapes[1], shapes[2]}, seed);
+    // Full-valid mask: random data needs every cache row live.
+    Tensor mask(DType::kF32, shapes[3]);
+    for (int64_t i = 0; i < mask.num_elements(); ++i) {
+      mask.f32_data()[i] = 1.0f;
+    }
+    inputs.push_back(std::move(mask));
+    return inputs;
+  };
+  return model;
+}
+
 std::vector<Model> BuildModelSuite(const ModelConfig& config) {
   std::vector<Model> suite;
   suite.push_back(BuildBert(config));

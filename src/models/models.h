@@ -80,6 +80,19 @@ Model BuildBertWithMask(const ModelConfig& config = {});
 /// symbolic T+1 expressions — the canonical autoregressive shape pattern.
 Model BuildGptStep(const ModelConfig& config = {});
 
+/// Ragged-batch GPT decode step for continuous batching: batch dim B is
+/// dynamic (sequences join/retire every iteration) and a kv_mask input
+/// ([B, T] of 0/1) makes padded cache rows inert — masked key logits get
+/// -1e9, which underflows to an exact 0 probability after softmax, so a
+/// padded batched step is **bit-identical** per row to an unpadded
+/// single-sequence step (the decode subsystem's correctness invariant).
+/// Same weights (draw order and seed) as BuildGptStep, so a B=1 exact-
+/// length replay of this graph reproduces BuildGptStep bitwise. Inputs:
+/// token [B,1,H], k_cache [B,T,H], v_cache [B,T,H], kv_mask [B,T];
+/// outputs: next-token probs [B,1,96], k_next and v_next [B,T+1,H] (the
+/// appended entry lands at row position T).
+Model BuildGptStepBatch(const ModelConfig& config = {});
+
 /// \brief The full 6-model suite with traces (experiments T1/T2/T3/F5/F6).
 std::vector<Model> BuildModelSuite(const ModelConfig& config = {});
 

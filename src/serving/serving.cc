@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/flight_recorder.h"
 #include "support/logging.h"
@@ -58,6 +59,21 @@ std::string ServingStats::ToString() const {
     s += StrFormat(" err[%s]=%lld", code.c_str(),
                    static_cast<long long>(count));
   }
+  if (decode_steps > 0) {
+    s += StrFormat(
+        "\n  decode: steps=%lld tokens=%lld tok/s=%.0f p50_tbt=%.1fus "
+        "p99_tbt=%.1fus step_pad_waste=%.1f%% joins=%lld retires=%lld "
+        "preemptions=%lld resumes=%lld kv_high_water_blocks=%lld "
+        "kv_recycles=%lld",
+        static_cast<long long>(decode_steps),
+        static_cast<long long>(generated_tokens), tokens_per_sec, p50_tbt_us,
+        p99_tbt_us, step_padding_waste * 100,
+        static_cast<long long>(decode_joins),
+        static_cast<long long>(decode_retires),
+        static_cast<long long>(preemptions), static_cast<long long>(resumes),
+        static_cast<long long>(kv_high_water_blocks),
+        static_cast<long long>(kv_block_recycles));
+  }
   return s;
 }
 
@@ -65,9 +81,26 @@ namespace {
 
 std::vector<Request> SortedByArrival(const std::vector<Request>& requests) {
   std::vector<Request> sorted = requests;
+  // Total order: arrival, then deadline, then id. Sorting by arrival alone
+  // left equal-arrival requests in caller order, so the same logical
+  // stream batched differently depending on input permutation — decode
+  // traces replayed through FormBatches were not byte-stable. The
+  // deadline tie-break keeps tighter-deadline requests ahead inside the
+  // tie; the id tie-break makes the order a permutation-independent total
+  // order (stable_sort then only breaks exact duplicates by caller order).
+  auto effective_deadline = [](const Request& r) {
+    return r.deadline_us > 0.0 ? r.deadline_us
+                               : std::numeric_limits<double>::infinity();
+  };
   std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const Request& a, const Request& b) {
-                     return a.arrival_us < b.arrival_us;
+                   [&](const Request& a, const Request& b) {
+                     if (a.arrival_us != b.arrival_us) {
+                       return a.arrival_us < b.arrival_us;
+                     }
+                     const double da = effective_deadline(a);
+                     const double db = effective_deadline(b);
+                     if (da != db) return da < db;
+                     return a.id < b.id;
                    });
   return sorted;
 }

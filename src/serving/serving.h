@@ -94,7 +94,9 @@ struct Batch {
 };
 
 /// \brief Groups requests into batches under the policy. Arrivals are
-/// sorted internally (stable, by arrival time) — callers need not
+/// sorted internally by (arrival, effective deadline, id) — a total order,
+/// so equal-arrival/equal-deadline requests batch identically for every
+/// input permutation (decode traces replay byte-stable). Callers need not
 /// pre-sort. Pure function — exposed for testing.
 std::vector<Batch> FormBatches(const std::vector<Request>& requests,
                                const BatcherOptions& options);
@@ -144,11 +146,42 @@ struct ServingStats {
   int64_t memory_bound_launches = 0;
   /// Failed requests per StatusCode name (e.g. "Unavailable" -> 12).
   std::map<std::string, int64_t> error_counts;
+  // Decode-serving extensions (filled by SimulateDecode in src/decode/;
+  // all zero for request-level serving, so request-level output and every
+  // committed baseline are unchanged).
+  /// Generated tokens per simulated second across the whole replay — the
+  /// decode-serving throughput headline.
+  double tokens_per_sec = 0.0;
+  int64_t generated_tokens = 0;
+  /// Time-between-tokens percentiles: gaps between consecutive token
+  /// completions of one sequence (the inter-token stutter a streaming
+  /// client sees), pooled across sequences. Includes join->first-token.
+  double p50_tbt_us = 0.0;
+  double p99_tbt_us = 0.0;
+  /// Fraction of per-step padded KV tokens that were padding (ragged
+  /// lengths padded to the step signature, plus held slots of finished
+  /// sequences under whole-request batching).
+  double step_padding_waste = 0.0;
+  int64_t decode_steps = 0;
+  /// Sequences joined into / retired from the running batch mid-replay.
+  int64_t decode_joins = 0;
+  int64_t decode_retires = 0;
+  /// Degradation-ladder actions specific to decode: sequences preempted
+  /// (KV blocks released, requeued) under memory pressure, and resumed
+  /// after preemption. A preempted-and-resumed sequence still completes,
+  /// so the accounting invariant above is unchanged.
+  int64_t preemptions = 0;
+  int64_t resumes = 0;
+  /// KV-cache pool occupancy high-water (blocks) and blocks recycled on
+  /// sequence retire/preempt.
+  int64_t kv_high_water_blocks = 0;
+  int64_t kv_block_recycles = 0;
+
   /// Per-completed-request causal record: trace id, shape signature, and a
   /// PhaseLedger decomposing the end-to-end latency into batch_form /
-  /// queue / backoff / compile_stall / host_plan / alloc / device.
-  /// DISC_CHECKed inside SimulateServing to sum to e2e exactly; feed to
-  /// TailBlameAggregator for p99 blame attribution.
+  /// queue / backoff / decode_wait / compile_stall / host_plan / alloc /
+  /// device. DISC_CHECKed inside SimulateServing to sum to e2e exactly;
+  /// feed to TailBlameAggregator for p99 blame attribution.
   std::vector<CompletedRequest> completed_requests;
 
   std::string ToString() const;

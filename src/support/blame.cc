@@ -12,14 +12,15 @@
 namespace disc {
 
 double PhaseLedger::TotalUs() const {
-  return batch_form_us + queue_us + backoff_us + compile_stall_us +
-         host_plan_us + alloc_us + device_us;
+  return batch_form_us + queue_us + backoff_us + decode_wait_us +
+         compile_stall_us + host_plan_us + alloc_us + device_us;
 }
 
 void PhaseLedger::Add(const PhaseLedger& other) {
   batch_form_us += other.batch_form_us;
   queue_us += other.queue_us;
   backoff_us += other.backoff_us;
+  decode_wait_us += other.decode_wait_us;
   compile_stall_us += other.compile_stall_us;
   host_plan_us += other.host_plan_us;
   alloc_us += other.alloc_us;
@@ -28,14 +29,14 @@ void PhaseLedger::Add(const PhaseLedger& other) {
 
 const std::vector<std::string>& PhaseLedger::PhaseNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      "batch_form", "queue", "backoff", "compile_stall",
-      "host_plan",  "alloc", "device"};
+      "batch_form", "queue",     "backoff", "decode_wait",
+      "compile_stall", "host_plan", "alloc", "device"};
   return *names;
 }
 
 std::vector<double> PhaseLedger::PhaseValues() const {
-  return {batch_form_us, queue_us, backoff_us, compile_stall_us,
-          host_plan_us,  alloc_us, device_us};
+  return {batch_form_us,    queue_us,     backoff_us, decode_wait_us,
+          compile_stall_us, host_plan_us, alloc_us,   device_us};
 }
 
 const char* PhaseLedger::DominantPhase() const {

@@ -48,6 +48,12 @@ struct PhaseLedger {
   /// Retry backoff between failed launch attempts (PR 4 degradation
   /// ladder); zero on the fault-free path.
   double backoff_us = 0.0;
+  /// Decode-serving wait while the request was mid-flight but *not* in the
+  /// running step batch: time spent preempted (KV blocks released under
+  /// memory pressure, waiting in the resume queue) plus any scheduler gap
+  /// between the steps it participated in. Zero for request-level serving,
+  /// where a launched request is never descheduled.
+  double decode_wait_us = 0.0;
   /// Compilation stall charged to this request's batch (lazy primary
   /// compile in the fallback chain, sync-mode async engine gate).
   double compile_stall_us = 0.0;
@@ -67,7 +73,7 @@ struct PhaseLedger {
   /// Name of the largest phase ("device", "queue", ...).
   const char* DominantPhase() const;
   /// Phase names in ledger order ("batch_form", "queue", "backoff",
-  /// "compile_stall", "host_plan", "alloc", "device").
+  /// "decode_wait", "compile_stall", "host_plan", "alloc", "device").
   static const std::vector<std::string>& PhaseNames();
   /// Phase values in the same order as PhaseNames().
   std::vector<double> PhaseValues() const;

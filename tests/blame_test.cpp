@@ -57,15 +57,16 @@ TEST(PhaseLedgerTest, NamesValuesAndTotalStayInSync) {
   ledger.batch_form_us = 1.0;
   ledger.queue_us = 2.0;
   ledger.backoff_us = 4.0;
-  ledger.compile_stall_us = 8.0;
-  ledger.host_plan_us = 16.0;
-  ledger.alloc_us = 32.0;
-  ledger.device_us = 64.0;
-  EXPECT_DOUBLE_EQ(ledger.TotalUs(), 127.0);
+  ledger.decode_wait_us = 8.0;
+  ledger.compile_stall_us = 16.0;
+  ledger.host_plan_us = 32.0;
+  ledger.alloc_us = 64.0;
+  ledger.device_us = 128.0;
+  EXPECT_DOUBLE_EQ(ledger.TotalUs(), 255.0);
   const auto& names = PhaseLedger::PhaseNames();
   const auto values = ledger.PhaseValues();
   ASSERT_EQ(names.size(), values.size());
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   double sum = 0.0;
   for (double v : values) sum += v;
   EXPECT_DOUBLE_EQ(sum, ledger.TotalUs());
@@ -73,7 +74,7 @@ TEST(PhaseLedgerTest, NamesValuesAndTotalStayInSync) {
   EXPECT_EQ(names.front(), "batch_form");
   EXPECT_EQ(names.back(), "device");
   EXPECT_DOUBLE_EQ(values.front(), 1.0);
-  EXPECT_DOUBLE_EQ(values.back(), 64.0);
+  EXPECT_DOUBLE_EQ(values.back(), 128.0);
   EXPECT_STREQ(ledger.DominantPhase(), "device");
 }
 

@@ -116,6 +116,66 @@ TEST(BatcherTest, UnsortedArrivalsFormSameBatchesAsSorted) {
   }
 }
 
+TEST(BatcherTest, EqualArrivalsBatchIdenticallyForEveryInputPermutation) {
+  // Regression: sorting by arrival alone left equal-arrival requests in
+  // caller order, so the same logical stream split into different batches
+  // depending on input permutation — decode traces replayed through
+  // FormBatches were not byte-stable. The order is now the total order
+  // (arrival, effective deadline, id).
+  BatcherOptions options;
+  options.max_batch = 2;
+  std::vector<Request> requests;
+  for (int64_t id = 0; id < 6; ++id) {
+    Request r;
+    r.id = id;
+    r.seq_len = 8 * (id + 1);
+    r.arrival_us = 100.0;  // all tie on arrival
+    requests.push_back(r);
+  }
+  auto reference = FormBatches(requests, options);
+  ASSERT_EQ(reference.size(), 3u);
+  // Every adjacent-transposition permutation (generates the whole group)
+  // must produce identical batch membership, in order.
+  for (size_t swap = 0; swap + 1 < requests.size(); ++swap) {
+    auto permuted = requests;
+    std::swap(permuted[swap], permuted[swap + 1]);
+    auto batches = FormBatches(permuted, options);
+    ASSERT_EQ(batches.size(), reference.size());
+    for (size_t i = 0; i < batches.size(); ++i) {
+      ASSERT_EQ(batches[i].requests.size(), reference[i].requests.size());
+      for (size_t j = 0; j < batches[i].requests.size(); ++j) {
+        EXPECT_EQ(batches[i].requests[j].id, reference[i].requests[j].id)
+            << "swap " << swap << " changed batch " << i;
+      }
+    }
+  }
+}
+
+TEST(BatcherTest, DeadlineBreaksArrivalTiesTighterFirst) {
+  BatcherOptions options;
+  options.max_batch = 2;
+  std::vector<Request> requests;
+  // Same arrival; deadlines 900, none, 500, none. No-deadline requests
+  // sort as infinitely-lax (NOT as deadline 0, which would put them
+  // first); ties among the deadline-free fall back to id.
+  const std::vector<double> deadlines = {900.0, 0.0, 500.0, 0.0};
+  for (int64_t id = 0; id < 4; ++id) {
+    Request r;
+    r.id = id;
+    r.seq_len = 8;
+    r.arrival_us = 50.0;
+    r.deadline_us = deadlines[static_cast<size_t>(id)];
+    requests.push_back(r);
+  }
+  auto batches = FormBatches(requests, options);
+  ASSERT_EQ(batches.size(), 2u);
+  // Tighter deadlines batch first: (500, 900), then (none id=1, none id=3).
+  EXPECT_EQ(batches[0].requests[0].id, 2);
+  EXPECT_EQ(batches[0].requests[1].id, 0);
+  EXPECT_EQ(batches[1].requests[0].id, 1);
+  EXPECT_EQ(batches[1].requests[1].id, 3);
+}
+
 TEST(BatcherTest, MaxBatchOneEqualsNoBatching) {
   auto requests = FixedRequests({{0, 10}, {5, 20}, {9, 30}});
   BatcherOptions one;
